@@ -1,0 +1,49 @@
+//! Experiment E10 (§6): cost of coalition dynamics — re-keying plus
+//! revocation and re-issue of certificates on every join/leave.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::{coalition_of, table_header};
+
+fn print_table() {
+    table_header(
+        "E10: join cost as the coalition grows (192-bit keys)",
+        &["n after join", "rekey", "revoked", "reissued", "total"],
+    );
+    let mut c = coalition_of(3, 2, 192, 41);
+    for i in 4..=9 {
+        let r = c.join_domain(&format!("D{i}")).expect("join");
+        println!(
+            "{} | {:?} | {} | {} | {:?}",
+            r.domain_count, r.rekey_wall, r.certs_revoked, r.certs_reissued, r.total_wall
+        );
+    }
+
+    table_header("E10: leave cost (shrinking back)", &["n after leave", "total"]);
+    for i in (5..=9).rev() {
+        let r = c.leave_domain(&format!("D{i}")).expect("leave");
+        println!("{} | {:?}", r.domain_count, r.total_wall);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_dynamics");
+    group.sample_size(10);
+    group.bench_function("join_then_leave_n3", |b| {
+        let mut coalition = coalition_of(3, 2, 192, 42);
+        b.iter(|| {
+            coalition.join_domain("DX").expect("join");
+            coalition.leave_domain("DX").expect("leave");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,90 @@
+//! Experiment E12 (Appendices C/D): throughput of the truth-condition
+//! evaluator that backs the soundness reproduction.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_core::semantics::{Model, RunBuilder};
+use jaap_core::syntax::{Formula, GroupId, KeyId, Message, Subject, Time};
+use std::time::Instant;
+
+fn build_model(users: usize, sends_per_user: usize) -> Model {
+    let mut b = RunBuilder::new();
+    let server = Subject::principal("P");
+    let group = Subject::principal("G");
+    b.party(server.clone(), 0).party(group.clone(), 0);
+    for u in 0..users {
+        let subject = Subject::principal(format!("U{u}"));
+        b.party(subject.clone(), 0);
+        b.give_key(&subject, KeyId::new(format!("K{u}")), Time(0));
+        for s in 0..sends_per_user {
+            let msg = Message::data(format!("payload {s}")).signed(KeyId::new(format!("K{u}")));
+            b.deliver(&subject, &server, msg, Time(1 + s as i64), 1);
+        }
+    }
+    Model::new(b.build())
+}
+
+fn print_table() {
+    table_header(
+        "E12: evaluator throughput over growing runs",
+        &["users", "events", "A10 sweep", "membership sweep"],
+    );
+    for &(users, sends) in &[(3usize, 4usize), (5, 8), (8, 12)] {
+        let model = build_model(users, sends);
+        let events = users * sends * 2;
+        let start = Instant::now();
+        for u in 0..users {
+            let f = Formula::key_speaks_for(
+                KeyId::new(format!("K{u}")),
+                Time(20),
+                Subject::principal(format!("U{u}")),
+            );
+            let _ = model.eval(Time(20), &f);
+        }
+        let ksf = start.elapsed();
+        let start = Instant::now();
+        for u in 0..users {
+            let f = Formula::member_of(
+                Subject::principal(format!("U{u}")),
+                Time(20),
+                GroupId::new("G"),
+            );
+            let _ = model.eval(Time(20), &f);
+        }
+        println!("{users} | {events} | {ksf:?} | {:?}", start.elapsed());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_model_eval");
+    let model = build_model(4, 6);
+    let a10 = Formula::implies(
+        Formula::and(
+            Formula::key_speaks_for(KeyId::new("K0"), Time(10), Subject::principal("U0")),
+            Formula::received(
+                Subject::principal("P"),
+                Time(10),
+                Message::data("payload 0").signed(KeyId::new("K0")),
+            ),
+        ),
+        Formula::said(Subject::principal("U0"), Time(10), Message::data("payload 0")),
+    );
+    group.bench_function("eval_a10_instance", |b| {
+        b.iter(|| model.eval(Time(10), &a10));
+    });
+    let legal = build_model(5, 8);
+    group.bench_function("run_legality_check", |b| {
+        b.iter(|| legal.run().is_legal());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

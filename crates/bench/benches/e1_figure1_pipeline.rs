@@ -1,0 +1,69 @@
+//! Experiment E1 (Figure 1): the full coalition pipeline — setup,
+//! certificate issuance, and a verified joint access.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::{standard_coalition, table_header};
+use jaap_coalition::scenario::CoalitionBuilder;
+
+fn print_table() {
+    table_header(
+        "E1: Figure 1 pipeline stages (256-bit keys, 3 domains)",
+        &["stage", "wall"],
+    );
+    let start = Instant::now();
+    let mut c = standard_coalition(256, 77);
+    println!("setup (CAs, users, AA deal, ACs) | {:?}", start.elapsed());
+
+    let start = Instant::now();
+    let d = c.request_write(&["User_D1", "User_D2"]).expect("write");
+    println!("joint write request (grant) | {:?}", start.elapsed());
+    assert!(d.granted);
+
+    let start = Instant::now();
+    let d = c.request_read(&["User_D3"]).expect("read");
+    println!("read request (grant) | {:?}", start.elapsed());
+    assert!(d.granted);
+
+    // Full distributed-keygen variant.
+    let start = Instant::now();
+    let _ = CoalitionBuilder::new()
+        .key_bits(96)
+        .distributed_keygen(true)
+        .seed(78)
+        .build()
+        .expect("coalition");
+    println!("setup with BF keygen (96-bit) | {:?}", start.elapsed());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_figure1_pipeline");
+    group.sample_size(20);
+    group.bench_function("setup_dealt_192b", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            standard_coalition(192, seed)
+        });
+    });
+    group.bench_function("write_request_grant", |b| {
+        let mut c = standard_coalition(192, 5);
+        b.iter(|| c.request_write(&["User_D1", "User_D2"]).expect("write"));
+    });
+    group.bench_function("read_request_grant", |b| {
+        let mut c = standard_coalition(192, 6);
+        b.iter(|| c.request_read(&["User_D1"]).expect("read"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,69 @@
+//! Experiments E2/E3 (Figure 2): write (2-of-3) and read (1-of-3) request
+//! verification — grant and deny paths.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::{standard_coalition, table_header};
+
+fn print_table() {
+    let mut c = standard_coalition(256, 21);
+    table_header(
+        "E2/E3: Figure 2 decision matrix (2-of-3 writes, 1-of-3 reads)",
+        &["request", "signers", "decision", "sig checks", "axiom apps"],
+    );
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("write", vec!["User_D1", "User_D2"]),
+        ("write", vec!["User_D1", "User_D3"]),
+        ("write", vec!["User_D2", "User_D3"]),
+        ("write", vec!["User_D1", "User_D2", "User_D3"]),
+        ("write", vec!["User_D1"]),
+        ("write", vec!["User_D2"]),
+        ("read", vec!["User_D1"]),
+        ("read", vec!["User_D3"]),
+    ];
+    for (op, signers) in cases {
+        let d = match op {
+            "write" => c.request_write(&signers).expect("req"),
+            _ => c.request_read(&signers).expect("req"),
+        };
+        println!(
+            "{op} | {signers:?} | {} | {} | {}",
+            if d.granted { "GRANT" } else { "DENY" },
+            d.signature_checks,
+            d.axiom_applications
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_figure2");
+    group.bench_function("write_grant_2of3", |b| {
+        let mut c = standard_coalition(192, 22);
+        b.iter(|| c.request_write(&["User_D1", "User_D2"]).expect("req"));
+    });
+    group.bench_function("write_deny_1of3", |b| {
+        let mut c = standard_coalition(192, 23);
+        b.iter(|| c.request_write(&["User_D1"]).expect("req"));
+    });
+    group.bench_function("read_grant_1of3", |b| {
+        let mut c = standard_coalition(192, 24);
+        b.iter(|| c.request_read(&["User_D2"]).expect("req"));
+    });
+    group.bench_function("write_grant_3of3", |b| {
+        let mut c = standard_coalition(192, 25);
+        b.iter(|| {
+            c.request_write(&["User_D1", "User_D2", "User_D3"])
+                .expect("req")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

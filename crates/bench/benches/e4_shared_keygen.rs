@@ -1,0 +1,77 @@
+//! Experiment E4 (§3.1): cost of shared RSA key generation.
+//!
+//! Paper reference point (Malkin et al. [21]): 1.5–5 minutes to generate a
+//! shared 1024-bit key among three servers (1999 hardware). We reproduce
+//! the *shape*: distributed generation is orders of magnitude more
+//! expensive than any other operation, grows steeply with modulus size,
+//! and grows with the number of parties; the dealer fast path (ablation
+//! D1) is ~the cost of a plain RSA keygen.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_crypto::shared::SharedRsaKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_table() {
+    table_header(
+        "E4: distributed (Boneh–Franklin) shared key generation",
+        &["bits", "n", "wall", "candidates", "sieve draws", "messages"],
+    );
+    for &bits in &[128usize, 192, 256, 384, 512] {
+        for &n in &[3usize, 5] {
+            let start = Instant::now();
+            let (_pk, _shares, stats) =
+                SharedRsaKey::generate(bits, n, 42 + bits as u64).expect("keygen");
+            println!(
+                "{bits} | {n} | {:?} | {} | {} | {}",
+                start.elapsed(),
+                stats.candidates_tried,
+                stats.sieve_draws,
+                stats.network.messages_sent
+            );
+        }
+    }
+
+    table_header(
+        "E4/D1 ablation: dealer-based split (trusted-dealer fast path)",
+        &["bits", "n", "wall"],
+    );
+    for &bits in &[256usize, 512] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let start = Instant::now();
+        let _ = SharedRsaKey::deal(&mut rng, bits, 3).expect("deal");
+        println!("{bits} | 3 | {:?}", start.elapsed());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_shared_keygen");
+    group.sample_size(10);
+    for &bits in &[96usize, 128, 192] {
+        group.bench_function(format!("bf_keygen_{bits}b_n3"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                SharedRsaKey::generate(bits, 3, seed).expect("keygen")
+            });
+        });
+    }
+    group.bench_function("dealer_split_256b_n3", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| SharedRsaKey::deal(&mut rng, 256, 3).expect("deal"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,120 @@
+//! Experiment E5 (§3.1/§3.2): cost of applying a joint signature, and the
+//! keygen : signature cost ratio.
+//!
+//! Paper reference point (Malkin et al. [21]): 1.2–2 s per joint signature
+//! vs 1.5–5 min for keygen — a ratio of roughly 50–250×. The absolute
+//! numbers differ on modern hardware and smaller moduli; the ratio's order
+//! of magnitude is the reproduced shape.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_crypto::shared::SharedRsaKey;
+use jaap_crypto::{joint, threshold};
+use jaap_net::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_table() {
+    table_header(
+        "E5: joint signature cost (dealt shared keys)",
+        &["bits", "n", "local", "networked", "messages"],
+    );
+    for &bits in &[256usize, 512, 1024] {
+        for &n in &[3usize, 5, 7] {
+            let mut rng = StdRng::seed_from_u64(bits as u64 + n as u64);
+            let (public, shares) = SharedRsaKey::deal(&mut rng, bits, n).expect("deal");
+            let start = Instant::now();
+            let iters = 10;
+            for i in 0..iters {
+                let msg = format!("certificate body {i}");
+                let _ = joint::sign_locally(&public, &shares, msg.as_bytes()).expect("sign");
+            }
+            let local = start.elapsed() / iters;
+            let start = Instant::now();
+            let (_sig, stats) = joint::sign_over_network(
+                &public,
+                &shares,
+                0,
+                b"networked body",
+                FaultPlan::reliable(),
+            )
+            .expect("sign");
+            println!(
+                "{bits} | {n} | {local:?} | {:?} | {}",
+                start.elapsed(),
+                stats.messages_sent
+            );
+        }
+    }
+
+    // Keygen : signature ratio — the paper's headline cost comparison.
+    table_header(
+        "E5: keygen vs signature ratio (paper: ~50-250x)",
+        &["bits", "keygen", "signature", "ratio"],
+    );
+    for &bits in &[128usize, 256, 384] {
+        let start = Instant::now();
+        let (public, shares, _) = SharedRsaKey::generate(bits, 3, 5).expect("keygen");
+        let keygen = start.elapsed();
+        let start = Instant::now();
+        let iters = 20;
+        for i in 0..iters {
+            let msg = format!("m{i}");
+            let _ = joint::sign_locally(&public, &shares, msg.as_bytes()).expect("sign");
+        }
+        let sig = start.elapsed() / iters;
+        let ratio = keygen.as_secs_f64() / sig.as_secs_f64();
+        println!("{bits} | {keygen:?} | {sig:?} | {ratio:.0}x");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_joint_signature");
+    for &bits in &[256usize, 512] {
+        for &n in &[3usize, 5] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let (public, shares) = SharedRsaKey::deal(&mut rng, bits, n).expect("deal");
+            group.bench_function(format!("local_{bits}b_n{n}"), |b| {
+                b.iter(|| joint::sign_locally(&public, &shares, b"body").expect("sign"));
+            });
+        }
+    }
+    // D2 ablation: n-of-n joint vs m-of-n threshold signing.
+    {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (public, shares) = SharedRsaKey::deal(&mut rng, 256, 5).expect("deal");
+        let (tp, tshares) =
+            threshold::ThresholdKey::from_additive(&mut rng, &public, &shares, 3)
+                .expect("convert");
+        group.bench_function("threshold_3of5_256b", |b| {
+            b.iter(|| {
+                let ss: Vec<_> = tshares[..3]
+                    .iter()
+                    .map(|s| s.sign_share(b"body").expect("share"))
+                    .collect();
+                threshold::combine(&tp, b"body", &ss).expect("combine")
+            });
+        });
+    }
+    group.bench_function("networked_256b_n3", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (public, shares) = SharedRsaKey::deal(&mut rng, 256, 3).expect("deal");
+        b.iter(|| {
+            joint::sign_over_network(&public, &shares, 0, b"body", FaultPlan::reliable())
+                .expect("sign")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

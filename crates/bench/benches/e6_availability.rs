@@ -1,0 +1,50 @@
+//! Experiment E6 (§3.3): joint-signature availability of n-of-n vs m-of-n
+//! sharing under per-domain downtime.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_coalition::availability::{analytic, monte_carlo, sweep};
+
+fn print_table() {
+    table_header(
+        "E6: availability of joint signatures (analytic vs Monte Carlo)",
+        &["n", "m", "p_up", "analytic", "monte carlo"],
+    );
+    for point in sweep(&[3, 5, 7, 9], &[0.90, 0.95, 0.99], 40_000, 7) {
+        println!(
+            "{} | {} | {:.2} | {:.6} | {:.6}",
+            point.n, point.m, point.p_up, point.analytic, point.monte_carlo
+        );
+    }
+
+    table_header(
+        "E6: the §3.3 claim — \"up to (n-m) domains can be down\"",
+        &["n", "n-of-n @ p=0.95", "majority @ p=0.95", "gain"],
+    );
+    for n in [3usize, 5, 7, 9] {
+        let full = analytic(n, n, 0.95);
+        let maj = analytic(n, n / 2 + 1, 0.95);
+        println!("{n} | {full:.4} | {maj:.4} | {:.2}x", maj / full);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_availability");
+    group.bench_function("analytic_9choose", |b| {
+        b.iter(|| analytic(9, 5, 0.95));
+    });
+    group.bench_function("monte_carlo_10k_trials", |b| {
+        b.iter(|| monte_carlo(5, 3, 0.9, 10_000, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

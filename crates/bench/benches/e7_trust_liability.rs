@@ -1,0 +1,92 @@
+//! Experiments E7/E11 (§2.2, §3.1): trust liability of Case I vs Case II
+//! and the collusion threshold.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_coalition::liability::{
+    exposure_probability, min_compromises, simulate_exposure, Scheme,
+};
+use jaap_crypto::collusion::{collude_additive, collude_threshold};
+use jaap_crypto::rsa::RsaKeyPair;
+use jaap_crypto::shared::SharedRsaKey;
+use jaap_crypto::threshold::ThresholdKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_tables() {
+    table_header(
+        "E7: minimum compromises for AA key exposure",
+        &["n", "Case I (lockbox)", "Case II (n-of-n)", "Case II (majority)"],
+    );
+    for n in [3usize, 5, 7, 9] {
+        println!(
+            "{n} | {} | {} | {}",
+            min_compromises(Scheme::CaseILockbox { n }),
+            min_compromises(Scheme::CaseIIShared { n }),
+            min_compromises(Scheme::CaseIIThreshold { m: n / 2 + 1, n })
+        );
+    }
+
+    table_header(
+        "E7: exposure probability, per-party compromise probability q (n=3)",
+        &["q", "Case I analytic", "Case I MC", "Case II analytic", "Case II MC", "ratio"],
+    );
+    for q in [0.01f64, 0.05, 0.10, 0.20] {
+        let c1 = exposure_probability(Scheme::CaseILockbox { n: 3 }, q);
+        let c1mc = simulate_exposure(Scheme::CaseILockbox { n: 3 }, q, 40_000, 1);
+        let c2 = exposure_probability(Scheme::CaseIIShared { n: 3 }, q);
+        let c2mc = simulate_exposure(Scheme::CaseIIShared { n: 3 }, q, 40_000, 2);
+        println!(
+            "{q:.2} | {c1:.5} | {c1mc:.5} | {c2:.2e} | {c2mc:.2e} | {:.0}x",
+            c1 / c2
+        );
+    }
+
+    // E11: collusion with real key material.
+    table_header(
+        "E11: collusion with real shares (192-bit shared key, n=3)",
+        &["scheme", "colluders", "key recovered"],
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let (public, shares) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
+    for k in 1..=3usize {
+        let pooled: Vec<_> = shares[..k].iter().collect();
+        println!(
+            "additive n-of-n | {k} | {}",
+            collude_additive(&public, &pooled).is_compromised()
+        );
+    }
+    let kp = RsaKeyPair::generate(&mut rng, 192).expect("keygen");
+    let (tp, tshares) = ThresholdKey::deal(&mut rng, &kp, 2, 3).expect("deal");
+    for k in 1..=3usize {
+        let pooled: Vec<_> = tshares[..k].iter().collect();
+        println!(
+            "threshold 2-of-3 | {k} | {}",
+            collude_threshold(&tp, &pooled).is_compromised()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_trust_liability");
+    group.bench_function("monte_carlo_exposure_10k", |b| {
+        b.iter(|| simulate_exposure(Scheme::CaseIIShared { n: 3 }, 0.1, 10_000, 9));
+    });
+    group.bench_function("collusion_check_full_set", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (public, shares) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
+        let pooled: Vec<_> = shares.iter().collect();
+        b.iter(|| collude_additive(&public, &pooled).is_compromised());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_tables();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

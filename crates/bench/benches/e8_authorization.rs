@@ -1,0 +1,121 @@
+//! Experiments E8/E9 (§4.3): authorization protocol cost — derivation
+//! steps and wall time — plus the revoked-request series and the D3
+//! ablation (logic-checked vs crypto-only reference monitor).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::{coalition_of, standard_coalition, table_header};
+use jaap_core::syntax::Time;
+
+fn print_tables() {
+    table_header(
+        "E8: authorization cost by request kind (3 domains, 256-bit keys)",
+        &["request", "decision", "axiom apps", "sig checks", "wall"],
+    );
+    let mut c = standard_coalition(256, 31);
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("write 2-of-3", vec!["User_D1", "User_D2"]),
+        ("write 3-of-3", vec!["User_D1", "User_D2", "User_D3"]),
+        ("write 1 signer (deny)", vec!["User_D1"]),
+        ("read 1-of-3", vec!["User_D2"]),
+    ];
+    for (label, signers) in cases {
+        let start = Instant::now();
+        let d = if label.starts_with("read") {
+            c.request_read(&signers).expect("req")
+        } else {
+            c.request_write(&signers).expect("req")
+        };
+        println!(
+            "{label} | {} | {} | {} | {:?}",
+            if d.granted { "GRANT" } else { "DENY" },
+            d.axiom_applications,
+            d.signature_checks,
+            start.elapsed()
+        );
+    }
+
+    // E9: revocation series.
+    table_header("E9: revocation series", &["phase", "decision"]);
+    let mut c = standard_coalition(256, 32);
+    let d = c.request_write(&["User_D1", "User_D2"]).expect("req");
+    println!("before revocation | {}", if d.granted { "GRANT" } else { "DENY" });
+    c.advance_time(Time(20));
+    c.revoke_write_ac(Time(20)).expect("revoke");
+    c.advance_time(Time(21));
+    let d = c.request_write(&["User_D1", "User_D2"]).expect("req");
+    println!("after revocation | {}", if d.granted { "GRANT" } else { "DENY" });
+    let d = c.request_read(&["User_D1"]).expect("req");
+    println!("read after write-AC revocation | {}", if d.granted { "GRANT" } else { "DENY" });
+
+    // D3 ablation.
+    table_header(
+        "E8/D3 ablation: logic-checked vs crypto-only monitor",
+        &["monitor", "wall per request", "axiom apps", "proof"],
+    );
+    for logic in [true, false] {
+        let mut c = standard_coalition(256, 33);
+        c.server_mut().set_logic_checking(logic);
+        let start = Instant::now();
+        let iters = 50;
+        let mut apps = 0;
+        let mut has_proof = false;
+        for _ in 0..iters {
+            let d = c.request_write(&["User_D1", "User_D2"]).expect("req");
+            apps = d.axiom_applications;
+            has_proof = d.derivation.is_some();
+        }
+        println!(
+            "{} | {:?} | {apps} | {has_proof}",
+            if logic { "logic-checked" } else { "crypto-only" },
+            start.elapsed() / iters
+        );
+    }
+
+    // Scaling with coalition size.
+    table_header(
+        "E8: derivation cost vs coalition size (write = majority)",
+        &["n", "m", "axiom apps", "sig checks"],
+    );
+    for n in [3usize, 5, 7] {
+        let m = n / 2 + 1;
+        let mut c = coalition_of(n, m, 192, 34);
+        let signers: Vec<String> = (1..=m).map(|i| format!("User_D{i}")).collect();
+        let refs: Vec<&str> = signers.iter().map(String::as_str).collect();
+        let d = c.request_write(&refs).expect("req");
+        assert!(d.granted);
+        println!("{n} | {m} | {} | {}", d.axiom_applications, d.signature_checks);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_authorization");
+    group.bench_function("authorize_write_2of3_logic", |b| {
+        let mut c = standard_coalition(192, 35);
+        b.iter(|| c.request_write(&["User_D1", "User_D2"]).expect("req"));
+    });
+    group.bench_function("authorize_write_2of3_crypto_only", |b| {
+        let mut c = standard_coalition(192, 36);
+        c.server_mut().set_logic_checking(false);
+        b.iter(|| c.request_write(&["User_D1", "User_D2"]).expect("req"));
+    });
+    group.bench_function("authorize_write_4of7", |b| {
+        let mut c = coalition_of(7, 4, 192, 37);
+        b.iter(|| {
+            c.request_write(&["User_D1", "User_D2", "User_D3", "User_D4"])
+                .expect("req")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_tables();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,165 @@
+//! One-command reproduction: regenerates every experiment table from
+//! EXPERIMENTS.md and writes `REPORT.md`.
+//!
+//! ```sh
+//! cargo run --release -p jaap-bench --bin report
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use jaap_bench::{coalition_of, standard_coalition};
+use jaap_coalition::availability;
+use jaap_coalition::liability::{exposure_probability, min_compromises, Scheme};
+use jaap_core::syntax::Time;
+use jaap_crypto::shared::SharedRsaKey;
+use jaap_crypto::{collusion, joint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = String::new();
+    writeln!(out, "# REPORT — regenerated experiment tables\n")?;
+    writeln!(
+        out,
+        "Produced by `cargo run --release -p jaap-bench --bin report`. \
+         See EXPERIMENTS.md for the paper-vs-measured discussion.\n"
+    )?;
+
+    // E4: keygen.
+    writeln!(out, "## E4 — distributed shared key generation\n")?;
+    writeln!(out, "| bits | n | wall | candidates | messages |")?;
+    writeln!(out, "|---|---|---|---|---|")?;
+    for bits in [128usize, 256, 384] {
+        let start = Instant::now();
+        let (_p, _s, stats) = SharedRsaKey::generate(bits, 3, 42 + bits as u64)?;
+        writeln!(
+            out,
+            "| {bits} | 3 | {:?} | {} | {} |",
+            start.elapsed(),
+            stats.candidates_tried,
+            stats.network.messages_sent
+        )?;
+    }
+
+    // E5: signatures + ratio.
+    writeln!(out, "\n## E5 — joint signature cost and keygen ratio\n")?;
+    writeln!(out, "| bits | n | signature | keygen/signature |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    for bits in [128usize, 256] {
+        let kg_start = Instant::now();
+        let (public, shares, _) = SharedRsaKey::generate(bits, 3, 7)?;
+        let keygen = kg_start.elapsed();
+        let start = Instant::now();
+        let iters = 20u32;
+        for i in 0..iters {
+            let msg = format!("m{i}");
+            let _ = joint::sign_locally(&public, &shares, msg.as_bytes())?;
+        }
+        let sig = start.elapsed() / iters;
+        writeln!(
+            out,
+            "| {bits} | 3 | {sig:?} | {:.0}x |",
+            keygen.as_secs_f64() / sig.as_secs_f64()
+        )?;
+    }
+
+    // E6: availability.
+    writeln!(out, "\n## E6 — m-of-n availability (p_up = 0.95)\n")?;
+    writeln!(out, "| n | n-of-n | majority | gain |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    for n in [3usize, 5, 7, 9] {
+        let full = availability::analytic(n, n, 0.95);
+        let maj = availability::analytic(n, n / 2 + 1, 0.95);
+        writeln!(out, "| {n} | {full:.4} | {maj:.4} | {:.2}x |", maj / full)?;
+    }
+
+    // E7: liability.
+    writeln!(out, "\n## E7 — trust liability (q = 0.05, n = 3)\n")?;
+    writeln!(out, "| scheme | min compromises | exposure |")?;
+    writeln!(out, "|---|---|---|")?;
+    for (label, scheme) in [
+        ("Case I lockbox", Scheme::CaseILockbox { n: 3 }),
+        ("Case I, 3 replicas", Scheme::CaseIReplicated { n: 3, replicas: 3 }),
+        ("Case II 2-of-3", Scheme::CaseIIThreshold { m: 2, n: 3 }),
+        ("Case II 3-of-3", Scheme::CaseIIShared { n: 3 }),
+    ] {
+        writeln!(
+            out,
+            "| {label} | {} | {:.2e} |",
+            min_compromises(scheme),
+            exposure_probability(scheme, 0.05)
+        )?;
+    }
+
+    // E11: collusion with real key material.
+    writeln!(out, "\n## E11 — collusion (192-bit shared key, n = 3)\n")?;
+    writeln!(out, "| colluders | key recovered |")?;
+    writeln!(out, "|---|---|")?;
+    let mut rng = StdRng::seed_from_u64(5);
+    let (public, shares) = SharedRsaKey::deal(&mut rng, 192, 3)?;
+    for k in 1..=3usize {
+        let pooled: Vec<_> = shares[..k].iter().collect();
+        writeln!(
+            out,
+            "| {k} | {} |",
+            collusion::collude_additive(&public, &pooled).is_compromised()
+        )?;
+    }
+
+    // E2/E8: authorization decisions and costs.
+    writeln!(out, "\n## E2/E8 — authorization decisions (2-of-3 writes)\n")?;
+    writeln!(out, "| request | decision | axiom apps | sig checks |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    let mut c = standard_coalition(256, 31);
+    for (label, signers) in [
+        ("write 2-of-3", vec!["User_D1", "User_D2"]),
+        ("write 1 signer", vec!["User_D1"]),
+        ("read 1-of-3", vec!["User_D3"]),
+    ] {
+        let d = if label.starts_with("read") {
+            c.request_read(&signers)?
+        } else {
+            c.request_write(&signers)?
+        };
+        writeln!(
+            out,
+            "| {label} | {} | {} | {} |",
+            if d.granted { "GRANT" } else { "DENY" },
+            d.axiom_applications,
+            d.signature_checks
+        )?;
+    }
+
+    // E9: revocation.
+    writeln!(out, "\n## E9 — revocation series\n")?;
+    writeln!(out, "| phase | write decision |")?;
+    writeln!(out, "|---|---|")?;
+    let mut c = standard_coalition(256, 32);
+    let before = c.request_write(&["User_D1", "User_D2"])?;
+    writeln!(out, "| before revocation | {} |", if before.granted { "GRANT" } else { "DENY" })?;
+    c.advance_time(Time(20));
+    c.revoke_write_ac(Time(20))?;
+    c.advance_time(Time(21));
+    let after = c.request_write(&["User_D1", "User_D2"])?;
+    writeln!(out, "| after revocation | {} |", if after.granted { "GRANT" } else { "DENY" })?;
+
+    // E10: dynamics.
+    writeln!(out, "\n## E10 — coalition dynamics (join costs)\n")?;
+    writeln!(out, "| n after join | rekey | revoked | reissued |")?;
+    writeln!(out, "|---|---|---|---|")?;
+    let mut c = coalition_of(3, 2, 192, 41);
+    for i in 4..=6 {
+        let r = c.join_domain(&format!("D{i}"))?;
+        writeln!(
+            out,
+            "| {} | {:?} | {} | {} |",
+            r.domain_count, r.rekey_wall, r.certs_revoked, r.certs_reissued
+        )?;
+    }
+
+    std::fs::write("REPORT.md", &out)?;
+    println!("{out}");
+    println!("(written to REPORT.md)");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Error types for parsing.
+
+use core::fmt;
+
+/// Error returned when parsing a [`crate::Nat`] or [`crate::Int`] from a
+/// string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNatError {
+    pub(crate) kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    Empty,
+    InvalidDigit { ch: char, radix: u32 },
+}
+
+impl ParseNatError {
+    pub(crate) fn empty() -> Self {
+        ParseNatError {
+            kind: ParseErrorKind::Empty,
+        }
+    }
+
+    pub(crate) fn invalid_digit(ch: char, radix: u32) -> Self {
+        ParseNatError {
+            kind: ParseErrorKind::InvalidDigit { ch, radix },
+        }
+    }
+}
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit { ch, radix } => {
+                write!(f, "invalid digit {ch:?} for radix {radix}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseNatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ParseNatError::empty().to_string(),
+            "cannot parse integer from empty string"
+        );
+        assert_eq!(
+            ParseNatError::invalid_digit('z', 10).to_string(),
+            "invalid digit 'z' for radix 10"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Arbitrary-precision integer arithmetic for the `jaap` workspace.
+//!
+//! This crate is the numeric substrate for the threshold-RSA machinery used by
+//! the coalition Attribute Authority (paper Section 3). It deliberately avoids
+//! external bignum dependencies: everything — limb arithmetic, Karatsuba
+//! multiplication, Knuth Algorithm D division, modular exponentiation,
+//! extended GCD, Miller–Rabin primality and Jacobi symbols — is implemented
+//! here.
+//!
+//! Two public types:
+//!
+//! * [`Nat`] — an arbitrary-precision **natural number** (unsigned), stored as
+//!   little-endian `u64` limbs with no trailing zero limbs.
+//! * [`Int`] — a signed wrapper (sign + magnitude) needed by the extended
+//!   Euclidean algorithm and by additive secret shares of RSA exponents,
+//!   which may be negative.
+//!
+//! # Example
+//!
+//! ```
+//! use jaap_bigint::Nat;
+//!
+//! # fn main() -> Result<(), jaap_bigint::ParseNatError> {
+//! let p: Nat = "340282366920938463463374607431768211507".parse()?;
+//! let e = Nat::from(65_537u64);
+//! let m = Nat::from(42u64);
+//! let c = m.modpow(&e, &p);
+//! assert!(c < p);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Security note
+//!
+//! Operations are **not constant-time**; this crate backs a protocol
+//! simulator, not a production TLS stack. See DESIGN.md §7.
+
+mod div;
+mod error;
+mod fmt;
+mod int;
+mod modular;
+mod mul;
+mod nat;
+mod prime;
+mod random;
+
+pub use error::ParseNatError;
+pub use int::{Int, Sign};
+pub use nat::Nat;
+pub use prime::{is_probable_prime, jacobi, next_prime, random_prime, Jacobi, SMALL_PRIMES};
+pub use random::{random_below, random_nat, random_nat_exact};
+
+#[cfg(test)]
+mod proptests;

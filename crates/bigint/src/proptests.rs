@@ -1,0 +1,162 @@
+//! Property-based tests over the core algebraic laws.
+
+use proptest::prelude::*;
+
+use crate::{Int, Nat};
+
+fn arb_nat() -> impl Strategy<Value = Nat> {
+    proptest::collection::vec(any::<u64>(), 0..8).prop_map(Nat::from_limbs)
+}
+
+fn arb_nonzero_nat() -> impl Strategy<Value = Nat> {
+    arb_nat().prop_filter("nonzero", |n| !n.is_zero())
+}
+
+fn arb_int() -> impl Strategy<Value = Int> {
+    (arb_nat(), any::<bool>()).prop_map(|(mag, neg)| {
+        if neg {
+            -Int::from_nat(mag)
+        } else {
+            Int::from_nat(mag)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in arb_nat(), b in arb_nat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_nat(), b in arb_nat()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_nat(), b in arb_nat(), c in arb_nat()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_nat(), b in arb_nat()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn division_identity(a in arb_nat(), b in arb_nonzero_nat()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_nat(), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in arb_nat(), s in 0usize..100) {
+        prop_assert_eq!(a.shl_bits(s), &a * &Nat::one().shl_bits(s));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_nat()) {
+        prop_assert_eq!(Nat::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_nat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Nat>().expect("reparse"), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_nat()) {
+        let s = a.to_hex();
+        prop_assert_eq!(Nat::from_str_radix(&s, 16).expect("reparse"), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_nat(), b in arb_nonzero_nat()) {
+        let g = a.gcd(&b);
+        prop_assert!(b.rem_nat(&g).is_zero());
+        if !a.is_zero() {
+            prop_assert!(a.rem_nat(&g).is_zero());
+        }
+    }
+
+    #[test]
+    fn ext_gcd_bezout(a in arb_nat(), b in arb_nat()) {
+        let (g, x, y) = a.ext_gcd(&b);
+        let lhs = &(&x * &Int::from_nat(a.clone())) + &(&y * &Int::from_nat(b));
+        prop_assert_eq!(lhs, Int::from_nat(g));
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..40, m in 2u64..5000) {
+        let m_nat = Nat::from(m);
+        let got = Nat::from(base).modpow(&Nat::from(exp), &m_nat);
+        let mut expect = 1u128;
+        for _ in 0..exp {
+            expect = expect * u128::from(base) % u128::from(m);
+        }
+        prop_assert_eq!(got, Nat::from(expect));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in arb_nonzero_nat(), m in arb_nonzero_nat()) {
+        if m.is_one() { return Ok(()); }
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert_eq!(a.mulm(&inv, &m), Nat::one());
+        }
+    }
+
+    #[test]
+    fn isqrt_bounds(a in arb_nat()) {
+        let s = a.isqrt();
+        prop_assert!(s.square() <= a);
+        let s1 = &s + &Nat::one();
+        prop_assert!(s1.square() > a);
+    }
+
+    #[test]
+    fn int_ring_laws(a in arb_int(), b in arb_int(), c in arb_int()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&(&a - &b) + &b, a.clone());
+        prop_assert_eq!(&a + &(-&a), Int::zero());
+    }
+
+    #[test]
+    fn int_rem_euclid_in_range(a in arb_int(), m in arb_nonzero_nat()) {
+        let r = a.rem_euclid(&m);
+        prop_assert!(r < m);
+    }
+
+    #[test]
+    fn int_div_rem_euclid_identity(a in arb_int(), m in arb_nonzero_nat()) {
+        let (q, r) = a.div_rem_euclid(&m);
+        prop_assert!(r < m);
+        let rebuilt = &(&q * &Int::from_nat(m)) + &Int::from_nat(r);
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn ordering_total(a in arb_nat(), b in arb_nat()) {
+        use core::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert!(b > a),
+            Ordering::Greater => prop_assert!(a > b),
+            Ordering::Equal => prop_assert_eq!(a, b),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! m-of-n availability analysis (§3.3, experiment E6).
+//!
+//! > "Since only m out of the total n domains need to be on-line for
+//! > application of joint signatures, threshold sharing increases domain
+//! > availability as up to (n-m) domains can be down for maintenance or
+//! > error recovery."
+//!
+//! [`analytic`] computes the binomial probability that a joint signature
+//! can be formed; [`monte_carlo`] estimates the same by sampling; and
+//! [`sweep`] produces the table benchmarked in E6.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// P[at least `m` of `n` domains are up], each up independently with
+/// probability `p_up`.
+///
+/// ```
+/// use jaap_coalition::availability::analytic;
+///
+/// // §3.3: a 2-of-3 threshold beats requiring all three domains.
+/// assert!(analytic(3, 2, 0.9) > analytic(3, 3, 0.9));
+/// assert!((analytic(3, 3, 0.9) - 0.729).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `1 <= m <= n` and `0 <= p_up <= 1`.
+#[must_use]
+pub fn analytic(n: usize, m: usize, p_up: f64) -> f64 {
+    assert!(m >= 1 && m <= n, "need 1 <= m <= n");
+    assert!((0.0..=1.0).contains(&p_up), "p_up must be a probability");
+    (m..=n).map(|k| binom_pmf(n, k, p_up)).sum()
+}
+
+fn binom_pmf(n: usize, k: usize, p: f64) -> f64 {
+    binom_coeff(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+fn binom_coeff(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Monte-Carlo estimate of the same probability.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (see [`analytic`]) or `trials == 0`.
+#[must_use]
+pub fn monte_carlo(n: usize, m: usize, p_up: f64, trials: u64, seed: u64) -> f64 {
+    assert!(m >= 1 && m <= n, "need 1 <= m <= n");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        let up = (0..n)
+            .filter(|_| {
+                let roll = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                roll < p_up
+            })
+            .count();
+        if up >= m {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// One row of the availability table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityPoint {
+    /// Total domains.
+    pub n: usize,
+    /// Signing threshold.
+    pub m: usize,
+    /// Per-domain availability.
+    pub p_up: f64,
+    /// Analytic joint-signature availability.
+    pub analytic: f64,
+    /// Monte-Carlo estimate.
+    pub monte_carlo: f64,
+}
+
+/// Sweeps `(n, m)` pairs over per-domain availabilities, comparing n-of-n
+/// (the paper's base scheme) to majority thresholds.
+#[must_use]
+pub fn sweep(ns: &[usize], p_ups: &[f64], trials: u64, seed: u64) -> Vec<AvailabilityPoint> {
+    let mut out = Vec::new();
+    for &n in ns {
+        let majority = n / 2 + 1;
+        for &m in &[n, majority] {
+            for &p_up in p_ups {
+                out.push(AvailabilityPoint {
+                    n,
+                    m,
+                    p_up,
+                    analytic: analytic(n, m, p_up),
+                    monte_carlo: monte_carlo(n, m, p_up, trials, seed ^ (n as u64) << 8 | m as u64),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert!((analytic(3, 3, 1.0) - 1.0).abs() < 1e-12);
+        assert!(analytic(3, 3, 0.0).abs() < 1e-12);
+        assert!((analytic(3, 1, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_binomial_values() {
+        // P[all 3 up | p=0.9] = 0.729
+        assert!((analytic(3, 3, 0.9) - 0.729).abs() < 1e-12);
+        // P[>=2 of 3 | p=0.9] = 0.972
+        assert!((analytic(3, 2, 0.9) - 0.972).abs() < 1e-12);
+        // P[>=1 of 3 | p=0.5] = 0.875
+        assert!((analytic(3, 1, 0.5) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_dominates_n_of_n() {
+        // The paper's §3.3 claim: m-of-n availability ≥ n-of-n.
+        for n in [3usize, 5, 7, 9] {
+            for p in [0.5, 0.9, 0.99] {
+                let m = n / 2 + 1;
+                assert!(
+                    analytic(n, m, p) >= analytic(n, n, p),
+                    "m-of-n must not lose to n-of-n"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n_of_n_availability_degrades_with_n() {
+        // Adding domains *hurts* availability under n-of-n — the cost of
+        // requiring everyone.
+        let p = 0.95;
+        assert!(analytic(3, 3, p) > analytic(5, 5, p));
+        assert!(analytic(5, 5, p) > analytic(9, 9, p));
+    }
+
+    #[test]
+    fn monte_carlo_close_to_analytic() {
+        for (n, m, p) in [(3, 2, 0.9), (5, 3, 0.8), (7, 7, 0.95)] {
+            let a = analytic(n, m, p);
+            let mc = monte_carlo(n, m, p, 60_000, 42);
+            assert!(
+                (a - mc).abs() < 0.01,
+                "n={n} m={m} p={p}: analytic {a}, mc {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let points = sweep(&[3, 5], &[0.9, 0.99], 2_000, 7);
+        // 2 n-values × 2 m-values × 2 p-values.
+        assert_eq!(points.len(), 8);
+        assert!(points.iter().all(|p| (0.0..=1.0).contains(&p.analytic)));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m <= n")]
+    fn zero_threshold_panics() {
+        let _ = analytic(3, 0, 0.5);
+    }
+}

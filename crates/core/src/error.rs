@@ -1,0 +1,44 @@
+//! Error type for the logic engine.
+
+use core::fmt;
+
+/// Errors raised by the derivation engine and authorization protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A received message did not have the expected shape (e.g. an identity
+    /// certificate whose payload is not a key-ownership formula).
+    MalformedMessage(String),
+    /// No trust assumption covers the needed jurisdiction step.
+    NoJurisdiction(String),
+    /// A freshness check failed (timestamp outside the acceptance window).
+    Stale(String),
+    /// The goal could not be derived from the current beliefs.
+    NotDerivable(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::MalformedMessage(m) => write!(f, "malformed message: {m}"),
+            LogicError::NoJurisdiction(m) => write!(f, "no jurisdiction: {m}"),
+            LogicError::Stale(m) => write!(f, "stale message: {m}"),
+            LogicError::NotDerivable(m) => write!(f, "not derivable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            LogicError::Stale("t too old".into()).to_string(),
+            "stale message: t too old"
+        );
+        assert!(LogicError::NotDerivable("g".into()).to_string().starts_with("not derivable"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Compile-level checks that the optional `serde` feature provides
+//! `Serialize`/`Deserialize` for the data types (guideline C-SERDE).
+//!
+//! Run with `cargo test -p jaap-core --features serde`.
+
+#![cfg(feature = "serde")]
+
+use jaap_core::axioms::Axiom;
+use jaap_core::certs::Validity;
+use jaap_core::syntax::{Formula, GroupId, KeyId, Message, PrincipalId, Subject, Time, TimeRef};
+use jaap_core::{Derivation, Rule};
+
+fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+#[test]
+fn all_data_types_are_serde() {
+    assert_serde::<Time>();
+    assert_serde::<TimeRef>();
+    assert_serde::<PrincipalId>();
+    assert_serde::<KeyId>();
+    assert_serde::<GroupId>();
+    assert_serde::<Subject>();
+    assert_serde::<Message>();
+    assert_serde::<Formula>();
+    assert_serde::<Validity>();
+    assert_serde::<Axiom>();
+    assert_serde::<Rule>();
+    assert_serde::<Derivation>();
+}

@@ -1,0 +1,370 @@
+//! Soundness reproduction (paper Appendix D, experiment E12).
+//!
+//! The paper proves: every axiom schema is valid on all worlds of the model
+//! of computation, hence any derivation yields truths. We reproduce the
+//! theorem empirically: generate random **legal runs** (Appendix C), then
+//! check every instantiation of the axiom schemas over the run's finite
+//! universe — exactly the schemas whose validity the paper's proof details
+//! (A10 and the access-control axioms A24–A38), plus the structural axioms
+//! they lean on (A8, A12, A15–A20, A22).
+
+use jaap_core::semantics::{Model, RunBuilder};
+use jaap_core::syntax::{Formula, GroupId, KeyId, Message, Subject, Time, TimeRef};
+use proptest::prelude::*;
+
+const HORIZON: i64 = 16;
+
+/// Configuration of a randomly generated run.
+#[derive(Debug, Clone)]
+struct RunSpec {
+    /// (sender, receiver, key index or None, payload index, time, delivered)
+    sends: Vec<(usize, usize, Option<usize>, usize, i64, bool)>,
+    /// Which principal holds each key (a second holder models key theft).
+    key_holders: Vec<(usize, Option<usize>)>,
+    /// For each signed payload index, does the group echo it (same tick)?
+    group_echoes: Vec<bool>,
+}
+
+const PRINCIPALS: [&str; 4] = ["U1", "U2", "U3", "CA"];
+const PAYLOADS: [&str; 3] = ["write O", "read O", "policy update"];
+
+fn principal(i: usize) -> Subject {
+    Subject::principal(PRINCIPALS[i % PRINCIPALS.len()])
+}
+
+fn key(i: usize) -> KeyId {
+    KeyId::new(format!("K{i}"))
+}
+
+fn payload(i: usize) -> Message {
+    Message::data(PAYLOADS[i % PAYLOADS.len()])
+}
+
+fn arb_spec() -> impl Strategy<Value = RunSpec> {
+    let send = (
+        0..PRINCIPALS.len(),
+        0..PRINCIPALS.len(),
+        proptest::option::of(0usize..3),
+        0..PAYLOADS.len(),
+        1i64..HORIZON - 2,
+        proptest::bool::weighted(0.9),
+    );
+    (
+        proptest::collection::vec(send, 1..12),
+        proptest::collection::vec((0..PRINCIPALS.len(), proptest::option::of(0..PRINCIPALS.len())), 3),
+        proptest::collection::vec(any::<bool>(), PAYLOADS.len()),
+    )
+        .prop_map(|(sends, key_holders, group_echoes)| RunSpec {
+            sends,
+            key_holders,
+            group_echoes,
+        })
+}
+
+fn build_model(spec: &RunSpec) -> Model {
+    let mut b = RunBuilder::new();
+    for p in PRINCIPALS {
+        b.party(Subject::principal(p), 0);
+    }
+    let group = Subject::principal("G");
+    b.party(group.clone(), 0);
+    let server = Subject::principal("P");
+    b.party(server.clone(), 0);
+
+    for (ki, (holder, thief)) in spec.key_holders.iter().enumerate() {
+        b.give_key(&principal(*holder), key(ki), Time(0));
+        if let Some(t) = thief {
+            b.give_key(&principal(*t), key(ki), Time(0));
+        }
+    }
+
+    for (from, to, key_idx, pay_idx, t, delivered) in &spec.sends {
+        let sender = principal(*from);
+        let recipient = if from == to { server.clone() } else { principal(*to) };
+        // Senders only sign with keys they hold (legal runs don't forge).
+        let msg = match key_idx {
+            Some(ki) if spec.key_holders.get(*ki).is_some_and(|(h, thief)| {
+                principal(*h) == sender || thief.is_some_and(|th| principal(th) == sender)
+            }) =>
+            {
+                payload(*pay_idx).signed(key(*ki))
+            }
+            _ => payload(*pay_idx),
+        };
+        if *delivered {
+            b.deliver(&sender, &recipient, msg.clone(), Time(*t), 1);
+        } else {
+            b.send_lost(&sender, &recipient, msg.clone(), Time(*t));
+        }
+        // Group echo: when enabled for this payload, the group says the
+        // payload at the same tick (used to make memberships true).
+        if spec.group_echoes.get(*pay_idx).copied().unwrap_or(false) {
+            b.send_lost(&group, &server, payload(*pay_idx), Time(*t));
+            if msg.as_signed().is_some() {
+                b.send_lost(&group, &server, msg, Time(*t));
+            }
+        }
+    }
+    Model::new(b.build())
+}
+
+fn all_times() -> impl Iterator<Item = Time> {
+    (0..HORIZON).map(Time)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated runs satisfy the legality conditions of Appendix C.
+    #[test]
+    fn generated_runs_are_legal(spec in arb_spec()) {
+        let model = build_model(&spec);
+        prop_assert!(model.run().is_legal());
+    }
+
+    /// A10 (originator identification): K ⇒_{t,Q} S ∧ Q received_t ⟨X⟩_{K⁻¹}
+    /// ⊃ S said_t X — for every key, observer, owner candidate, payload and
+    /// time in the run.
+    #[test]
+    fn a10_originator_identification(spec in arb_spec()) {
+        let model = build_model(&spec);
+        for t in all_times() {
+            for ki in 0..3 {
+                for owner in 0..PRINCIPALS.len() {
+                    for q in 0..PRINCIPALS.len() {
+                        for pi in 0..PAYLOADS.len() {
+                            let signed = payload(pi).signed(key(ki));
+                            let observer = principal(q);
+                            let obs_id = observer.principal_id().expect("single").clone();
+                            let antecedent = Formula::and(
+                                Formula::KeySpeaksFor {
+                                    key: key(ki),
+                                    when: TimeRef::At(t),
+                                    relative_to: Some(obs_id),
+                                    subject: principal(owner),
+                                },
+                                Formula::received(observer, t, signed.clone()),
+                            );
+                            let consequent = Formula::and(
+                                Formula::said(principal(owner), t, payload(pi)),
+                                Formula::said(principal(owner), t, signed),
+                            );
+                            prop_assert!(
+                                model.eval(t, &Formula::implies(antecedent, consequent)),
+                                "A10 failed: key K{ki}, owner {owner}, observer {q}, t {t}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A12: P received_t ⟨X⟩_{K⁻¹} ⊃ P received_t X.
+    #[test]
+    fn a12_received_unwraps_signatures(spec in arb_spec()) {
+        let model = build_model(&spec);
+        for t in all_times() {
+            for p in 0..PRINCIPALS.len() {
+                for ki in 0..3 {
+                    for pi in 0..PAYLOADS.len() {
+                        let f = Formula::implies(
+                            Formula::received(principal(p), t, payload(pi).signed(key(ki))),
+                            Formula::received(principal(p), t, payload(pi)),
+                        );
+                        prop_assert!(model.eval(t, &f));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A17/A18/A20: said/says of a signed message implies said/says of the
+    /// payload; says implies said.
+    #[test]
+    fn a17_a18_a20_saying(spec in arb_spec()) {
+        let model = build_model(&spec);
+        for t in all_times() {
+            for p in 0..PRINCIPALS.len() {
+                for ki in 0..3 {
+                    for pi in 0..PAYLOADS.len() {
+                        let signed = payload(pi).signed(key(ki));
+                        let a17 = Formula::implies(
+                            Formula::said(principal(p), t, signed.clone()),
+                            Formula::said(principal(p), t, payload(pi)),
+                        );
+                        let a18 = Formula::implies(
+                            Formula::says(principal(p), t, signed.clone()),
+                            Formula::says(principal(p), t, payload(pi)),
+                        );
+                        let a20 = Formula::implies(
+                            Formula::says(principal(p), t, signed.clone()),
+                            Formula::said(principal(p), t, signed),
+                        );
+                        prop_assert!(model.eval(t, &a17), "A17 failed");
+                        prop_assert!(model.eval(t, &a18), "A18 failed");
+                        prop_assert!(model.eval(t, &a20), "A20 failed");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A19: P said_t X ⊃ ∃t' >= t (within the horizon)… evaluated in its
+    /// contrapositive-free finite form: said at t implies says at some
+    /// t'' <= t, hence Within(0, t) says.
+    #[test]
+    fn a19_said_has_a_witness(spec in arb_spec()) {
+        let model = build_model(&spec);
+        for t in all_times() {
+            for p in 0..PRINCIPALS.len() {
+                for pi in 0..PAYLOADS.len() {
+                    let f = Formula::implies(
+                        Formula::said(principal(p), t, payload(pi)),
+                        Formula::Says(principal(p), TimeRef::Within(Time(0), t), payload(pi)),
+                    );
+                    prop_assert!(model.eval(t, &f));
+                }
+            }
+        }
+    }
+
+    /// A8 monotonicity: received/said persist forward in time.
+    #[test]
+    fn a8_monotonicity(spec in arb_spec()) {
+        let model = build_model(&spec);
+        for t in all_times() {
+            let t_next = t.plus(1);
+            for p in 0..PRINCIPALS.len() {
+                for pi in 0..PAYLOADS.len() {
+                    let recv = Formula::implies(
+                        Formula::received(principal(p), t, payload(pi)),
+                        Formula::received(principal(p), t_next, payload(pi)),
+                    );
+                    let said = Formula::implies(
+                        Formula::said(principal(p), t, payload(pi)),
+                        Formula::said(principal(p), t_next, payload(pi)),
+                    );
+                    prop_assert!(model.eval(t_next, &recv), "A8a failed");
+                    prop_assert!(model.eval(t_next, &said), "A8b failed");
+                }
+            }
+        }
+    }
+
+    /// A8d: freshness persists backward: fresh_t X ∧ t' <= t ⊃ fresh_{t'} X.
+    #[test]
+    fn a8d_freshness_backward(spec in arb_spec()) {
+        let model = build_model(&spec);
+        let observer = Subject::principal("P");
+        for t in all_times().skip(1) {
+            let earlier = Time(t.0 - 1);
+            for pi in 0..PAYLOADS.len() {
+                let f = Formula::implies(
+                    Formula::Fresh { observer: observer.clone(), when: TimeRef::At(t), msg: payload(pi) },
+                    Formula::Fresh { observer: observer.clone(), when: TimeRef::At(earlier), msg: payload(pi) },
+                );
+                prop_assert!(model.eval(t, &f));
+            }
+        }
+    }
+
+    /// A34/A36: S ⇒ G ∧ S says_t X ⊃ G says_t X, for single principals and
+    /// compounds.
+    #[test]
+    fn a34_a36_group_speaks_for(spec in arb_spec()) {
+        let model = build_model(&spec);
+        let g = GroupId::new("G");
+        for t in all_times() {
+            for p in 0..PRINCIPALS.len() {
+                for pi in 0..PAYLOADS.len() {
+                    let f = Formula::implies(
+                        Formula::and(
+                            Formula::member_of(principal(p), t, g.clone()),
+                            Formula::says(principal(p), t, payload(pi)),
+                        ),
+                        Formula::group_says(g.clone(), t, payload(pi)),
+                    );
+                    prop_assert!(model.eval(t, &f), "A34 failed for {p} at {t}");
+                }
+            }
+        }
+    }
+
+    /// A35: Q|K ⇒ G ∧ K ⇒ Q ∧ Q says_t ⟨X⟩_{K⁻¹} ⊃ G says_t X.
+    #[test]
+    fn a35_bound_group_speaks_for(spec in arb_spec()) {
+        let model = build_model(&spec);
+        let g = GroupId::new("G");
+        for t in all_times() {
+            for p in 0..PRINCIPALS.len() {
+                for ki in 0..3 {
+                    for pi in 0..PAYLOADS.len() {
+                        let bound = principal(p).bound(key(ki));
+                        let f = Formula::implies(
+                            Formula::and(
+                                Formula::and(
+                                    Formula::member_of(bound, t, g.clone()),
+                                    Formula::key_speaks_for(key(ki), t, principal(p)),
+                                ),
+                                Formula::says(principal(p), t, payload(pi).signed(key(ki))),
+                            ),
+                            Formula::group_says(g.clone(), t, payload(pi)),
+                        );
+                        prop_assert!(model.eval(t, &f), "A35 failed");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A38: CP_{m,n} ⇒ G ∧ m members sign X at t ⊃ G says_t X.
+    #[test]
+    fn a38_threshold_group_speaks_for(spec in arb_spec()) {
+        let model = build_model(&spec);
+        let g = GroupId::new("G");
+        let members: Vec<Subject> = (0..3).map(|i| principal(i).bound(key(i))).collect();
+        for m in 1..=3usize {
+            let cp = Subject::threshold(members.clone(), m);
+            for t in all_times() {
+                for pi in 0..PAYLOADS.len() {
+                    let mut signer_conj = Formula::member_of(cp.clone(), t, g.clone());
+                    for member in members.iter().take(m) {
+                        let Subject::Bound(inner, k) = member else { unreachable!() };
+                        signer_conj = Formula::and(
+                            signer_conj,
+                            Formula::says((**inner).clone(), t, payload(pi).signed(k.clone())),
+                        );
+                    }
+                    let f = Formula::implies(
+                        signer_conj,
+                        Formula::group_says(g.clone(), t, payload(pi)),
+                    );
+                    prop_assert!(model.eval(t, &f), "A38 failed for m={m} at {t}");
+                }
+            }
+        }
+    }
+
+    /// A22 (jurisdiction): S controls_t φ ∧ S says_t φ ⊃ φ at_S t.
+    #[test]
+    fn a22_jurisdiction(spec in arb_spec()) {
+        let model = build_model(&spec);
+        for t in all_times() {
+            for p in 0..PRINCIPALS.len() {
+                for pi in 0..PAYLOADS.len() {
+                    // φ: some other principal said the payload by now.
+                    let phi = Formula::said(principal((p + 1) % PRINCIPALS.len()), t, payload(pi));
+                    let f = Formula::implies(
+                        Formula::and(
+                            Formula::controls(principal(p), t, phi.clone()),
+                            Formula::says(principal(p), t, Message::formula(phi.clone())),
+                        ),
+                        Formula::at(phi, principal(p), t),
+                    );
+                    prop_assert!(model.eval(t, &f), "A22 failed");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Crypto error type.
+
+use core::fmt;
+
+/// Errors surfaced by key generation and signing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Parameters out of range (too few parties, modulus too small, ...).
+    InvalidParameters(String),
+    /// A multi-party protocol failed (network error, inconsistent views).
+    Protocol(String),
+    /// The message maps to a residue not invertible mod N (vanishing
+    /// probability for honest inputs; would reveal a factor of N).
+    NotInvertible,
+    /// A produced signature failed self-verification.
+    SelfCheckFailed,
+    /// A share set cannot be combined (wrong count, duplicate indices, ...).
+    BadShares(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            CryptoError::Protocol(msg) => write!(f, "protocol failure: {msg}"),
+            CryptoError::NotInvertible => write!(f, "message residue not invertible modulo N"),
+            CryptoError::SelfCheckFailed => write!(f, "signature failed self-verification"),
+            CryptoError::BadShares(msg) => write!(f, "bad share set: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CryptoError::InvalidParameters("n must be >= 2".into());
+        assert_eq!(e.to_string(), "invalid parameters: n must be >= 2");
+        assert!(CryptoError::SelfCheckFailed.to_string().starts_with("signature"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Full-domain hashing: deterministic encoding of a message as a residue
+//! modulo `N`.
+//!
+//! Joint and threshold signatures need every co-signer to exponentiate the
+//! *same* representative of the message, so we use an MGF1-style
+//! counter-expanded SHA-256 full-domain hash truncated to `bit_len(N) - 1`
+//! bits. Conventional [`crate::rsa`] signatures reuse the same encoding so a
+//! verifier does not care which scheme produced a signature.
+
+use jaap_bigint::Nat;
+
+use crate::sha256::Sha256;
+
+/// Domain-separation prefix so FDH outputs can never collide with key ids.
+const DOMAIN: &[u8] = b"jaap-fdh-v1";
+
+/// Encodes `msg` as a natural number in `[2, 2^(bits-1))` where
+/// `bits = modulus.bit_len()`.
+///
+/// The low end is clamped away from `0`/`1` because those fixed points make
+/// degenerate "signatures" (`0^d = 0`, `1^d = 1`).
+///
+/// # Panics
+///
+/// Panics if `modulus` has fewer than 16 bits.
+#[must_use]
+pub fn encode(msg: &[u8], modulus: &Nat) -> Nat {
+    let bits = modulus.bit_len();
+    assert!(bits >= 16, "modulus too small for full-domain hashing");
+    let out_bits = bits - 1;
+    let out_bytes = out_bits.div_ceil(8);
+
+    let mut stream = Vec::with_capacity(out_bytes + 32);
+    let mut counter = 0u32;
+    while stream.len() < out_bytes {
+        let mut h = Sha256::new();
+        h.update(DOMAIN);
+        h.update(&counter.to_be_bytes());
+        h.update(msg);
+        stream.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    stream.truncate(out_bytes);
+
+    let mut value = Nat::from_bytes_be(&stream);
+    // Mask down to exactly out_bits.
+    for i in out_bits..value.bit_len() {
+        value.set_bit(i, false);
+    }
+    if value < Nat::two() {
+        value = Nat::two();
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulus_bits(bits: usize) -> Nat {
+        Nat::one().shl_bits(bits - 1) // any value with that bit length
+    }
+
+    #[test]
+    fn output_strictly_below_half_modulus_bits() {
+        let m = modulus_bits(256);
+        for msg in [&b""[..], b"x", b"a longer message body"] {
+            let e = encode(msg, &m);
+            assert!(e.bit_len() <= 255);
+            assert!(e >= Nat::two());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = modulus_bits(512);
+        assert_eq!(encode(b"msg", &m), encode(b"msg", &m));
+    }
+
+    #[test]
+    fn distinct_messages_distinct_encodings() {
+        let m = modulus_bits(512);
+        assert_ne!(encode(b"msg-a", &m), encode(b"msg-b", &m));
+    }
+
+    #[test]
+    fn counter_expansion_covers_large_moduli() {
+        // 2048-bit modulus needs 8 SHA-256 blocks of stream.
+        let m = modulus_bits(2048);
+        let e = encode(b"big", &m);
+        assert!(e.bit_len() > 1900, "should fill most of the domain");
+    }
+
+    #[test]
+    fn encoding_depends_on_modulus_size_not_value() {
+        let m1 = modulus_bits(256);
+        let m2 = &modulus_bits(256) + &Nat::from(12345u64);
+        assert_eq!(encode(b"m", &m1), encode(b"m", &m2));
+        let m3 = modulus_bits(257);
+        assert_ne!(encode(b"m", &m1), encode(b"m", &m3));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_modulus_panics() {
+        let _ = encode(b"m", &Nat::from(255u64));
+    }
+}

@@ -1,0 +1,403 @@
+//! Conventional RSA key pairs and signatures.
+//!
+//! These are the keys held by individual principals: per-user signing keys,
+//! per-domain CA keys, and the Case I conventional coalition-AA key of §2.2.
+//! Signatures use the shared full-domain-hash encoding from [`crate::fdh`]
+//! so they verify identically to joint/threshold signatures.
+
+use jaap_bigint::{random_prime, Nat};
+use rand::RngCore;
+
+use crate::fdh;
+use crate::sha256::{hex, Sha256};
+use crate::CryptoError;
+
+/// The standard public exponent.
+pub const PUBLIC_EXPONENT: u64 = 65_537;
+
+/// An RSA public key: modulus `N` and exponent `e`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RsaPublicKey {
+    n: Nat,
+    e: Nat,
+}
+
+impl RsaPublicKey {
+    /// Creates a public key from raw components.
+    #[must_use]
+    pub fn new(n: Nat, e: Nat) -> Self {
+        RsaPublicKey { n, e }
+    }
+
+    /// The modulus `N`.
+    #[must_use]
+    pub fn modulus(&self) -> &Nat {
+        &self.n
+    }
+
+    /// The public exponent `e`.
+    #[must_use]
+    pub fn exponent(&self) -> &Nat {
+        &self.e
+    }
+
+    /// The key id: `SHA-256(N || e)` in hex, exactly the "hash of N and the
+    /// public exponent e" the paper uses to identify a shared key (§3.2).
+    #[must_use]
+    pub fn key_id(&self) -> String {
+        let mut h = Sha256::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(b"|");
+        h.update(&self.e.to_bytes_be());
+        hex(&h.finalize())
+    }
+
+    /// Verifies `sig` over `msg`: checks `sig^e mod N == FDH(msg)`.
+    #[must_use]
+    pub fn verify(&self, msg: &[u8], sig: &RsaSignature) -> bool {
+        if sig.s.is_zero() || sig.s >= self.n {
+            return false;
+        }
+        sig.s.modpow(&self.e, &self.n) == fdh::encode(msg, &self.n)
+    }
+}
+
+/// An RSA signature (a residue mod `N`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RsaSignature {
+    pub(crate) s: Nat,
+}
+
+impl RsaSignature {
+    /// Raw signature value.
+    #[must_use]
+    pub fn value(&self) -> &Nat {
+        &self.s
+    }
+
+    /// Builds a signature from a raw residue (used by joint combination).
+    #[must_use]
+    pub fn from_value(s: Nat) -> Self {
+        RsaSignature { s }
+    }
+}
+
+/// An RSA ciphertext: a sequence of residues, one per plaintext block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RsaCiphertext {
+    blocks: Vec<Nat>,
+}
+
+impl RsaCiphertext {
+    /// Number of encrypted blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl RsaPublicKey {
+    /// Encrypts `msg` block-wise: each block is padded with a random prefix
+    /// (so equal plaintexts yield different ciphertexts) and raised to `e`.
+    ///
+    /// This backs the paper's Figure 2(d) response `{Object O}_{K_u3}`. It
+    /// is a simulation-grade scheme (random-prefix padding, not OAEP).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidParameters`] if the modulus is too small to
+    /// carry any payload per block.
+    pub fn encrypt(
+        &self,
+        rng: &mut dyn RngCore,
+        msg: &[u8],
+    ) -> Result<RsaCiphertext, CryptoError> {
+        let modulus_bytes = (self.n.bit_len() - 1) / 8;
+        // Layout per block: 8 random bytes || 1 length byte || payload.
+        if modulus_bytes < 10 {
+            return Err(CryptoError::InvalidParameters(
+                "modulus too small for encryption".into(),
+            ));
+        }
+        let payload_per_block = modulus_bytes - 9;
+        let mut blocks = Vec::new();
+        let chunks: Vec<&[u8]> = if msg.is_empty() {
+            vec![&[][..]]
+        } else {
+            msg.chunks(payload_per_block).collect()
+        };
+        for chunk in chunks {
+            // Fixed-width layout so decryption can re-align after integer
+            // encoding strips leading zeros:
+            // prefix(8) || len(1) || payload || zero fill.
+            let mut block = Vec::with_capacity(modulus_bytes);
+            let mut prefix = [0u8; 8];
+            rng.fill_bytes(&mut prefix);
+            block.extend_from_slice(&prefix);
+            block.push(u8::try_from(chunk.len()).expect("block fits in u8"));
+            block.extend_from_slice(chunk);
+            block.resize(modulus_bytes, 0);
+            let m = Nat::from_bytes_be(&block);
+            blocks.push(m.modpow(&self.e, &self.n));
+        }
+        Ok(RsaCiphertext { blocks })
+    }
+}
+
+impl RsaKeyPair {
+    /// Decrypts a ciphertext produced by [`RsaPublicKey::encrypt`].
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidParameters`] if a block's padding is
+    /// malformed (wrong key or corrupted ciphertext).
+    pub fn decrypt(&self, ct: &RsaCiphertext) -> Result<Vec<u8>, CryptoError> {
+        let modulus_bytes = (self.public.n.bit_len() - 1) / 8;
+        let mut out = Vec::new();
+        for block in &ct.blocks {
+            let m = block.modpow(&self.d, &self.public.n);
+            let bytes = m.to_bytes_be();
+            // Leading zero bytes of the random prefix are stripped by the
+            // integer encoding; re-pad to the block layout.
+            if bytes.len() > modulus_bytes {
+                return Err(CryptoError::InvalidParameters(
+                    "ciphertext block out of range".into(),
+                ));
+            }
+            let mut padded = vec![0u8; modulus_bytes - bytes.len()];
+            padded.extend_from_slice(&bytes);
+            let len = usize::from(padded[8]);
+            if 9 + len > padded.len() {
+                return Err(CryptoError::InvalidParameters(
+                    "malformed padding (wrong key?)".into(),
+                ));
+            }
+            out.extend_from_slice(&padded[9..9 + len]);
+        }
+        Ok(out)
+    }
+}
+
+/// An RSA key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: Nat,
+    p: Nat,
+    q: Nat,
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of (about) `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameters`] if `bits < 32`.
+    pub fn generate(rng: &mut dyn RngCore, bits: usize) -> Result<Self, CryptoError> {
+        if bits < 32 {
+            return Err(CryptoError::InvalidParameters(
+                "modulus must be at least 32 bits".into(),
+            ));
+        }
+        let e = Nat::from(PUBLIC_EXPONENT);
+        loop {
+            let p = random_prime(rng, bits / 2);
+            let q = random_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            let phi = &(&p - &Nat::one()) * &(&q - &Nat::one());
+            let Some(d) = e.modinv(&phi) else {
+                continue; // gcd(e, phi) != 1; rare, retry
+            };
+            return Ok(RsaKeyPair {
+                public: RsaPublicKey::new(n, e),
+                d,
+                p,
+                q,
+            });
+        }
+    }
+
+    /// The public half.
+    #[must_use]
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// The private exponent (exposed for dealer-based share splitting).
+    #[must_use]
+    pub fn private_exponent(&self) -> &Nat {
+        &self.d
+    }
+
+    /// Euler's totient `φ(N) = (p-1)(q-1)`.
+    #[must_use]
+    pub fn phi(&self) -> Nat {
+        &(&self.p - &Nat::one()) * &(&self.q - &Nat::one())
+    }
+
+    /// The prime factors `(p, q)` (needed by the lockbox attack simulation).
+    #[must_use]
+    pub fn factors(&self) -> (&Nat, &Nat) {
+        (&self.p, &self.q)
+    }
+
+    /// Signs `msg`: `FDH(msg)^d mod N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::SelfCheckFailed`] if the produced signature
+    /// does not verify (indicates key corruption).
+    pub fn sign(&self, msg: &[u8]) -> Result<RsaSignature, CryptoError> {
+        let h = fdh::encode(msg, &self.public.n);
+        let sig = RsaSignature {
+            s: h.modpow(&self.d, &self.public.n),
+        };
+        if self.public.verify(msg, &sig) {
+            Ok(sig)
+        } else {
+            Err(CryptoError::SelfCheckFailed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(bits: usize, seed: u64) -> RsaKeyPair {
+        RsaKeyPair::generate(&mut StdRng::seed_from_u64(seed), bits).expect("keygen")
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair(256, 1);
+        let sig = kp.sign(b"hello coalition").expect("sign");
+        assert!(kp.public().verify(b"hello coalition", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let kp = keypair(256, 2);
+        let sig = kp.sign(b"msg-a").expect("sign");
+        assert!(!kp.public().verify(b"msg-b", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let kp1 = keypair(256, 3);
+        let kp2 = keypair(256, 4);
+        let sig = kp1.sign(b"msg").expect("sign");
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let kp = keypair(256, 5);
+        let sig = kp.sign(b"msg").expect("sign");
+        let tampered = RsaSignature::from_value(sig.value() + &Nat::one());
+        assert!(!kp.public().verify(b"msg", &tampered));
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_values() {
+        let kp = keypair(256, 6);
+        assert!(!kp.public().verify(b"m", &RsaSignature::from_value(Nat::zero())));
+        let too_big = RsaSignature::from_value(kp.public().modulus().clone());
+        assert!(!kp.public().verify(b"m", &too_big));
+    }
+
+    #[test]
+    fn modulus_size_approximately_requested() {
+        let kp = keypair(256, 7);
+        let bits = kp.public().modulus().bit_len();
+        assert!((255..=256).contains(&bits), "got {bits}");
+    }
+
+    #[test]
+    fn phi_and_factors_consistent() {
+        let kp = keypair(128, 8);
+        let (p, q) = kp.factors();
+        assert_eq!(&(p * q), kp.public().modulus());
+        let phi = kp.phi();
+        // e*d = 1 mod phi
+        let ed = kp.public().exponent() * kp.private_exponent();
+        assert!(ed.rem_nat(&phi).is_one());
+    }
+
+    #[test]
+    fn key_id_stable_and_distinct() {
+        let kp1 = keypair(128, 9);
+        let kp2 = keypair(128, 10);
+        assert_eq!(kp1.public().key_id(), kp1.public().key_id());
+        assert_ne!(kp1.public().key_id(), kp2.public().key_id());
+        assert_eq!(kp1.public().key_id().len(), 64);
+    }
+
+    #[test]
+    fn tiny_modulus_rejected() {
+        let err = RsaKeyPair::generate(&mut StdRng::seed_from_u64(0), 16).unwrap_err();
+        assert!(matches!(err, CryptoError::InvalidParameters(_)));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = keypair(256, 20);
+        let mut rng = StdRng::seed_from_u64(21);
+        for msg in [
+            &b""[..],
+            b"x",
+            b"the gene sequence for the disease",
+            &[0u8; 200],
+        ] {
+            let ct = kp.public().encrypt(&mut rng, msg).expect("encrypt");
+            assert_eq!(kp.decrypt(&ct).expect("decrypt"), msg);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let kp = keypair(256, 22);
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = kp.public().encrypt(&mut rng, b"same").expect("a");
+        let b = kp.public().encrypt(&mut rng, b"same").expect("b");
+        assert_ne!(a, b, "random prefixes must differ");
+        assert_eq!(kp.decrypt(&a).expect("a"), kp.decrypt(&b).expect("b"));
+    }
+
+    #[test]
+    fn decrypt_with_wrong_key_fails_or_garbles() {
+        let kp1 = keypair(256, 24);
+        let kp2 = keypair(256, 25);
+        let mut rng = StdRng::seed_from_u64(26);
+        let ct = kp1.public().encrypt(&mut rng, b"secret data").expect("encrypt");
+        match kp2.decrypt(&ct) {
+            Err(_) => {}
+            Ok(garbled) => assert_ne!(garbled, b"secret data"),
+        }
+    }
+
+    #[test]
+    fn long_messages_span_blocks() {
+        let kp = keypair(192, 27);
+        let mut rng = StdRng::seed_from_u64(28);
+        let msg = vec![0xabu8; 300];
+        let ct = kp.public().encrypt(&mut rng, &msg).expect("encrypt");
+        assert!(ct.block_count() > 1);
+        assert_eq!(kp.decrypt(&ct).expect("decrypt"), msg);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = keypair(128, 11);
+        let b = keypair(128, 11);
+        assert_eq!(a.public(), b.public());
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-party network endpoints.
+
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::fault::Fate;
+use crate::network::Shared;
+use crate::transcript::{TranscriptEntry, TranscriptEvent};
+use crate::PartyId;
+
+/// A message in flight: payload plus routing metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: PartyId,
+    /// Recipient.
+    pub to: PartyId,
+    /// Global send sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Errors surfaced by endpoint operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The recipient id is not on this network.
+    UnknownParty(PartyId),
+    /// A party cannot send to itself.
+    SelfSend,
+    /// The peer endpoint was dropped (its channel is disconnected).
+    Disconnected,
+    /// `recv_timeout` expired with no message.
+    Timeout,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::UnknownParty(p) => write!(f, "unknown party {p}"),
+            NetError::SelfSend => write!(f, "a party cannot send to itself"),
+            NetError::Disconnected => write!(f, "peer endpoint disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One party's handle onto the simulated network.
+///
+/// Receiving is either in arrival order ([`Endpoint::recv`]) or per-sender
+/// ([`Endpoint::recv_from`]); the latter buffers messages from other senders
+/// so protocols can be written in direct style.
+pub struct Endpoint<M> {
+    id: PartyId,
+    n: usize,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    pending: Vec<VecDeque<Envelope<M>>>,
+    shared: Arc<Shared>,
+}
+
+impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
+    pub(crate) fn new(
+        id: usize,
+        n: usize,
+        senders: Vec<Sender<Envelope<M>>>,
+        receiver: Receiver<Envelope<M>>,
+        shared: Arc<Shared>,
+    ) -> Self {
+        Endpoint {
+            id: PartyId(id),
+            n,
+            senders,
+            receiver,
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            shared,
+        }
+    }
+
+    /// This endpoint's party id.
+    #[must_use]
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// Total number of parties on the network.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sends `payload` to party `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::SelfSend`] when `to == self.id()`,
+    /// [`NetError::UnknownParty`] for an out-of-range id, and
+    /// [`NetError::Disconnected`] if the peer's endpoint has been dropped.
+    /// A message consumed by the fault plan still returns `Ok(())` — the
+    /// sender cannot tell (that is the point of the environment adversary).
+    pub fn send(&self, to: PartyId, payload: M) -> Result<(), NetError> {
+        if to == self.id {
+            return Err(NetError::SelfSend);
+        }
+        let Some(sender) = self.senders.get(to.0) else {
+            return Err(NetError::UnknownParty(to));
+        };
+        let seq = {
+            let mut seq = self.shared.seq.lock();
+            let cur = *seq;
+            *seq += 1;
+            cur
+        };
+        self.shared.stats.lock().messages_sent += 1;
+        let fate = self.shared.faults.lock().decide();
+        let env = Envelope {
+            from: self.id,
+            to,
+            seq,
+            payload,
+        };
+        if self.shared.record_transcript {
+            self.shared.transcript.lock().push(TranscriptEntry {
+                seq,
+                from: self.id,
+                to,
+                payload: format!("{:?}", env.payload),
+                event: match fate {
+                    Fate::Deliver => TranscriptEvent::Delivered,
+                    Fate::Drop => TranscriptEvent::Dropped,
+                    Fate::Duplicate => TranscriptEvent::Duplicated,
+                },
+            });
+        }
+        match fate {
+            Fate::Drop => {
+                self.shared.stats.lock().messages_dropped += 1;
+                Ok(())
+            }
+            Fate::Deliver => {
+                self.shared.stats.lock().messages_delivered += 1;
+                sender.send(env).map_err(|_| NetError::Disconnected)
+            }
+            Fate::Duplicate => {
+                {
+                    let mut stats = self.shared.stats.lock();
+                    stats.messages_duplicated += 1;
+                    stats.messages_delivered += 2;
+                }
+                sender
+                    .send(env.clone())
+                    .and_then(|()| sender.send(env))
+                    .map_err(|_| NetError::Disconnected)
+            }
+        }
+    }
+
+    /// Sends `payload` to every other party.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first delivery error; earlier sends are not rolled back.
+    pub fn broadcast(&self, payload: M) -> Result<(), NetError> {
+        for i in 0..self.n {
+            if i != self.id.0 {
+                self.send(PartyId(i), payload.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives the next message in arrival order, blocking. Messages
+    /// previously buffered by [`Endpoint::recv_from`] are returned first in
+    /// sender-id order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if all senders are gone.
+    pub fn recv(&mut self) -> Result<Envelope<M>, NetError> {
+        for q in &mut self.pending {
+            if let Some(env) = q.pop_front() {
+                return Ok(env);
+            }
+        }
+        self.receiver.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Like [`Endpoint::recv`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if nothing arrives in `dur`;
+    /// [`NetError::Disconnected`] if all senders are gone.
+    pub fn recv_timeout(&mut self, dur: Duration) -> Result<Envelope<M>, NetError> {
+        for q in &mut self.pending {
+            if let Some(env) = q.pop_front() {
+                return Ok(env);
+            }
+        }
+        self.receiver.recv_timeout(dur).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Receives the next message *from a specific sender*, buffering
+    /// out-of-order messages from other senders for later delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] for an out-of-range id;
+    /// [`NetError::Disconnected`] if the channel closes first.
+    pub fn recv_from(&mut self, from: PartyId) -> Result<M, NetError> {
+        if from.0 >= self.n {
+            return Err(NetError::UnknownParty(from));
+        }
+        if let Some(env) = self.pending[from.0].pop_front() {
+            return Ok(env.payload);
+        }
+        loop {
+            let env = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
+            if env.from == from {
+                return Ok(env.payload);
+            }
+            self.pending[env.from.0].push_back(env);
+        }
+    }
+
+    /// Receives exactly one message from every other party, returning
+    /// payloads indexed by sender (position `self.id()` is `None`).
+    ///
+    /// This is the synchronisation point between protocol rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Endpoint::recv_from`] errors.
+    pub fn gather_round(&mut self) -> Result<Vec<Option<M>>, NetError> {
+        let me = self.id.0;
+        let mut out: Vec<Option<M>> = (0..self.n).map(|_| None).collect();
+        for i in (0..self.n).filter(|&i| i != me) {
+            out[i] = Some(self.recv_from(PartyId(i))?);
+        }
+        Ok(out)
+    }
+}
+
+impl<M> core::fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::run_parties;
+
+    #[test]
+    fn self_send_rejected() {
+        let (mut eps, _h) = Network::<u8>::mesh(2);
+        let ep = eps.remove(0);
+        assert_eq!(ep.send(PartyId(0), 1), Err(NetError::SelfSend));
+    }
+
+    #[test]
+    fn unknown_party_rejected() {
+        let (mut eps, _h) = Network::<u8>::mesh(2);
+        let ep = eps.remove(0);
+        assert_eq!(ep.send(PartyId(9), 1), Err(NetError::UnknownParty(PartyId(9))));
+    }
+
+    #[test]
+    fn recv_from_buffers_other_senders() {
+        let (eps, _h) = Network::<u32>::mesh(3);
+        let results = run_parties(eps, |mut ep| match ep.id().0 {
+            0 => {
+                // Receive specifically from 2 first, then from 1, regardless
+                // of arrival order.
+                let from2 = ep.recv_from(PartyId(2)).expect("from 2");
+                let from1 = ep.recv_from(PartyId(1)).expect("from 1");
+                vec![from2, from1]
+            }
+            me => {
+                ep.send(PartyId(0), me as u32 * 10).expect("send");
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![20, 10]);
+    }
+
+    #[test]
+    fn gather_round_collects_all_peers() {
+        let (eps, _h) = Network::<usize>::mesh(4);
+        let results = run_parties(eps, |mut ep| {
+            ep.broadcast(ep.id().0).expect("broadcast");
+            ep.gather_round().expect("gather")
+        });
+        for (me, row) in results.iter().enumerate() {
+            for (i, slot) in row.iter().enumerate() {
+                if i == me {
+                    assert!(slot.is_none());
+                } else {
+                    assert_eq!(*slot, Some(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recv_drains_pending_before_channel() {
+        let (eps, _h) = Network::<u32>::mesh(3);
+        let results = run_parties(eps, |mut ep| match ep.id().0 {
+            0 => {
+                // Force buffering: wait for 2 first even though 1 may arrive.
+                let _ = ep.recv_from(PartyId(2)).expect("from 2");
+                // Now recv() must surface the buffered message from 1.
+                let env = ep.recv().expect("recv");
+                Some((env.from, env.payload))
+            }
+            1 => {
+                ep.send(PartyId(0), 111).expect("send");
+                None
+            }
+            _ => {
+                // Give party 1 a head start so its message is buffered.
+                std::thread::sleep(Duration::from_millis(20));
+                ep.send(PartyId(0), 222).expect("send");
+                None
+            }
+        });
+        assert_eq!(results[0], Some((PartyId(1), 111)));
+    }
+
+    #[test]
+    fn timeout_on_silence() {
+        let (mut eps, _h) = Network::<u8>::mesh(2);
+        let mut ep = eps.remove(0);
+        assert_eq!(
+            ep.recv_timeout(Duration::from_millis(10)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NetError::SelfSend.to_string(), "a party cannot send to itself");
+        assert!(NetError::UnknownParty(PartyId(3)).to_string().contains("party#3"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Fault-injection policy applied on the send path.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// What the simulated environment does to messages in flight.
+///
+/// Probabilities are evaluated independently per message with a deterministic
+/// seeded RNG, so a failing test can be replayed exactly.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability in `[0, 1]` that a delivered message is delivered twice
+    /// (a replay, in the paper's threat vocabulary).
+    pub duplicate_prob: f64,
+    /// Seed for the fault RNG.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A reliable network: nothing is dropped or replayed.
+    #[must_use]
+    pub fn reliable() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns `true` if the plan can never interfere with delivery.
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        self.drop_prob == 0.0 && self.duplicate_prob == 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::reliable()
+    }
+}
+
+/// Per-message fate decided by the fault RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fate {
+    Deliver,
+    Drop,
+    Duplicate,
+}
+
+pub(crate) struct FaultRng {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultRng {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultRng { plan, rng }
+    }
+
+    pub(crate) fn decide(&mut self) -> Fate {
+        if self.plan.is_reliable() {
+            return Fate::Deliver;
+        }
+        let roll = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if roll < self.plan.drop_prob {
+            Fate::Drop
+        } else if roll < self.plan.drop_prob + self.plan.duplicate_prob {
+            Fate::Duplicate
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_plan_always_delivers() {
+        let mut rng = FaultRng::new(FaultPlan::reliable());
+        for _ in 0..100 {
+            assert_eq!(rng.decide(), Fate::Deliver);
+        }
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let mut rng = FaultRng::new(FaultPlan {
+            drop_prob: 1.0,
+            duplicate_prob: 0.0,
+            seed: 3,
+        });
+        for _ in 0..100 {
+            assert_eq!(rng.decide(), Fate::Drop);
+        }
+    }
+
+    #[test]
+    fn duplicate_probability_one_always_duplicates() {
+        let mut rng = FaultRng::new(FaultPlan {
+            drop_prob: 0.0,
+            duplicate_prob: 1.0,
+            seed: 3,
+        });
+        for _ in 0..100 {
+            assert_eq!(rng.decide(), Fate::Duplicate);
+        }
+    }
+
+    #[test]
+    fn mixed_plan_produces_all_fates_deterministically() {
+        let plan = FaultPlan {
+            drop_prob: 0.3,
+            duplicate_prob: 0.3,
+            seed: 42,
+        };
+        let fates: Vec<Fate> = {
+            let mut rng = FaultRng::new(plan.clone());
+            (0..200).map(|_| rng.decide()).collect()
+        };
+        assert!(fates.contains(&Fate::Deliver));
+        assert!(fates.contains(&Fate::Drop));
+        assert!(fates.contains(&Fate::Duplicate));
+        // Same seed, same fates.
+        let mut rng2 = FaultRng::new(plan);
+        let fates2: Vec<Fate> = (0..200).map(|_| rng2.decide()).collect();
+        assert_eq!(fates, fates2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Network construction and the party-thread harness.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use crossbeam_channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::endpoint::{Endpoint, Envelope};
+use crate::fault::{FaultPlan, FaultRng};
+use crate::transcript::TranscriptEntry;
+
+/// Aggregate statistics for a network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to `send`/`broadcast` (before faults).
+    pub messages_sent: u64,
+    /// Messages actually delivered (a duplicate counts twice).
+    pub messages_delivered: u64,
+    /// Messages dropped by the fault plan.
+    pub messages_dropped: u64,
+    /// Messages delivered twice.
+    pub messages_duplicated: u64,
+}
+
+pub(crate) struct Shared {
+    pub(crate) seq: Mutex<u64>,
+    pub(crate) stats: Mutex<NetworkStats>,
+    pub(crate) transcript: Mutex<Vec<TranscriptEntry>>,
+    pub(crate) faults: Mutex<FaultRng>,
+    pub(crate) record_transcript: bool,
+}
+
+/// Constructor namespace for simulated networks; see [`Network::mesh`].
+#[derive(Debug)]
+pub struct Network<M> {
+    _marker: core::marker::PhantomData<M>,
+}
+
+/// Inspection handle held by the test/bench harness while parties run.
+#[derive(Clone)]
+pub struct NetworkHandle {
+    shared: Arc<Shared>,
+}
+
+impl NetworkHandle {
+    /// Snapshot of the statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Snapshot of the transcript so far (empty unless recording was enabled
+    /// via [`Network::mesh_with`]).
+    #[must_use]
+    pub fn transcript(&self) -> Vec<TranscriptEntry> {
+        self.shared.transcript.lock().clone()
+    }
+}
+
+impl core::fmt::Debug for NetworkHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NetworkHandle")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<M: Clone + Debug + Send + 'static> Network<M> {
+    /// Builds a reliable fully connected mesh of `n` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn mesh(n: usize) -> (Vec<Endpoint<M>>, NetworkHandle) {
+        Self::mesh_with(n, FaultPlan::reliable(), false)
+    }
+
+    /// Builds a mesh with a fault plan and optional transcript recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn mesh_with(
+        n: usize,
+        faults: FaultPlan,
+        record_transcript: bool,
+    ) -> (Vec<Endpoint<M>>, NetworkHandle) {
+        assert!(n > 0, "a network needs at least one party");
+        let shared = Arc::new(Shared {
+            seq: Mutex::new(0),
+            stats: Mutex::new(NetworkStats::default()),
+            transcript: Mutex::new(Vec::new()),
+            faults: Mutex::new(FaultRng::new(faults)),
+            record_transcript,
+        });
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| Endpoint::new(i, n, senders.clone(), rx, Arc::clone(&shared)))
+            .collect();
+        (endpoints, NetworkHandle { shared })
+    }
+}
+
+/// Runs one closure per endpoint on scoped threads, returning results in
+/// party order. This is the standard harness for executing a round of a
+/// multi-party protocol.
+///
+/// # Panics
+///
+/// Propagates any panic from a party thread.
+pub fn run_parties<M, R, F>(endpoints: Vec<Endpoint<M>>, f: F) -> Vec<R>
+where
+    M: Clone + Debug + Send + 'static,
+    R: Send,
+    F: Fn(Endpoint<M>) -> R + Sync,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| scope.spawn(move || f(ep)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("party thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartyId;
+
+    #[test]
+    fn mesh_assigns_dense_ids() {
+        let (eps, _h) = Network::<u32>::mesh(4);
+        let ids: Vec<_> = eps.iter().map(Endpoint::id).collect();
+        assert_eq!(ids, vec![PartyId(0), PartyId(1), PartyId(2), PartyId(3)]);
+        assert!(eps.iter().all(|e| e.n() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn empty_mesh_panics() {
+        let _ = Network::<u32>::mesh(0);
+    }
+
+    #[test]
+    fn ring_pass_sums_ids() {
+        let (eps, handle) = Network::<u64>::mesh(5);
+        let results = run_parties(eps, |mut ep| {
+            let me = ep.id().0;
+            let next = PartyId((me + 1) % ep.n());
+            ep.send(next, me as u64).expect("send");
+            let env = ep.recv().expect("recv");
+            (env.from, env.payload)
+        });
+        for (i, (from, payload)) in results.iter().enumerate() {
+            let expect_from = (i + 5 - 1) % 5;
+            assert_eq!(*from, PartyId(expect_from));
+            assert_eq!(*payload, expect_from as u64);
+        }
+        assert_eq!(handle.stats().messages_sent, 5);
+        assert_eq!(handle.stats().messages_delivered, 5);
+    }
+
+    #[test]
+    fn transcript_records_when_enabled() {
+        let (eps, handle) = Network::<&'static str>::mesh_with(2, FaultPlan::reliable(), true);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), "hello").expect("send");
+                None
+            } else {
+                Some(ep.recv().expect("recv").payload)
+            }
+        });
+        let t = handle.transcript();
+        assert_eq!(t.len(), 1);
+        assert!(t[0].payload.contains("hello"));
+    }
+
+    #[test]
+    fn transcript_empty_when_disabled() {
+        let (eps, handle) = Network::<u8>::mesh(2);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 9).expect("send");
+            } else {
+                let _ = ep.recv().expect("recv");
+            }
+        });
+        assert!(handle.transcript().is_empty());
+        assert_eq!(handle.stats().messages_delivered, 1);
+    }
+
+    #[test]
+    fn dropped_messages_counted_not_delivered() {
+        let plan = FaultPlan {
+            drop_prob: 1.0,
+            duplicate_prob: 0.0,
+            seed: 1,
+        };
+        let (eps, handle) = Network::<u8>::mesh_with(2, plan, false);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 1).expect("send");
+                ep.send(PartyId(1), 2).expect("send");
+            } else {
+                assert!(ep.recv_timeout(std::time::Duration::from_millis(50)).is_err());
+            }
+        });
+        let s = handle.stats();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_dropped, 2);
+        assert_eq!(s.messages_delivered, 0);
+    }
+
+    #[test]
+    fn duplicated_messages_delivered_twice() {
+        let plan = FaultPlan {
+            drop_prob: 0.0,
+            duplicate_prob: 1.0,
+            seed: 1,
+        };
+        let (eps, handle) = Network::<u8>::mesh_with(2, plan, false);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 7).expect("send");
+            } else {
+                assert_eq!(ep.recv().expect("first").payload, 7);
+                assert_eq!(ep.recv().expect("replay").payload, 7);
+            }
+        });
+        assert_eq!(handle.stats().messages_duplicated, 1);
+        assert_eq!(handle.stats().messages_delivered, 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Transcript of network activity, in the spirit of the history component of
+//! the paper's local/environment states (Appendix C).
+
+use crate::PartyId;
+
+/// What happened to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranscriptEvent {
+    /// Delivered to the recipient's queue.
+    Delivered,
+    /// Silently dropped by the environment.
+    Dropped,
+    /// Delivered twice (replayed).
+    Duplicated,
+}
+
+/// One transcript line: who sent what to whom, and its fate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranscriptEntry {
+    /// Global sequence number (send order across the whole network).
+    pub seq: u64,
+    /// Sender.
+    pub from: PartyId,
+    /// Recipient.
+    pub to: PartyId,
+    /// Debug rendering of the payload (payloads are type-erased here so the
+    /// transcript does not have to be generic).
+    pub payload: String,
+    /// Fate of the message.
+    pub event: TranscriptEvent,
+}
+
+impl core::fmt::Display for TranscriptEntry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let tag = match self.event {
+            TranscriptEvent::Delivered => "->",
+            TranscriptEvent::Dropped => "-X",
+            TranscriptEvent::Duplicated => "=>",
+        };
+        write!(
+            f,
+            "[{:>4}] {} {tag} {}: {}",
+            self.seq, self.from, self.to, self.payload
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_fate_marker() {
+        let e = TranscriptEntry {
+            seq: 7,
+            from: PartyId(0),
+            to: PartyId(2),
+            payload: "share".into(),
+            event: TranscriptEvent::Dropped,
+        };
+        let s = e.to_string();
+        assert!(s.contains("-X"));
+        assert!(s.contains("party#0"));
+        assert!(s.contains("party#2"));
+        assert!(s.contains("share"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic TLV encoding for certificate bodies.
+//!
+//! Signatures must be over canonical bytes; this tiny tag-length-value
+//! scheme is the canonical form. Every field is written as
+//! `tag(1) || len(4, big-endian) || value`, so distinct field sequences can
+//! never collide.
+
+/// Field tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Tag {
+    /// UTF-8 string.
+    Str = 1,
+    /// Unsigned 64-bit integer.
+    U64 = 2,
+    /// Signed 64-bit integer (times).
+    I64 = 3,
+    /// Raw bytes.
+    Bytes = 4,
+    /// List header (value is the element count; elements follow).
+    List = 5,
+}
+
+/// Canonical encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an encoder seeded with a domain-separation label.
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        let mut e = Encoder { buf: Vec::new() };
+        e.put_str(domain);
+        e
+    }
+
+    /// Appends a string field.
+    pub fn put_str(&mut self, s: &str) -> &mut Self {
+        self.put(Tag::Str, s.as_bytes())
+    }
+
+    /// Appends a `u64` field.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.put(Tag::U64, &v.to_be_bytes())
+    }
+
+    /// Appends an `i64` field (timestamps).
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.put(Tag::I64, &v.to_be_bytes())
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.put(Tag::Bytes, b)
+    }
+
+    /// Appends a list header for `count` elements.
+    pub fn put_list(&mut self, count: usize) -> &mut Self {
+        self.put(Tag::List, &(count as u64).to_be_bytes())
+    }
+
+    /// The canonical bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn put(&mut self, tag: Tag, value: &[u8]) -> &mut Self {
+        self.buf.push(tag as u8);
+        self.buf
+            .extend_from_slice(&u32::try_from(value.len()).expect("field too long").to_be_bytes());
+        self.buf.extend_from_slice(value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Encoder::new("test");
+        a.put_str("x").put_u64(5);
+        let mut b = Encoder::new("test");
+        b.put_str("x").put_u64(5);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = Encoder::new("test");
+        a.put_str("x").put_str("y");
+        let mut b = Encoder::new("test");
+        b.put_str("y").put_str("x");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn no_concatenation_ambiguity() {
+        // ("ab","c") must differ from ("a","bc").
+        let mut a = Encoder::new("t");
+        a.put_str("ab").put_str("c");
+        let mut b = Encoder::new("t");
+        b.put_str("a").put_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn types_are_tagged() {
+        // The string "\0\0\0\0\0\0\0\x05" differs from u64 5.
+        let mut a = Encoder::new("t");
+        a.put_str("\0\0\0\0\0\0\0\u{5}");
+        let mut b = Encoder::new("t");
+        b.put_u64(5);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn domains_separate() {
+        let a = Encoder::new("identity-cert").finish();
+        let b = Encoder::new("attribute-cert").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn i64_roundtrip_encoding_of_negative_times() {
+        let mut a = Encoder::new("t");
+        a.put_i64(-5);
+        let mut b = Encoder::new("t");
+        b.put_i64(5);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn list_header_disambiguates() {
+        let mut a = Encoder::new("t");
+        a.put_list(2).put_str("x").put_str("y");
+        let mut b = Encoder::new("t");
+        b.put_list(1).put_str("x");
+        b.put_str("y");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

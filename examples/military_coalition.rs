@@ -1,0 +1,83 @@
+//! A larger military-style coalition (paper §1/§2, Gibson [11]): five
+//! nations, 3-of-5 writes, m-of-n availability trade-offs (§3.3) and
+//! proactive share refresh (§6 / Wu et al. [27]).
+//!
+//! ```sh
+//! cargo run --example military_coalition
+//! ```
+
+use jaap_coalition::availability;
+use jaap_coalition::scenario::CoalitionBuilder;
+use jaap_crypto::refresh::refresh_in_place;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nations = ["US", "UK", "FR", "DE", "PL"];
+    let mut coalition = CoalitionBuilder::new()
+        .domains(&nations)
+        .write_threshold(3)
+        .key_bits(256)
+        .seed(1944)
+        .build()?;
+
+    println!("== Five-nation coalition, 3-of-5 writes ==");
+    let w = coalition.request_write(&["User_US", "User_FR", "User_PL"])?;
+    println!("US + FR + PL write route plan: granted = {}", w.granted);
+    let w2 = coalition.request_write(&["User_US", "User_UK"])?;
+    println!("US + UK only:                  granted = {}", w2.granted);
+
+    // §3.3: availability of joint signatures. n-of-n signing of new
+    // certificates needs everyone online; a 3-of-5 threshold conversion
+    // keeps the AA operational through maintenance windows.
+    println!("\n== Joint-signature availability (per-domain uptime p) ==");
+    println!("{:>6} {:>10} {:>12} {:>12}", "p", "n-of-n", "majority", "gain");
+    for p in [0.90f64, 0.95, 0.99] {
+        let full = availability::analytic(5, 5, p);
+        let majority = availability::analytic(5, 3, p);
+        println!(
+            "{p:>6.2} {full:>10.6} {majority:>12.6} {:>11.2}x",
+            majority / full
+        );
+    }
+
+    // Convert the (dealt) additive shares to a 3-of-5 threshold key and
+    // sign with a quorum while two nations are offline.
+    println!("\n== m-of-n signing with two nations offline ==");
+    let mut rng = StdRng::seed_from_u64(3);
+    let (tp, tshares) = jaap_crypto::threshold::ThresholdKey::from_additive(
+        &mut rng,
+        coalition.aa().public(),
+        coalition.aa().shares(),
+        3,
+    )?;
+    let quorum: Vec<_> = [0usize, 2, 4] // US, FR, PL online
+        .iter()
+        .map(|&i| tshares[i].sign_share(b"emergency tasking order"))
+        .collect::<Result<_, _>>()?;
+    let sig = jaap_crypto::threshold::combine(&tp, b"emergency tasking order", &quorum)?;
+    println!(
+        "3-of-5 threshold signature verifies against the SAME shared key: {}",
+        coalition.aa().public().verify(b"emergency tasking order", &sig)
+    );
+
+    // §6: proactive refresh. Exfiltrated shares go stale.
+    println!("\n== Proactive share refresh ==");
+    let public = coalition.aa().public().clone();
+    let stolen = coalition.aa().share_of("PL").expect("share").clone();
+    refresh_in_place(&mut rng, coalition.aa_mut().shares_mut())?;
+    let mut mixed: Vec<&jaap_crypto::shared::KeyShare> = Vec::new();
+    for nation in &nations[..4] {
+        mixed.push(coalition.aa().share_of(nation).expect("share"));
+    }
+    mixed.push(&stolen); // the pre-refresh exfiltrated share
+    let outcome = jaap_crypto::collusion::collude_additive(&public, &mixed);
+    println!(
+        "pre-refresh stolen share + 4 fresh shares recover the key: {}",
+        outcome.is_compromised()
+    );
+    let post = coalition.request_write(&["User_US", "User_DE", "User_UK"])?;
+    println!("coalition still operational after refresh: granted = {}", post.granted);
+
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! The paper's "alternate mechanism" (§2.2), end to end with real crypto:
+//! privileges distributed to a *group of users that own a shared public
+//! key*. The users jointly sign access requests under their shared key and
+//! the server derives `G says X` via axiom A37.
+
+use jaap_coalition::aa::CoalitionAa;
+use jaap_core::certs::Validity;
+use jaap_core::engine::Engine;
+use jaap_core::syntax::{GroupId, Subject, Time};
+use jaap_crypto::joint;
+use jaap_crypto::shared::SharedRsaKey;
+use jaap_pki::attribute::CompoundAttributeCertificate;
+use jaap_pki::{key_name, TrustStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Setup {
+    aa: CoalitionAa,
+    store: TrustStore,
+    users_public: jaap_crypto::shared::SharedPublicKey,
+    users_shares: Vec<jaap_crypto::shared::KeyShare>,
+    cert: CompoundAttributeCertificate,
+}
+
+fn setup(seed: u64) -> Setup {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domains = vec!["D1".to_string(), "D2".to_string(), "D3".to_string()];
+    let aa = CoalitionAa::establish_dealt("AA", domains.clone(), &mut rng, 192).expect("aa");
+
+    // The three users generate their own shared key (no dealer needed in
+    // principle; dealt here for speed).
+    let (users_public, users_shares) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
+
+    // AA jointly signs a compound attribute certificate binding the group
+    // membership to the users' shared key.
+    let member_names: Vec<String> = (1..=3).map(|i| format!("User_D{i}")).collect();
+    let validity = Validity::new(Time(0), Time(1_000));
+    let body = CompoundAttributeCertificate::body_bytes(
+        "AA",
+        &member_names,
+        users_public.rsa(),
+        &GroupId::new("G_write"),
+        validity,
+        Time(6),
+    );
+    let signature = aa.joint_sign(&body).expect("joint sign");
+    let cert = CompoundAttributeCertificate {
+        issuer: "AA".into(),
+        member_names,
+        shared_key: users_public.rsa().clone(),
+        group: GroupId::new("G_write"),
+        validity,
+        timestamp: Time(6),
+        signature,
+    };
+
+    let mut store = TrustStore::new(Time(0));
+    store.trust_aa("AA", aa.public().clone(), domains);
+    Setup {
+        aa,
+        store,
+        users_public,
+        users_shares,
+        cert,
+    }
+}
+
+fn users_compound() -> Subject {
+    Subject::compound(
+        (1..=3)
+            .map(|i| Subject::principal(format!("User_D{i}")))
+            .collect(),
+    )
+}
+
+#[test]
+fn compound_certificate_verifies_and_idealizes() {
+    let s = setup(7001);
+    assert!(s.cert.verify(s.aa.public()).is_ok());
+    let msg = s.store.idealize_compound_attribute(&s.cert).expect("idealize");
+    let view = jaap_core::certs::CertView::parse(&msg).expect("parse");
+    let jaap_core::certs::CertView::Attribute { subject, .. } = view else {
+        panic!("expected attribute");
+    };
+    assert_eq!(subject, users_compound().bound(key_name(s.users_public.rsa())));
+}
+
+#[test]
+fn a37_grant_with_joint_user_signature() {
+    let s = setup(7002);
+    // Engine setup: the server additionally believes the users' shared key
+    // is owned by the user compound (delivered out of band with the cert).
+    let mut assumptions = s.store.assumptions();
+    assumptions.own_key(key_name(s.users_public.rsa()), users_compound());
+    let mut engine = Engine::new("P", assumptions);
+    engine.advance_clock(Time(10));
+
+    // Admit the compound AC.
+    let ideal = s.store.idealize_compound_attribute(&s.cert).expect("idealize");
+    engine.admit_certificate(&ideal).expect("admit");
+    let group = GroupId::new("G_write");
+    let (subject, belief) = engine
+        .membership_belief_at(&group, Time(10))
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .expect("membership");
+
+    // The users jointly sign the request under their shared key (real
+    // threshold-RSA), and the server checks that signature.
+    let payload = b"\"write\" Object O";
+    let sig = joint::sign_locally(&s.users_public, &s.users_shares, payload).expect("sign");
+    assert!(s.users_public.verify(payload, &sig));
+
+    // Crypto verified: idealize the statement and derive via A10 + A37.
+    let logic_payload = jaap_core::syntax::Message::data(String::from_utf8_lossy(payload));
+    let signed = logic_payload.clone().signed(key_name(s.users_public.rsa()));
+    let (owner, key, stmt) = engine
+        .authenticate_joint_statement(&signed, Time(10))
+        .expect("joint statement");
+    assert_eq!(owner, users_compound());
+    let derivation = engine
+        .apply_a36_a37(&belief, &subject, &group, Time(10), &logic_payload, &stmt, Some(&key))
+        .expect("a37");
+    assert!(derivation
+        .axioms_used()
+        .contains(&jaap_core::axioms::Axiom::A37));
+}
+
+#[test]
+fn partial_user_signature_fails_crypto_check() {
+    // 2 of the 3 users cannot produce the group's joint signature: the
+    // crypto layer refuses before the logic is ever consulted.
+    let s = setup(7003);
+    let partial: Vec<_> = s.users_shares[..2]
+        .iter()
+        .map(|sh| joint::produce_share(sh, b"forged").expect("share"))
+        .collect();
+    assert!(joint::combine(&s.users_public, b"forged", &partial).is_err());
+}
+
+#[test]
+fn tampered_compound_certificate_rejected() {
+    let s = setup(7004);
+    let mut bad = s.cert.clone();
+    bad.member_names.push("Mallory".into());
+    assert!(s.store.idealize_compound_attribute(&bad).is_err());
+}
+
+#[test]
+fn wrong_shared_key_in_statement_fails_a37() {
+    let s = setup(7005);
+    let mut assumptions = s.store.assumptions();
+    assumptions.own_key(key_name(s.users_public.rsa()), users_compound());
+    // A different shared key also owned by the compound (e.g. stale).
+    let mut rng = StdRng::seed_from_u64(9);
+    let (other_public, _) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
+    assumptions.own_key(key_name(other_public.rsa()), users_compound());
+    let mut engine = Engine::new("P", assumptions);
+    engine.advance_clock(Time(10));
+    let ideal = s.store.idealize_compound_attribute(&s.cert).expect("idealize");
+    engine.admit_certificate(&ideal).expect("admit");
+    let group = GroupId::new("G_write");
+    let (subject, belief) = engine
+        .membership_belief_at(&group, Time(10))
+        .map(|(a, b)| (a.clone(), b.clone()))
+        .expect("membership");
+
+    let payload = jaap_core::syntax::Message::data("\"write\" Object O");
+    let signed = payload.clone().signed(key_name(other_public.rsa()));
+    let (_, key, stmt) = engine
+        .authenticate_joint_statement(&signed, Time(10))
+        .expect("joint statement");
+    // A37's selective binding: the statement key must be the cert's key.
+    let err = engine.apply_a36_a37(&belief, &subject, &group, Time(10), &payload, &stmt, Some(&key));
+    assert!(err.is_err());
+}

@@ -1,0 +1,99 @@
+//! Experiment E10: coalition dynamics — joins and leaves with re-keying
+//! and certificate re-distribution (§6).
+
+use jaap_coalition::scenario::CoalitionBuilder;
+
+fn coalition(seed: u64) -> jaap_coalition::scenario::Coalition {
+    CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(seed)
+        .build()
+        .expect("coalition")
+}
+
+#[test]
+fn join_leave_join_sequence_stays_consistent() {
+    let mut c = coalition(4001);
+    c.join_domain("D4").expect("join D4");
+    c.join_domain("D5").expect("join D5");
+    assert_eq!(c.domains().len(), 5);
+    assert!(c
+        .request_write(&["User_D4", "User_D5"])
+        .expect("w")
+        .granted);
+
+    c.leave_domain("D1").expect("leave D1");
+    assert_eq!(c.domains().len(), 4);
+    assert!(matches!(
+        c.request_write(&["User_D1", "User_D2"]),
+        Err(jaap_coalition::CoalitionError::Config(_))
+    ));
+    assert!(c
+        .request_write(&["User_D2", "User_D4"])
+        .expect("w")
+        .granted);
+}
+
+#[test]
+fn every_join_changes_the_shared_key() {
+    let mut c = coalition(4002);
+    let mut seen = vec![c.aa().public().key_id()];
+    for name in ["D4", "D5", "D6"] {
+        c.join_domain(name).expect("join");
+        let id = c.aa().public().key_id();
+        assert!(!seen.contains(&id), "each re-key must produce a new key");
+        seen.push(id);
+    }
+}
+
+#[test]
+fn dynamics_report_counts_costs() {
+    let mut c = coalition(4003);
+    let report = c.join_domain("D4").expect("join");
+    assert_eq!(report.domain_count, 4);
+    assert_eq!(report.certs_revoked, 2, "standing write+read ACs");
+    assert_eq!(report.certs_reissued, 2);
+    assert!(report.total_wall >= report.rekey_wall);
+}
+
+#[test]
+fn departed_domains_share_is_useless_against_new_key() {
+    use jaap_crypto::collusion::{collude_additive, CollusionOutcome};
+
+    let mut c = coalition(4004);
+    // D2's share of the *old* key.
+    let old_share = c.aa().share_of("D2").expect("share").clone();
+    let old_public = c.aa().public().clone();
+    c.leave_domain("D2").expect("leave");
+    // The old share belongs to the old key, which no certificate the server
+    // now accepts is signed with; and alone it never had signing power.
+    let outcome = collude_additive(&old_public, &[&old_share]);
+    assert_eq!(outcome, CollusionOutcome::Nothing);
+    assert_ne!(c.aa().public().key_id(), old_public.key_id());
+}
+
+#[test]
+fn n_of_n_threshold_tracks_membership_on_leave() {
+    // 2-of-3 write policy; after a leave the subject shrinks to 2 members
+    // with threshold 2 (capped), so both remaining users must sign.
+    let mut c = coalition(4005);
+    c.leave_domain("D3").expect("leave");
+    assert!(!c.request_write(&["User_D1"]).expect("w").granted);
+    assert!(c
+        .request_write(&["User_D1", "User_D2"])
+        .expect("w")
+        .granted);
+}
+
+#[test]
+fn growing_coalition_rekey_cost_grows_with_n() {
+    // Structural check for E10: each join revokes and reissues the same
+    // number of standing certs, but the joint signature involves more
+    // parties — visible as share count growth.
+    let mut c = coalition(4006);
+    assert_eq!(c.aa().shares().len(), 3);
+    c.join_domain("D4").expect("join");
+    assert_eq!(c.aa().shares().len(), 4);
+    c.join_domain("D5").expect("join");
+    assert_eq!(c.aa().shares().len(), 5);
+}

@@ -1,0 +1,90 @@
+//! Cross-crate cryptographic end-to-end flows: distributed keygen →
+//! threshold conversion → signing under faults → refresh.
+
+use jaap_crypto::shared::{SharedRsaKey, CALIBRATION_MESSAGE};
+use jaap_crypto::{joint, refresh, threshold};
+use jaap_net::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn bf_keygen_then_networked_joint_signature() {
+    let (public, shares, stats) = SharedRsaKey::generate(96, 3, 6001).expect("keygen");
+    assert!(stats.wall.as_nanos() > 0);
+    let (sig, net) = joint::sign_over_network(
+        &public,
+        &shares,
+        1,
+        b"threshold attribute certificate body",
+        FaultPlan::reliable(),
+    )
+    .expect("sign");
+    assert!(public.verify(b"threshold attribute certificate body", &sig));
+    assert_eq!(net.messages_sent, 4); // broadcast (2) + 2 share replies
+}
+
+#[test]
+fn joint_signature_tolerates_duplicated_messages() {
+    // Replayed (duplicated) messages must not corrupt the protocol: the
+    // per-sender receive discipline simply ignores extras.
+    let (public, shares, _) = SharedRsaKey::generate(64, 3, 6002).expect("keygen");
+    let plan = FaultPlan {
+        drop_prob: 0.0,
+        duplicate_prob: 1.0,
+        seed: 3,
+    };
+    let (sig, _) =
+        joint::sign_over_network(&public, &shares, 0, b"replayed", plan).expect("sign");
+    assert!(public.verify(b"replayed", &sig));
+}
+
+#[test]
+fn bf_keygen_then_threshold_conversion_and_partial_signing() {
+    let (public, shares, _) = SharedRsaKey::generate(64, 3, 6003).expect("keygen");
+    let mut rng = StdRng::seed_from_u64(1);
+    let (tp, tshares) =
+        threshold::ThresholdKey::from_additive(&mut rng, &public, &shares, 2).expect("convert");
+    // Any 2 of 3 can now sign even though keygen was 3-of-3.
+    let ss: Vec<_> = [0usize, 2]
+        .iter()
+        .map(|&i| tshares[i].sign_share(b"m-of-n").expect("share"))
+        .collect();
+    let sig = threshold::combine(&tp, b"m-of-n", &ss).expect("combine");
+    assert!(public.verify(b"m-of-n", &sig));
+}
+
+#[test]
+fn refresh_over_network_then_sign() {
+    let (public, shares, _) = SharedRsaKey::generate(64, 3, 6004).expect("keygen");
+    let (refreshed, stats) = refresh::refresh_over_network(&shares, 6004).expect("refresh");
+    assert_eq!(stats.messages_sent, 6);
+    let sig = joint::sign_locally(&public, &refreshed, b"after refresh").expect("sign");
+    assert!(public.verify(b"after refresh", &sig));
+    // Mixed old/new shares break.
+    let mixed = vec![shares[0].clone(), refreshed[1].clone(), refreshed[2].clone()];
+    assert!(joint::sign_locally(&public, &mixed, b"x").is_err());
+}
+
+#[test]
+fn calibration_message_is_reserved_but_signable() {
+    // The keygen protocol jointly signed CALIBRATION_MESSAGE to find the
+    // correction; signing it again must still verify.
+    let (public, shares, _) = SharedRsaKey::generate(64, 3, 6005).expect("keygen");
+    let sig = joint::sign_locally(&public, &shares, CALIBRATION_MESSAGE).expect("sign");
+    assert!(public.verify(CALIBRATION_MESSAGE, &sig));
+}
+
+#[test]
+fn five_party_bf_keygen_and_signature() {
+    let (public, shares, stats) = SharedRsaKey::generate(64, 5, 6006).expect("keygen");
+    assert_eq!(public.n_parties(), 5);
+    assert!(stats.network.messages_sent > 0);
+    let sig = joint::sign_locally(&public, &shares, b"five parties").expect("sign");
+    assert!(public.verify(b"five parties", &sig));
+    // 4 of 5 shares are insufficient.
+    let partial: Vec<_> = shares[..4]
+        .iter()
+        .map(|s| joint::produce_share(s, b"five parties").expect("share"))
+        .collect();
+    assert!(joint::combine(&public, b"five parties", &partial).is_err());
+}

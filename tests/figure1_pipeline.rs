@@ -1,0 +1,128 @@
+//! Experiment E1: the full Figure 1 pipeline.
+//!
+//! Domains D1–D3 with their own CAs → distributed establishment of the
+//! coalition AA (shared key, no trusted dealer) → threshold attribute
+//! certificates → joint access requests verified by server P with the
+//! four-step authorization protocol.
+
+use jaap_coalition::scenario::{CoalitionBuilder, OBJECT_O};
+use jaap_core::axioms::Axiom;
+use jaap_core::protocol::Operation;
+
+#[test]
+fn figure1_with_distributed_keygen_end_to_end() {
+    let mut c = CoalitionBuilder::new()
+        .domains(&["D1", "D2", "D3"])
+        .key_bits(96)
+        .distributed_keygen(true)
+        .seed(1001)
+        .build()
+        .expect("coalition");
+
+    // The AA key is shared: its public key is not any domain CA's key.
+    let aa_id = c.aa().public().key_id();
+    for d in c.domains() {
+        assert_ne!(aa_id, d.ca().public().key_id());
+    }
+    assert_eq!(c.aa().public().n_parties(), 3);
+
+    // Certificates verify cryptographically.
+    assert!(c.write_ac().verify(c.aa().public()).is_ok());
+    assert!(c.read_ac().verify(c.aa().public()).is_ok());
+
+    // Joint write (2-of-3) grants; solo write denies; read (1-of-3) grants.
+    let w = c.request_write(&["User_D1", "User_D2"]).expect("write");
+    assert!(w.granted, "{:?}", w.detail);
+    let solo = c.request_write(&["User_D2"]).expect("solo");
+    assert!(!solo.granted);
+    let r = c.request_read(&["User_D3"]).expect("read");
+    assert!(r.granted);
+}
+
+#[test]
+fn derivation_follows_the_papers_appendix_e_steps() {
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(1002)
+        .build()
+        .expect("coalition");
+    let d = c.request_write(&["User_D1", "User_D2"]).expect("write");
+    assert!(d.granted);
+    let proof = d.derivation.expect("derivation");
+
+    // The axioms the paper's walkthrough applies: A10 (originator
+    // identification), A22/A23 (jurisdiction), A9 (reduction), a
+    // group-membership jurisdiction axiom, and A38 (threshold speaks-for).
+    let used = proof.axioms_used();
+    assert!(used.contains(&Axiom::A10), "used: {used:?}");
+    assert!(used.contains(&Axiom::A22));
+    assert!(used.contains(&Axiom::A23), "AA is a compound principal");
+    assert!(used.contains(&Axiom::A9));
+    assert!(used.contains(&Axiom::A28), "threshold membership jurisdiction");
+    assert!(used.contains(&Axiom::A38));
+
+    // The proof ends with the paper's statement 25 shape and ACL check.
+    let text = proof.render();
+    assert!(text.contains("G_write says"));
+    assert!(text.contains("access approved"));
+    assert!(proof.axiom_applications() >= 8);
+}
+
+#[test]
+fn server_decision_includes_crypto_and_logic_costs() {
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(1003)
+        .build()
+        .expect("coalition");
+    let d = c.request_write(&["User_D1", "User_D3"]).expect("write");
+    // 2 identity certs + 1 threshold AC + 2 statement signatures.
+    assert_eq!(d.signature_checks, 5);
+    assert!(d.axiom_applications >= 8);
+}
+
+#[test]
+fn logic_layer_catches_what_crypto_accepts() {
+    // A request at a time *outside the AC validity* passes every signature
+    // check but is denied by the logic (step 4's validity condition).
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(1004)
+        .validity_end(50)
+        .build()
+        .expect("coalition");
+    c.advance_time(jaap_core::syntax::Time(60));
+    let d = c.request_write(&["User_D1", "User_D2"]).expect("write");
+    assert!(!d.granted, "expired certificates must be rejected");
+}
+
+#[test]
+fn unknown_operation_denied_even_with_valid_signers() {
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(1005)
+        .build()
+        .expect("coalition");
+    let d = c
+        .request_operation(&["User_D1", "User_D2"], Operation::new("delete", OBJECT_O))
+        .expect("request");
+    assert!(!d.granted, "no ACL entry permits delete");
+}
+
+#[test]
+fn audit_log_records_every_decision() {
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(1006)
+        .build()
+        .expect("coalition");
+    let _ = c.request_write(&["User_D1", "User_D2"]).expect("w1");
+    let _ = c.request_write(&["User_D3"]).expect("w2");
+    let _ = c.request_read(&["User_D2"]).expect("r1");
+    let log = c.server().audit_log();
+    assert_eq!(log.len(), 3);
+    assert!(log[0].granted);
+    assert!(!log[1].granted);
+    assert!(log[2].granted);
+    assert_eq!(log[0].principals, vec!["User_D1", "User_D2"]);
+}

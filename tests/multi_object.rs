@@ -1,0 +1,198 @@
+//! Multiple jointly owned objects with distinct policies (§2: "jointly
+//! owned resources may include auditing applications that are used to
+//! ensure that all domains are adhering to predefined access policies").
+//!
+//! The audit log is itself a coalition resource: every domain may read it,
+//! but *appending* requires all three (n-of-n), and nobody may tamper with
+//! the research data policy from the audit path.
+
+use jaap_coalition::request::assemble;
+use jaap_coalition::scenario::CoalitionBuilder;
+use jaap_core::certs::Validity;
+use jaap_core::protocol::{Acl, Operation};
+use jaap_core::syntax::{GroupId, Time};
+use jaap_pki::attribute::ThresholdSubject;
+
+const AUDIT_LOG: &str = "Audit Log";
+
+struct Rig {
+    coalition: jaap_coalition::scenario::Coalition,
+    audit_append_ac: jaap_pki::ThresholdAttributeCertificate,
+    audit_read_ac: jaap_pki::ThresholdAttributeCertificate,
+}
+
+fn rig(seed: u64) -> Rig {
+    let mut coalition = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(seed)
+        .build()
+        .expect("coalition");
+
+    // Register the audit log object with its own ACL.
+    let mut acl = Acl::new();
+    acl.permit(GroupId::new("G_audit_append"), "append")
+        .permit(GroupId::new("G_audit_read"), "read");
+    coalition.server_mut().add_object(AUDIT_LOG, acl);
+
+    // The AA (all domains jointly) distributes the audit privileges:
+    // append is 3-of-3 — consensus hard requirement; read is 1-of-3.
+    let members: Vec<(String, jaap_crypto::rsa::RsaPublicKey)> = coalition
+        .domains()
+        .iter()
+        .map(|d| {
+            let u = &d.users()[0];
+            (u.name().to_string(), u.public().clone())
+        })
+        .collect();
+    let validity = Validity::new(Time(0), Time(1_000));
+    let append_subject = ThresholdSubject::new(members.clone(), 3).expect("subject");
+    let read_subject = ThresholdSubject::new(members, 1).expect("subject");
+    let audit_append_ac = coalition
+        .aa()
+        .issue_threshold_certificate(
+            append_subject,
+            GroupId::new("G_audit_append"),
+            validity,
+            coalition.server().now(),
+        )
+        .expect("issue");
+    let audit_read_ac = coalition
+        .aa()
+        .issue_threshold_certificate(
+            read_subject,
+            GroupId::new("G_audit_read"),
+            validity,
+            coalition.server().now(),
+        )
+        .expect("issue");
+    Rig {
+        coalition,
+        audit_append_ac,
+        audit_read_ac,
+    }
+}
+
+fn audit_request(
+    rig: &Rig,
+    signers: &[&str],
+    action: &str,
+    ac: &jaap_pki::ThresholdAttributeCertificate,
+) -> jaap_coalition::request::JointAccessRequest {
+    let users: Vec<_> = signers
+        .iter()
+        .map(|n| rig.coalition.user(n).expect("user"))
+        .collect();
+    let certs: Vec<_> = signers
+        .iter()
+        .map(|n| rig.coalition.identity_cert(n).expect("cert").clone())
+        .collect();
+    assemble(
+        &users,
+        certs,
+        vec![ac.clone()],
+        vec![],
+        Operation::new(action, AUDIT_LOG),
+        rig.coalition.server().now(),
+    )
+    .expect("assemble")
+}
+
+#[test]
+fn audit_append_requires_all_three_domains() {
+    let mut r = rig(10_001);
+    let all = audit_request(&r, &["User_D1", "User_D2", "User_D3"], "append", &r.audit_append_ac);
+    assert!(r.coalition.server_mut().handle_request(&all).granted);
+
+    let two = audit_request(&r, &["User_D1", "User_D2"], "append", &r.audit_append_ac);
+    assert!(
+        !r.coalition.server_mut().handle_request(&two).granted,
+        "2 of 3 must not append to the audit log"
+    );
+}
+
+#[test]
+fn audit_read_is_single_signer() {
+    let mut r = rig(10_002);
+    for user in ["User_D1", "User_D2", "User_D3"] {
+        let req = audit_request(&r, &[user], "read", &r.audit_read_ac);
+        assert!(r.coalition.server_mut().handle_request(&req).granted);
+    }
+}
+
+#[test]
+fn privileges_do_not_leak_across_objects() {
+    let mut r = rig(10_003);
+    // The research-data write AC (2-of-3 for G_write) does not authorize
+    // audit appends: G_write is not on the audit log's ACL.
+    let mut req = audit_request(&r, &["User_D1", "User_D2"], "append", &r.audit_append_ac);
+    req.threshold_certs = vec![r.coalition.write_ac().clone()];
+    assert!(!r.coalition.server_mut().handle_request(&req).granted);
+
+    // Conversely the audit-read AC does not authorize Object O reads —
+    // different group, different ACL.
+    let users = [r.coalition.user("User_D1").expect("user")];
+    let certs = vec![r.coalition.identity_cert("User_D1").expect("cert").clone()];
+    let req = assemble(
+        &users,
+        certs,
+        vec![r.audit_read_ac.clone()],
+        vec![],
+        Operation::new("read", jaap_coalition::scenario::OBJECT_O),
+        r.coalition.server().now(),
+    )
+    .expect("assemble");
+    assert!(!r.coalition.server_mut().handle_request(&req).granted);
+}
+
+#[test]
+fn object_versions_are_tracked_independently() {
+    let mut r = rig(10_004);
+    let w = r.coalition.request_write(&["User_D1", "User_D2"]).expect("w");
+    assert!(w.granted);
+    assert_eq!(
+        r.coalition
+            .server()
+            .object(jaap_coalition::scenario::OBJECT_O)
+            .expect("obj")
+            .version,
+        1
+    );
+    assert_eq!(r.coalition.server().object(AUDIT_LOG).expect("log").version, 0);
+}
+
+#[test]
+fn revoking_audit_append_keeps_everything_else() {
+    let mut r = rig(10_005);
+    r.coalition.advance_time(Time(20));
+    let rev = r
+        .coalition
+        .ra()
+        .revoke_attribute(
+            &r.audit_append_ac.subject,
+            r.audit_append_ac.group.clone(),
+            Time(20),
+            Time(20),
+        )
+        .expect("revoke");
+    r.coalition
+        .server_mut()
+        .admit_attribute_revocation(&rev)
+        .expect("admit");
+    r.coalition.advance_time(Time(21));
+
+    let append = audit_request(
+        &r,
+        &["User_D1", "User_D2", "User_D3"],
+        "append",
+        &r.audit_append_ac,
+    );
+    assert!(!r.coalition.server_mut().handle_request(&append).granted);
+    // Audit reads and research-data writes are unaffected.
+    let read = audit_request(&r, &["User_D2"], "read", &r.audit_read_ac);
+    assert!(r.coalition.server_mut().handle_request(&read).granted);
+    assert!(r
+        .coalition
+        .request_write(&["User_D1", "User_D3"])
+        .expect("w")
+        .granted);
+}

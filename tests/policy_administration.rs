@@ -1,0 +1,120 @@
+//! Joint administration of *policy objects* (§4.1/§4.3): "the setting and
+//! updating of policy objects of Object O" is itself mediated by threshold
+//! attribute certificates — the coalition's consensus requirement applies
+//! to the ACL, not just the data.
+
+use jaap_coalition::scenario::CoalitionBuilder;
+use jaap_core::protocol::Acl;
+use jaap_core::syntax::{GroupId, Time};
+
+fn coalition(seed: u64) -> jaap_coalition::scenario::Coalition {
+    CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(seed)
+        .build()
+        .expect("coalition")
+}
+
+/// The new policy used by the tests: writes become 3-of-3 (G_write_strict).
+fn strict_acl() -> Acl {
+    let mut acl = Acl::new();
+    acl.permit(GroupId::new("G_read"), "read")
+        .permit(GroupId::new("G_policy_admin"), "set-policy");
+    // Note: no G_write entry — writes are disabled by the new policy.
+    acl
+}
+
+#[test]
+fn jointly_authorized_policy_update_takes_effect() {
+    let mut c = coalition(8001);
+    c.permit_on_object(GroupId::new("G_policy_admin"), "set-policy")
+        .expect("bootstrap");
+    let admin_ac = c.issue_policy_admin_ac(2).expect("admin ac");
+
+    // Before the update: writes work.
+    assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
+
+    // Two users jointly update the policy object.
+    let d = c
+        .request_set_policy(&["User_D1", "User_D3"], &admin_ac, strict_acl())
+        .expect("set-policy");
+    assert!(d.granted, "{:?}", d.detail);
+
+    // After the update: the write entry is gone, writes are refused; reads
+    // still work.
+    assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
+    assert!(c.request_read(&["User_D2"]).expect("r").granted);
+}
+
+#[test]
+fn single_user_cannot_update_policy() {
+    let mut c = coalition(8002);
+    c.permit_on_object(GroupId::new("G_policy_admin"), "set-policy")
+        .expect("bootstrap");
+    let admin_ac = c.issue_policy_admin_ac(2).expect("admin ac");
+
+    let d = c
+        .request_set_policy(&["User_D2"], &admin_ac, strict_acl())
+        .expect("set-policy");
+    assert!(!d.granted, "policy changes need consensus too");
+    // The ACL is unchanged: writes still work.
+    assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
+}
+
+#[test]
+fn set_policy_without_standing_acl_entry_is_refused() {
+    // No bootstrap: (G_policy_admin, set-policy) is not on the ACL.
+    let mut c = coalition(8003);
+    let admin_ac = c.issue_policy_admin_ac(2).expect("admin ac");
+    let d = c
+        .request_set_policy(&["User_D1", "User_D2"], &admin_ac, strict_acl())
+        .expect("set-policy");
+    assert!(!d.granted);
+}
+
+#[test]
+fn policy_admin_ac_is_revocable_like_any_other() {
+    let mut c = coalition(8004);
+    c.permit_on_object(GroupId::new("G_policy_admin"), "set-policy")
+        .expect("bootstrap");
+    let admin_ac = c.issue_policy_admin_ac(2).expect("admin ac");
+
+    // RA revokes the admin certificate.
+    c.advance_time(Time(20));
+    let rev = c
+        .ra()
+        .revoke_attribute(
+            &admin_ac.subject,
+            admin_ac.group.clone(),
+            Time(20),
+            Time(20),
+        )
+        .expect("revoke");
+    c.server_mut()
+        .admit_attribute_revocation(&rev)
+        .expect("admit");
+    c.advance_time(Time(21));
+
+    let d = c
+        .request_set_policy(&["User_D1", "User_D2"], &admin_ac, strict_acl())
+        .expect("set-policy");
+    assert!(!d.granted, "revoked admin certificate must not authorize");
+}
+
+#[test]
+fn policy_update_survives_share_refresh() {
+    // Refreshing the AA's key shares (§6) does not invalidate standing
+    // certificates — same public key, same signatures.
+    let mut c = coalition(8005);
+    c.permit_on_object(GroupId::new("G_policy_admin"), "set-policy")
+        .expect("bootstrap");
+    let admin_ac = c.issue_policy_admin_ac(2).expect("admin ac");
+    c.refresh_aa_shares(8005).expect("refresh");
+    let d = c
+        .request_set_policy(&["User_D2", "User_D3"], &admin_ac, strict_acl())
+        .expect("set-policy");
+    assert!(d.granted);
+    // And the refreshed shares still jointly sign new certificates.
+    let new_ac = c.issue_policy_admin_ac(3).expect("reissue");
+    assert!(new_ac.verify(c.aa().public()).is_ok());
+}
