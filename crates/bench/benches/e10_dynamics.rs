@@ -18,7 +18,10 @@ fn print_table() {
         );
     }
 
-    table_header("E10: leave cost (shrinking back)", &["n after leave", "total"]);
+    table_header(
+        "E10: leave cost (shrinking back)",
+        &["n after leave", "total"],
+    );
     for i in (5..=9).rev() {
         let r = c.leave_domain(&format!("D{i}")).expect("leave");
         println!("{} | {:?}", r.domain_count, r.total_wall);

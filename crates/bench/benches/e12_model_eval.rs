@@ -67,7 +67,11 @@ fn bench(c: &mut Criterion) {
                 Message::data("payload 0").signed(KeyId::new("K0")),
             ),
         ),
-        Formula::said(Subject::principal("U0"), Time(10), Message::data("payload 0")),
+        Formula::said(
+            Subject::principal("U0"),
+            Time(10),
+            Message::data("payload 0"),
+        ),
     );
     group.bench_function("eval_a10_instance", |b| {
         b.iter(|| model.eval(Time(10), &a10));

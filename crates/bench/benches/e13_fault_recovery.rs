@@ -1,0 +1,187 @@
+//! Experiment E13: signing latency and success of resilient sessions under
+//! injected faults — message drops and crashed co-signers — at 2-of-3 and
+//! 3-of-5 thresholds. Emits a JSON record per sweep for downstream plots.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_crypto::rsa::RsaKeyPair;
+use jaap_crypto::session::{SessionConfig, SigningSession};
+use jaap_crypto::threshold::{ThresholdKey, ThresholdPublic, ThresholdShare};
+use jaap_net::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const TRIALS: u64 = 5;
+
+fn dealt(m: usize, n: usize, seed: u64) -> (ThresholdPublic, Vec<ThresholdShare>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kp = RsaKeyPair::generate(&mut rng, 192).expect("keygen");
+    ThresholdKey::deal(&mut rng, &kp, m, n).expect("deal")
+}
+
+fn sweep_config() -> SessionConfig {
+    SessionConfig {
+        round_timeout: Duration::from_millis(40),
+        max_retries: 4,
+        backoff_base: Duration::from_millis(2),
+    }
+}
+
+struct Point {
+    n: usize,
+    m: usize,
+    drop: f64,
+    crashes: usize,
+    successes: u64,
+    mean_ms: f64,
+    mean_rounds: f64,
+    reroutes: u64,
+}
+
+/// One sweep cell: `TRIALS` sessions at the given loss rate with the first
+/// `crashes` non-requestor domains crashed from the start.
+fn run_cell(
+    public: &ThresholdPublic,
+    shares: &[ThresholdShare],
+    drop: f64,
+    crashes: usize,
+) -> Point {
+    let (n, m) = (public.parties(), public.threshold());
+    let mut successes = 0u64;
+    let mut total = Duration::ZERO;
+    let mut rounds = 0u64;
+    let mut reroutes = 0u64;
+    for trial in 0..TRIALS {
+        let mut faults = FaultPlan::seeded(0xE13 ^ trial).with_drop(drop);
+        for who in 1..=crashes {
+            faults = faults.with_crash(who, 0);
+        }
+        let started = Instant::now();
+        let (outcome, report, _) =
+            SigningSession::run_threshold(public, shares, 0, b"E13", faults, &sweep_config());
+        let elapsed = started.elapsed();
+        rounds += u64::from(report.rounds);
+        reroutes += report.reroutes.len() as u64;
+        if outcome.is_ok() {
+            successes += 1;
+            total += elapsed;
+        }
+    }
+    Point {
+        n,
+        m,
+        drop,
+        crashes,
+        successes,
+        mean_ms: if successes == 0 {
+            f64::NAN
+        } else {
+            total.as_secs_f64() * 1e3 / successes as f64
+        },
+        mean_rounds: rounds as f64 / TRIALS as f64,
+        reroutes,
+    }
+}
+
+fn print_sweep() {
+    table_header(
+        "E13: session latency / recovery under drops and crashes",
+        &[
+            "n",
+            "m",
+            "drop",
+            "crashes",
+            "ok",
+            "mean ms",
+            "mean rounds",
+            "reroutes",
+        ],
+    );
+    let mut points = Vec::new();
+    for &(m, n) in &[(2usize, 3usize), (3, 5)] {
+        let (public, shares) = dealt(m, n, 1300 + n as u64);
+        for &drop in &[0.0, 0.1, 0.2, 0.3] {
+            for crashes in 0..=(n - m) {
+                let p = run_cell(&public, &shares, drop, crashes);
+                println!(
+                    "{} | {} | {:.1} | {} | {}/{} | {:.2} | {:.2} | {}",
+                    p.n,
+                    p.m,
+                    p.drop,
+                    p.crashes,
+                    p.successes,
+                    TRIALS,
+                    p.mean_ms,
+                    p.mean_rounds,
+                    p.reroutes
+                );
+                points.push(p);
+            }
+        }
+    }
+    // Machine-readable record (one line, grep "^E13_JSON ").
+    let cells: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"n\":{},\"m\":{},\"drop\":{},\"crashes\":{},\"trials\":{},\"successes\":{},\"mean_ms\":{},\"mean_rounds\":{},\"reroutes\":{}}}",
+                p.n,
+                p.m,
+                p.drop,
+                p.crashes,
+                TRIALS,
+                p.successes,
+                if p.mean_ms.is_nan() { "null".to_string() } else { format!("{:.3}", p.mean_ms) },
+                p.mean_rounds,
+                p.reroutes
+            )
+        })
+        .collect();
+    println!(
+        "E13_JSON {{\"experiment\":\"e13_fault_recovery\",\"points\":[{}]}}",
+        cells.join(",")
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_fault_recovery");
+    let (public, shares) = dealt(2, 3, 1303);
+    group.bench_function("threshold_2of3_reliable", |b| {
+        b.iter(|| {
+            SigningSession::sign_threshold(
+                &public,
+                &shares,
+                0,
+                b"bench",
+                FaultPlan::reliable(),
+                &SessionConfig::fast(),
+            )
+            .expect("sign")
+        });
+    });
+    group.bench_function("threshold_2of3_failover_after_crash", |b| {
+        b.iter(|| {
+            SigningSession::sign_threshold(
+                &public,
+                &shares,
+                0,
+                b"bench",
+                FaultPlan::reliable().with_crash(1, 0),
+                &SessionConfig::fast(),
+            )
+            .expect("failover")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_sweep();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

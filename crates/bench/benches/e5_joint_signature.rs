@@ -86,8 +86,7 @@ fn bench(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(10);
         let (public, shares) = SharedRsaKey::deal(&mut rng, 256, 5).expect("deal");
         let (tp, tshares) =
-            threshold::ThresholdKey::from_additive(&mut rng, &public, &shares, 3)
-                .expect("convert");
+            threshold::ThresholdKey::from_additive(&mut rng, &public, &shares, 3).expect("convert");
         group.bench_function("threshold_3of5_256b", |b| {
             b.iter(|| {
                 let ss: Vec<_> = tshares[..3]

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, Criterion};
 use jaap_bench::table_header;
-use jaap_coalition::liability::{
-    exposure_probability, min_compromises, simulate_exposure, Scheme,
-};
+use jaap_coalition::liability::{exposure_probability, min_compromises, simulate_exposure, Scheme};
 use jaap_crypto::collusion::{collude_additive, collude_threshold};
 use jaap_crypto::rsa::RsaKeyPair;
 use jaap_crypto::shared::SharedRsaKey;
@@ -16,7 +14,12 @@ use rand::SeedableRng;
 fn print_tables() {
     table_header(
         "E7: minimum compromises for AA key exposure",
-        &["n", "Case I (lockbox)", "Case II (n-of-n)", "Case II (majority)"],
+        &[
+            "n",
+            "Case I (lockbox)",
+            "Case II (n-of-n)",
+            "Case II (majority)",
+        ],
     );
     for n in [3usize, 5, 7, 9] {
         println!(
@@ -29,7 +32,14 @@ fn print_tables() {
 
     table_header(
         "E7: exposure probability, per-party compromise probability q (n=3)",
-        &["q", "Case I analytic", "Case I MC", "Case II analytic", "Case II MC", "ratio"],
+        &[
+            "q",
+            "Case I analytic",
+            "Case I MC",
+            "Case II analytic",
+            "Case II MC",
+            "ratio",
+        ],
     );
     for q in [0.01f64, 0.05, 0.10, 0.20] {
         let c1 = exposure_probability(Scheme::CaseILockbox { n: 3 }, q);

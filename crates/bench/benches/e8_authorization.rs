@@ -40,14 +40,23 @@ fn print_tables() {
     table_header("E9: revocation series", &["phase", "decision"]);
     let mut c = standard_coalition(256, 32);
     let d = c.request_write(&["User_D1", "User_D2"]).expect("req");
-    println!("before revocation | {}", if d.granted { "GRANT" } else { "DENY" });
+    println!(
+        "before revocation | {}",
+        if d.granted { "GRANT" } else { "DENY" }
+    );
     c.advance_time(Time(20));
     c.revoke_write_ac(Time(20)).expect("revoke");
     c.advance_time(Time(21));
     let d = c.request_write(&["User_D1", "User_D2"]).expect("req");
-    println!("after revocation | {}", if d.granted { "GRANT" } else { "DENY" });
+    println!(
+        "after revocation | {}",
+        if d.granted { "GRANT" } else { "DENY" }
+    );
     let d = c.request_read(&["User_D1"]).expect("req");
-    println!("read after write-AC revocation | {}", if d.granted { "GRANT" } else { "DENY" });
+    println!(
+        "read after write-AC revocation | {}",
+        if d.granted { "GRANT" } else { "DENY" }
+    );
 
     // D3 ablation.
     table_header(
@@ -68,7 +77,11 @@ fn print_tables() {
         }
         println!(
             "{} | {:?} | {apps} | {has_proof}",
-            if logic { "logic-checked" } else { "crypto-only" },
+            if logic {
+                "logic-checked"
+            } else {
+                "crypto-only"
+            },
             start.elapsed() / iters
         );
     }
@@ -85,7 +98,10 @@ fn print_tables() {
         let refs: Vec<&str> = signers.iter().map(String::as_str).collect();
         let d = c.request_write(&refs).expect("req");
         assert!(d.granted);
-        println!("{n} | {m} | {} | {}", d.axiom_applications, d.signature_checks);
+        println!(
+            "{n} | {m} | {} | {}",
+            d.axiom_applications, d.signature_checks
+        );
     }
 }
 

@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(out, "|---|---|---|")?;
     for (label, scheme) in [
         ("Case I lockbox", Scheme::CaseILockbox { n: 3 }),
-        ("Case I, 3 replicas", Scheme::CaseIReplicated { n: 3, replicas: 3 }),
+        (
+            "Case I, 3 replicas",
+            Scheme::CaseIReplicated { n: 3, replicas: 3 },
+        ),
         ("Case II 2-of-3", Scheme::CaseIIThreshold { m: 2, n: 3 }),
         ("Case II 3-of-3", Scheme::CaseIIShared { n: 3 }),
     ] {
@@ -108,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // E2/E8: authorization decisions and costs.
-    writeln!(out, "\n## E2/E8 — authorization decisions (2-of-3 writes)\n")?;
+    writeln!(
+        out,
+        "\n## E2/E8 — authorization decisions (2-of-3 writes)\n"
+    )?;
     writeln!(out, "| request | decision | axiom apps | sig checks |")?;
     writeln!(out, "|---|---|---|---|")?;
     let mut c = standard_coalition(256, 31);
@@ -137,12 +143,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(out, "|---|---|")?;
     let mut c = standard_coalition(256, 32);
     let before = c.request_write(&["User_D1", "User_D2"])?;
-    writeln!(out, "| before revocation | {} |", if before.granted { "GRANT" } else { "DENY" })?;
+    writeln!(
+        out,
+        "| before revocation | {} |",
+        if before.granted { "GRANT" } else { "DENY" }
+    )?;
     c.advance_time(Time(20));
     c.revoke_write_ac(Time(20))?;
     c.advance_time(Time(21));
     let after = c.request_write(&["User_D1", "User_D2"])?;
-    writeln!(out, "| after revocation | {} |", if after.granted { "GRANT" } else { "DENY" })?;
+    writeln!(
+        out,
+        "| after revocation | {} |",
+        if after.granted { "GRANT" } else { "DENY" }
+    )?;
 
     // E10: dynamics.
     writeln!(out, "\n## E10 — coalition dynamics (join costs)\n")?;

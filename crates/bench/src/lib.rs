@@ -39,7 +39,14 @@ pub fn coalition_of(n: usize, write_threshold: usize, key_bits: usize, seed: u64
 pub fn table_header(title: &str, columns: &[&str]) {
     println!("\n### {title}");
     println!("{}", columns.join(" | "));
-    println!("{}", columns.iter().map(|_| "---").collect::<Vec<_>>().join(" | "));
+    println!(
+        "{}",
+        columns
+            .iter()
+            .map(|_| "---")
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
 }
 
 #[cfg(test)]

@@ -14,8 +14,7 @@ impl Nat {
     /// that case.
     #[must_use]
     pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
-        self.checked_div_rem(divisor)
-            .expect("Nat division by zero")
+        self.checked_div_rem(divisor).expect("Nat division by zero")
     }
 
     /// Computes `(self / divisor, self % divisor)`, or `None` if `divisor`

@@ -178,10 +178,7 @@ mod tests {
     #[test]
     fn interior_zero_limbs_pad_correctly() {
         let n = Nat::from_limbs(vec![0x1, 0x0, 0x1]); // 2^128 + 1
-        assert_eq!(
-            format!("{n:x}"),
-            "100000000000000000000000000000001"
-        );
+        assert_eq!(format!("{n:x}"), "100000000000000000000000000000001");
         assert_eq!(n.to_string(), "340282366920938463463374607431768211457");
     }
 

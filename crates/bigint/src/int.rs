@@ -145,10 +145,7 @@ impl Int {
                 if r.is_zero() {
                     (Int::with_sign(Sign::Minus, q), r)
                 } else {
-                    (
-                        Int::with_sign(Sign::Minus, &q + &Nat::one()),
-                        d - &r,
-                    )
+                    (Int::with_sign(Sign::Minus, &q + &Nat::one()), d - &r)
                 }
             }
         }

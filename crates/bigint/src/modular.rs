@@ -220,7 +220,9 @@ mod tests {
     #[test]
     fn modpow_large_modulus() {
         // 2^128-159 is prime; check Fermat.
-        let p: Nat = "340282366920938463463374607431768211297".parse().expect("p");
+        let p: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("p");
         let a = nat(0xDEADBEEF);
         assert_eq!(a.modpow(&(&p - &Nat::one()), &p), Nat::one());
     }
@@ -236,7 +238,12 @@ mod tests {
 
     #[test]
     fn ext_gcd_bezout_identity() {
-        let cases = [(240u128, 46u128), (17, 31), (1_000_000_007, 998_244_353), (12, 18)];
+        let cases = [
+            (240u128, 46u128),
+            (17, 31),
+            (1_000_000_007, 998_244_353),
+            (12, 18),
+        ];
         for (a, b) in cases {
             let (g, x, y) = nat(a).ext_gcd(&nat(b));
             assert_eq!(g, nat(a).gcd(&nat(b)));

@@ -132,7 +132,10 @@ mod tests {
         };
         let a = Nat::from_limbs((0..70).map(|_| next()).collect());
         let b = Nat::from_limbs((0..65).map(|_| next()).collect());
-        assert_eq!(karatsuba(&a.limbs, &b.limbs), schoolbook(&a.limbs, &b.limbs));
+        assert_eq!(
+            karatsuba(&a.limbs, &b.limbs),
+            schoolbook(&a.limbs, &b.limbs)
+        );
     }
 
     #[test]

@@ -16,11 +16,10 @@ use jaap_core::certs::Validity;
 use jaap_core::syntax::{GroupId, Time};
 use jaap_crypto::joint;
 use jaap_crypto::rsa::{RsaKeyPair, RsaSignature};
+use jaap_crypto::session::{SessionConfig, SessionReport, SigningSession};
 use jaap_crypto::shared::{KeyShare, SharedPublicKey, SharedRsaKey};
 use jaap_net::FaultPlan;
-use jaap_pki::attribute::{
-    AttributeCertificate, ThresholdAttributeCertificate, ThresholdSubject,
-};
+use jaap_pki::attribute::{AttributeCertificate, ThresholdAttributeCertificate, ThresholdSubject};
 use rand::RngCore;
 
 use crate::CoalitionError;
@@ -48,6 +47,10 @@ pub struct CoalitionAa {
     shares: Vec<KeyShare>,
     domains: Vec<String>,
     mode: SigningMode,
+    /// Fault model applied to networked signing sessions.
+    fault_plan: FaultPlan,
+    /// Timeout/retry policy of networked signing sessions.
+    session_config: SessionConfig,
 }
 
 impl CoalitionAa {
@@ -69,6 +72,8 @@ impl CoalitionAa {
             shares,
             domains,
             mode: SigningMode::Local,
+            fault_plan: FaultPlan::reliable(),
+            session_config: SessionConfig::default(),
         })
     }
 
@@ -93,6 +98,8 @@ impl CoalitionAa {
                 shares,
                 domains,
                 mode: SigningMode::Local,
+                fault_plan: FaultPlan::reliable(),
+                session_config: SessionConfig::default(),
             },
             stats,
         ))
@@ -101,6 +108,22 @@ impl CoalitionAa {
     /// Selects how joint signatures are applied.
     pub fn set_signing_mode(&mut self, mode: SigningMode) {
         self.mode = mode;
+    }
+
+    /// The current signing mode.
+    #[must_use]
+    pub fn signing_mode(&self) -> SigningMode {
+        self.mode
+    }
+
+    /// Sets the fault model applied to networked signing sessions.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Sets the timeout/retry policy of networked signing sessions.
+    pub fn set_session_config(&mut self, config: SessionConfig) {
+        self.session_config = config;
     }
 
     /// The AA's name.
@@ -146,22 +169,38 @@ impl CoalitionAa {
     ///
     /// # Errors
     ///
-    /// Propagates joint-signing failures.
+    /// Propagates joint-signing failures; in [`SigningMode::Networked`] this
+    /// includes [`jaap_crypto::CryptoError::QuorumUnreachable`] when the
+    /// configured fault plan keeps a co-signer silent past the retry budget.
     pub fn joint_sign(&self, body: &[u8]) -> Result<RsaSignature, CoalitionError> {
-        let sig = match self.mode {
-            SigningMode::Local => joint::sign_locally(&self.public, &self.shares, body)?,
+        self.joint_sign_with_report(body).0
+    }
+
+    /// Like [`CoalitionAa::joint_sign`], but also returns the
+    /// [`SessionReport`] — populated in [`SigningMode::Networked`], default
+    /// in [`SigningMode::Local`] — so callers can audit retries and
+    /// failovers even when signing fails.
+    pub fn joint_sign_with_report(
+        &self,
+        body: &[u8],
+    ) -> (Result<RsaSignature, CoalitionError>, SessionReport) {
+        match self.mode {
+            SigningMode::Local => (
+                joint::sign_locally(&self.public, &self.shares, body).map_err(CoalitionError::from),
+                SessionReport::default(),
+            ),
             SigningMode::Networked => {
-                let (sig, _stats) = joint::sign_over_network(
+                let (outcome, report, _stats) = SigningSession::run_compound(
                     &self.public,
                     &self.shares,
                     0,
                     body,
-                    FaultPlan::reliable(),
-                )?;
-                sig
+                    self.fault_plan.clone(),
+                    &self.session_config,
+                );
+                (outcome.map_err(CoalitionError::from), report)
             }
-        };
-        Ok(sig)
+        }
     }
 
     /// Issues a threshold attribute certificate, jointly signed by all
@@ -208,7 +247,12 @@ impl CoalitionAa {
     ) -> Result<AttributeCertificate, CoalitionError> {
         let subject = subject.into();
         let body = AttributeCertificate::body_bytes(
-            &self.name, &subject, subject_key, &group, validity, timestamp,
+            &self.name,
+            &subject,
+            subject_key,
+            &group,
+            validity,
+            timestamp,
         );
         let signature = self.joint_sign(&body)?;
         Ok(AttributeCertificate {
@@ -418,8 +462,7 @@ mod tests {
 
     #[test]
     fn distributed_establishment_works() {
-        let (aa, stats) =
-            CoalitionAa::establish_distributed("AA", domains(), 64, 42).expect("bf");
+        let (aa, stats) = CoalitionAa::establish_distributed("AA", domains(), 64, 42).expect("bf");
         assert!(stats.candidates_tried >= 1);
         let sig = aa.joint_sign(b"hello").expect("sign");
         assert!(aa.public().verify(b"hello", &sig));

@@ -71,6 +71,67 @@ pub fn monte_carlo(n: usize, m: usize, p_up: f64, trials: u64, seed: u64) -> f64
     ok as f64 / trials as f64
 }
 
+/// Empirical availability of the *actual* m-of-n signing session
+/// ([`jaap_crypto::session::SigningSession`]): per trial, each domain is
+/// independently up with probability `p_up`, the down domains are modeled
+/// as crash-stop parties in the fault plan, and the first live domain
+/// drives a real threshold signing session with failover. Returns the
+/// fraction of trials that produced a verifying signature.
+///
+/// This is the executable cross-check of [`analytic`]: the session layer's
+/// failover must make the two agree (within Monte-Carlo error), because a
+/// session is *designed* to succeed exactly when ≥ `m` domains are live.
+///
+/// # Panics
+///
+/// Panics unless `2 <= m <= n` (the threshold scheme's own floor) or when
+/// `trials == 0`, or on key-dealing failure.
+#[must_use]
+pub fn networked(n: usize, m: usize, p_up: f64, trials: u64, seed: u64) -> f64 {
+    use jaap_crypto::session::{SessionConfig, SigningSession};
+    use jaap_crypto::threshold::ThresholdKey;
+    use jaap_net::FaultPlan;
+    use std::time::Duration;
+
+    assert!(m >= 2 && m <= n, "need 2 <= m <= n");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kp = jaap_crypto::rsa::RsaKeyPair::generate(&mut rng, 192).expect("keygen");
+    let (public, shares) = ThresholdKey::deal(&mut rng, &kp, m, n).expect("deal");
+    // Tight rounds: a down domain only costs one short timeout per trial.
+    let config = SessionConfig {
+        round_timeout: Duration::from_millis(30),
+        max_retries: 1,
+        backoff_base: Duration::from_millis(1),
+    };
+    let mut ok = 0u64;
+    for trial in 0..trials {
+        let up: Vec<bool> = (0..n)
+            .map(|_| {
+                let roll = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                roll < p_up
+            })
+            .collect();
+        let Some(requestor) = up.iter().position(|&u| u) else {
+            continue; // nobody is up: definitionally unavailable
+        };
+        let mut faults = FaultPlan::seeded(seed ^ trial);
+        for (i, &alive) in up.iter().enumerate() {
+            if !alive {
+                faults = faults.with_crash(i, 0);
+            }
+        }
+        let outcome =
+            SigningSession::sign_threshold(&public, &shares, requestor, b"E6", faults, &config);
+        if let Ok((sig, _, _)) = outcome {
+            if public.verify(b"E6", &sig) {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / trials as f64
+}
+
 /// One row of the availability table.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AvailabilityPoint {

@@ -193,7 +193,13 @@ mod tests {
         let mut r = rng();
         let mut d = Domain::new("D1", &mut r, 192).expect("domain");
         let cert = d
-            .register_user("User_D1", &mut r, 192, Validity::new(Time(0), Time(100)), Time(1))
+            .register_user(
+                "User_D1",
+                &mut r,
+                192,
+                Validity::new(Time(0), Time(100)),
+                Time(1),
+            )
             .expect("register");
         assert_eq!(cert.issuer, "CA_D1");
         assert_eq!(cert.subject, "User_D1");

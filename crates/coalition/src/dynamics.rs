@@ -97,8 +97,7 @@ impl Coalition {
     /// standing threshold ACs (the "large-scale revocation and
     /// re-distribution" of §6).
     fn rekey(&mut self, start: Instant) -> Result<DynamicsReport, CoalitionError> {
-        let domain_names: Vec<String> =
-            self.domains.iter().map(|d| d.name().to_string()).collect();
+        let domain_names: Vec<String> = self.domains.iter().map(|d| d.name().to_string()).collect();
         let now = self.server.now();
 
         // 1. Revoke the standing ACs under the old key.
@@ -113,12 +112,8 @@ impl Coalition {
 
         // 2. Establish the new shared key among the new member set.
         let rekey_start = Instant::now();
-        let aa = CoalitionAa::establish_dealt(
-            "AA",
-            domain_names.clone(),
-            &mut self.rng,
-            self.key_bits,
-        )?;
+        let aa =
+            CoalitionAa::establish_dealt("AA", domain_names.clone(), &mut self.rng, self.key_bits)?;
         let rekey_wall = rekey_start.elapsed();
 
         // 3. Re-anchor the server's trust on the new key (new initial
@@ -195,10 +190,11 @@ mod tests {
         assert_eq!(report.certs_reissued, 2);
         assert_ne!(c.aa().public().key_id(), old_key_id, "AA must be re-keyed");
         // The new member participates in writes.
-        assert!(c
-            .request_write(&["User_D4", "User_D1"])
-            .expect("write")
-            .granted);
+        assert!(
+            c.request_write(&["User_D4", "User_D1"])
+                .expect("write")
+                .granted
+        );
     }
 
     #[test]
@@ -212,10 +208,11 @@ mod tests {
             Err(CoalitionError::Config(_))
         ));
         // Remaining members still satisfy 2-of-2.
-        assert!(c
-            .request_write(&["User_D1", "User_D3"])
-            .expect("write")
-            .granted);
+        assert!(
+            c.request_write(&["User_D1", "User_D3"])
+                .expect("write")
+                .granted
+        );
     }
 
     #[test]
@@ -263,9 +260,10 @@ mod tests {
         // New server instance: audit restarted is acceptable, but the
         // object must exist and be writable again.
         assert!(c.server().object(OBJECT_O).is_some());
-        assert!(c
-            .request_write(&["User_D1", "User_D4"])
-            .expect("write")
-            .granted);
+        assert!(
+            c.request_write(&["User_D1", "User_D4"])
+                .expect("write")
+                .granted
+        );
     }
 }

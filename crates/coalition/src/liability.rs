@@ -82,13 +82,9 @@ pub fn min_compromises(scheme: Scheme) -> usize {
 pub fn exposes(scheme: Scheme, compromised: &[usize]) -> bool {
     match scheme {
         Scheme::CaseILockbox { n } => compromised.iter().any(|&i| i <= n),
-        Scheme::CaseIReplicated { n, replicas } => {
-            compromised.iter().any(|&i| i < n + replicas)
-        }
+        Scheme::CaseIReplicated { n, replicas } => compromised.iter().any(|&i| i < n + replicas),
         Scheme::CaseIIShared { n } => (0..n).all(|d| compromised.contains(&d)),
-        Scheme::CaseIIThreshold { m, n } => {
-            compromised.iter().filter(|&&i| i < n).count() >= m
-        }
+        Scheme::CaseIIThreshold { m, n } => compromised.iter().filter(|&&i| i < n).count() >= m,
     }
 }
 
@@ -105,9 +101,7 @@ pub fn exposure_probability(scheme: Scheme, q: f64) -> f64 {
         // 1 - P[nobody falls]: host and n insiders are all targets.
         Scheme::CaseILockbox { n } => 1.0 - (1.0 - q).powi((n + 1) as i32),
         // Every replica is an additional full-key target.
-        Scheme::CaseIReplicated { n, replicas } => {
-            1.0 - (1.0 - q).powi((n + replicas) as i32)
-        }
+        Scheme::CaseIReplicated { n, replicas } => 1.0 - (1.0 - q).powi((n + replicas) as i32),
         Scheme::CaseIIShared { n } => q.powi(n as i32),
         Scheme::CaseIIThreshold { m, n } => (m..=n)
             .map(|k| {
@@ -221,7 +215,11 @@ mod tests {
         let mut prev = base;
         for replicas in 2..=5 {
             let p = exposure_probability(Scheme::CaseIReplicated { n: 3, replicas }, q);
-            assert!(p > prev, "{replicas} replicas must be worse than {}", replicas - 1);
+            assert!(
+                p > prev,
+                "{replicas} replicas must be worse than {}",
+                replicas - 1
+            );
             prev = p;
         }
         // And always at least one compromise away.
@@ -238,8 +236,17 @@ mod tests {
 
     #[test]
     fn boundary_probabilities() {
-        assert_eq!(exposure_probability(Scheme::CaseIIShared { n: 3 }, 0.0), 0.0);
-        assert_eq!(exposure_probability(Scheme::CaseIIShared { n: 3 }, 1.0), 1.0);
-        assert_eq!(exposure_probability(Scheme::CaseILockbox { n: 3 }, 0.0), 0.0);
+        assert_eq!(
+            exposure_probability(Scheme::CaseIIShared { n: 3 }, 0.0),
+            0.0
+        );
+        assert_eq!(
+            exposure_probability(Scheme::CaseIIShared { n: 3 }, 1.0),
+            1.0
+        );
+        assert_eq!(
+            exposure_probability(Scheme::CaseILockbox { n: 3 }, 0.0),
+            0.0
+        );
     }
 }

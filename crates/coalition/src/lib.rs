@@ -96,6 +96,8 @@ mod tests {
         assert!(e.to_string().starts_with("crypto:"));
         let e: CoalitionError = PkiError::UnknownIssuer("X".into()).into();
         assert!(e.to_string().starts_with("pki:"));
-        assert!(CoalitionError::Config("bad".into()).to_string().contains("bad"));
+        assert!(CoalitionError::Config("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -58,6 +58,28 @@ pub struct JointAccessRequest {
     pub at: Time,
 }
 
+impl JointAccessRequest {
+    /// A canonical digest of the request, used by the server to recognize
+    /// duplicate deliveries (network-level retries) of the *same* request.
+    /// Two requests with the same signers, statements, operation, and
+    /// submission time digest identically; a fresh request — even for the
+    /// same operation — differs in `at` or in its signatures.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let mut e = Encoder::new("jaap-joint-request-v1");
+        e.put_str(&self.operation.action)
+            .put_str(&self.operation.object)
+            .put_i64(self.at.0)
+            .put_list(self.statements.len());
+        for stmt in &self.statements {
+            e.put_str(&stmt.principal)
+                .put_i64(stmt.at.0)
+                .put_str(&stmt.signature.value().to_hex());
+        }
+        jaap_crypto::sha256::hex(&jaap_crypto::Sha256::digest(&e.finish()))
+    }
+}
+
 /// Assembles a joint access request: the first user is the requestor, the
 /// rest are co-signers; everyone signs the same statement bytes.
 ///
@@ -164,7 +186,11 @@ pub fn assemble_over_network(
                 let msg = ep
                     .recv_from(PartyId(j))
                     .map_err(|e| CoalitionError::Config(format!("network: {e}")))?;
-                let AssemblyMsg::Attestation { principal, signature } = msg else {
+                let AssemblyMsg::Attestation {
+                    principal,
+                    signature,
+                } = msg
+                else {
                     return Err(CoalitionError::Config("expected an attestation".into()));
                 };
                 statements.push(WireStatement {
@@ -241,8 +267,8 @@ mod tests {
         let u1 = UserAgent::new("U1", "D1", &mut rng, 192).expect("u1");
         let u2 = UserAgent::new("U2", "D2", &mut rng, 192).expect("u2");
         let op = Operation::new("write", "O");
-        let req = assemble(&[&u1, &u2], vec![], vec![], vec![], op.clone(), Time(5))
-            .expect("assemble");
+        let req =
+            assemble(&[&u1, &u2], vec![], vec![], vec![], op.clone(), Time(5)).expect("assemble");
         assert_eq!(req.statements.len(), 2);
         for (stmt, user) in req.statements.iter().zip([&u1, &u2]) {
             let body = statement_bytes(&stmt.principal, &op, stmt.at);
@@ -257,20 +283,19 @@ mod tests {
         let u2 = UserAgent::new("U2", "D2", &mut rng, 192).expect("u2");
         let u3 = UserAgent::new("U3", "D3", &mut rng, 192).expect("u3");
         let op = Operation::new("write", "O");
-        let (req, stats) = assemble_over_network(
-            &[&u1, &u2, &u3],
-            vec![],
-            vec![],
-            op.clone(),
-            Time(7),
-        )
-        .expect("assemble");
+        let (req, stats) =
+            assemble_over_network(&[&u1, &u2, &u3], vec![], vec![], op.clone(), Time(7))
+                .expect("assemble");
         // 2 cosign requests + 2 attestations.
         assert_eq!(stats.messages_sent, 4);
         assert_eq!(req.statements.len(), 3);
         for (stmt, user) in req.statements.iter().zip([&u1, &u2, &u3]) {
             let body = statement_bytes(&stmt.principal, &op, Time(7));
-            assert!(user.public().verify(&body, &stmt.signature), "{}", stmt.principal);
+            assert!(
+                user.public().verify(&body, &stmt.signature),
+                "{}",
+                stmt.principal
+            );
         }
     }
 
@@ -278,14 +303,9 @@ mod tests {
     fn networked_assembly_single_signer() {
         let mut rng = StdRng::seed_from_u64(4);
         let u1 = UserAgent::new("U1", "D1", &mut rng, 192).expect("u1");
-        let (req, _) = assemble_over_network(
-            &[&u1],
-            vec![],
-            vec![],
-            Operation::new("read", "O"),
-            Time(7),
-        )
-        .expect("assemble");
+        let (req, _) =
+            assemble_over_network(&[&u1], vec![], vec![], Operation::new("read", "O"), Time(7))
+                .expect("assemble");
         assert_eq!(req.statements.len(), 1);
     }
 

@@ -9,7 +9,11 @@ use jaap_pki::{IdentityCertificate, RevocationAuthority, TrustStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::aa::CoalitionAa;
+use jaap_crypto::session::SessionConfig;
+use jaap_crypto::CryptoError;
+use jaap_net::FaultPlan;
+
+use crate::aa::{CoalitionAa, SigningMode};
 use crate::domain::{Domain, UserAgent};
 use crate::request::{assemble, JointAccessRequest};
 use crate::server::{CoalitionServer, ServerDecision};
@@ -273,6 +277,18 @@ impl Coalition {
         self.server.advance_clock(to);
     }
 
+    /// Sets the fault model the AA's networked signing sessions run under
+    /// (delegates to [`CoalitionAa::set_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.aa.set_fault_plan(plan);
+    }
+
+    /// Sets the timeout/retry policy of the AA's networked signing sessions
+    /// (delegates to [`CoalitionAa::set_session_config`]).
+    pub fn set_session_config(&mut self, config: SessionConfig) {
+        self.aa.set_session_config(config);
+    }
+
     /// Builds and submits a Figure 2(b) **write** request signed by
     /// `signers`.
     ///
@@ -302,8 +318,55 @@ impl Coalition {
         signers: &[&str],
         operation: Operation,
     ) -> Result<ServerDecision, CoalitionError> {
+        if self.aa.signing_mode() == SigningMode::Networked {
+            return self.request_operation_networked(signers, operation);
+        }
         let request = self.build_request(signers, operation)?;
         Ok(self.server.handle_request(&request))
+    }
+
+    /// The networked request path (E6): the member domains countersign the
+    /// standing threshold AC afresh over the simulated (faulty) network
+    /// before the request is submitted. When the signing session cannot
+    /// assemble its quorum, the coalition **degrades gracefully**: instead
+    /// of an error or a hang, the server records an unavailability denial
+    /// carrying the session's retry trace in the audit log, and the caller
+    /// gets a [`ServerDecision`] with `unavailable` set.
+    fn request_operation_networked(
+        &mut self,
+        signers: &[&str],
+        operation: Operation,
+    ) -> Result<ServerDecision, CoalitionError> {
+        let ac = if operation.action == "read" {
+            self.read_ac.clone()
+        } else {
+            self.write_ac.clone()
+        };
+        let body = ThresholdAttributeCertificate::body_bytes(
+            self.aa.name(),
+            &ac.subject,
+            &ac.group,
+            ac.validity,
+            ac.timestamp,
+        );
+        let (outcome, report) = self.aa.joint_sign_with_report(&body);
+        match outcome {
+            Ok(signature) => {
+                let fresh = ThresholdAttributeCertificate { signature, ..ac };
+                let request = self.build_request_with_ac(signers, operation, fresh)?;
+                Ok(self.server.handle_request(&request))
+            }
+            Err(CoalitionError::Crypto(e @ CryptoError::QuorumUnreachable { .. })) => {
+                let trace = report.summary();
+                Ok(self.server.record_unavailable(
+                    signers.iter().map(|s| (*s).to_string()).collect(),
+                    operation,
+                    format!("coalition signing unavailable: {e}"),
+                    (!trace.is_empty()).then_some(trace),
+                ))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Assembles (but does not submit) a joint request — used by tests
@@ -316,6 +379,22 @@ impl Coalition {
         &self,
         signers: &[&str],
         operation: Operation,
+    ) -> Result<JointAccessRequest, CoalitionError> {
+        let ac = if operation.action == "read" {
+            self.read_ac.clone()
+        } else {
+            self.write_ac.clone()
+        };
+        self.build_request_with_ac(signers, operation, ac)
+    }
+
+    /// Assembles a joint request around a specific threshold AC (the
+    /// networked path countersigns the AC at request time).
+    fn build_request_with_ac(
+        &self,
+        signers: &[&str],
+        operation: Operation,
+        ac: ThresholdAttributeCertificate,
     ) -> Result<JointAccessRequest, CoalitionError> {
         let users: Vec<&UserAgent> = signers
             .iter()
@@ -332,11 +411,6 @@ impl Coalition {
                     .ok_or_else(|| CoalitionError::Config(format!("no identity cert for {name}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let ac = if operation.action == "read" {
-            self.read_ac.clone()
-        } else {
-            self.write_ac.clone()
-        };
         assemble(
             &users,
             identity_certs,
@@ -433,11 +507,7 @@ impl Coalition {
     /// # Errors
     ///
     /// [`CoalitionError::Config`] for an unknown object.
-    pub fn permit_on_object(
-        &mut self,
-        group: GroupId,
-        action: &str,
-    ) -> Result<(), CoalitionError> {
+    pub fn permit_on_object(&mut self, group: GroupId, action: &str) -> Result<(), CoalitionError> {
         let mut acl = self
             .server
             .object(OBJECT_O)
@@ -497,7 +567,11 @@ mod tests {
 
     #[test]
     fn figure1_scenario_constructs() {
-        let c = CoalitionBuilder::new().seed(5).key_bits(192).build().expect("build");
+        let c = CoalitionBuilder::new()
+            .seed(5)
+            .key_bits(192)
+            .build()
+            .expect("build");
         assert_eq!(c.domains().len(), 3);
         assert!(c.user("User_D1").is_some());
         assert!(c.user("User_D9").is_none());
@@ -508,14 +582,23 @@ mod tests {
 
     #[test]
     fn read_needs_one_signer_write_needs_two() {
-        let mut c = CoalitionBuilder::new().seed(6).key_bits(192).build().expect("build");
+        let mut c = CoalitionBuilder::new()
+            .seed(6)
+            .key_bits(192)
+            .build()
+            .expect("build");
         assert!(c.request_read(&["User_D3"]).expect("read").granted);
         assert!(!c.request_write(&["User_D3"]).expect("write-1").granted);
-        assert!(c.request_write(&["User_D3", "User_D1"]).expect("write-2").granted);
-        assert!(c
-            .request_write(&["User_D1", "User_D2", "User_D3"])
-            .expect("write-3")
-            .granted);
+        assert!(
+            c.request_write(&["User_D3", "User_D1"])
+                .expect("write-2")
+                .granted
+        );
+        assert!(
+            c.request_write(&["User_D1", "User_D2", "User_D3"])
+                .expect("write-3")
+                .granted
+        );
     }
 
     #[test]
@@ -528,20 +611,29 @@ mod tests {
             .build()
             .expect("build");
         assert!(!c.request_write(&["User_D1", "User_D2"]).expect("2").granted);
-        assert!(c
-            .request_write(&["User_D1", "User_D3", "User_D5"])
-            .expect("3")
-            .granted);
+        assert!(
+            c.request_write(&["User_D1", "User_D3", "User_D5"])
+                .expect("3")
+                .granted
+        );
     }
 
     #[test]
     fn revocation_flips_decision() {
-        let mut c = CoalitionBuilder::new().seed(8).key_bits(192).build().expect("build");
+        let mut c = CoalitionBuilder::new()
+            .seed(8)
+            .key_bits(192)
+            .build()
+            .expect("build");
         assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
         c.advance_time(Time(20));
         c.revoke_write_ac(Time(20)).expect("revoke");
         c.advance_time(Time(21));
-        assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w2").granted);
+        assert!(
+            !c.request_write(&["User_D1", "User_D2"])
+                .expect("w2")
+                .granted
+        );
         // Reads are unaffected (separate AC).
         assert!(c.request_read(&["User_D1"]).expect("r").granted);
     }

@@ -17,14 +17,14 @@
 //! the derivation layer costs and what it adds.
 
 use jaap_core::engine::Engine;
-use jaap_crypto::rsa::RsaCiphertext;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use jaap_core::protocol::{self, AccessRequest, Acl, Operation, SignedStatement};
 use jaap_core::syntax::Time;
 use jaap_core::Derivation;
+use jaap_crypto::rsa::RsaCiphertext;
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::request::{statement_bytes, JointAccessRequest};
 use crate::CoalitionError;
@@ -56,6 +56,9 @@ pub struct AuditEntry {
     pub granted: bool,
     /// Denial detail (empty when granted).
     pub detail: String,
+    /// Signing-session retry trace, when the decision followed a degraded
+    /// networked signing attempt (timeouts, failovers, re-requests).
+    pub retry_trace: Option<String>,
 }
 
 /// The server's decision on a joint access request.
@@ -74,6 +77,11 @@ pub struct ServerDecision {
     /// For granted reads: the object contents encrypted under the
     /// requestor's certified key (Figure 2(d): `Response: {Object O}_Ku3`).
     pub response: Option<RsaCiphertext>,
+    /// True when the request was denied not on policy grounds but because
+    /// the coalition could not complete a joint signing session (fewer than
+    /// the required domains were reachable). Such a request may succeed if
+    /// retried later — a policy denial will not.
+    pub unavailable: bool,
 }
 
 /// The coalition server.
@@ -90,6 +98,11 @@ pub struct CoalitionServer {
     /// has been admitted.
     revocation_recency: Option<i64>,
     last_crl: Option<(u64, Time)>,
+    /// When on, duplicate deliveries of the same request (by canonical
+    /// digest) return the original decision instead of being re-processed.
+    replay_protection: bool,
+    /// Digest → decision cache backing replay protection.
+    seen: std::collections::HashMap<String, ServerDecision>,
     rng: StdRng,
 }
 
@@ -109,6 +122,8 @@ impl CoalitionServer {
             logic_checking: true,
             revocation_recency: None,
             last_crl: None,
+            replay_protection: false,
+            seen: std::collections::HashMap::new(),
             rng: StdRng::seed_from_u64(0x5EC5EC),
         }
     }
@@ -181,6 +196,15 @@ impl CoalitionServer {
     /// Enables/disables the logic layer (D3 ablation).
     pub fn set_logic_checking(&mut self, on: bool) {
         self.logic_checking = on;
+    }
+
+    /// Enables/disables replay protection: with it on, a duplicate delivery
+    /// of the *same* request (a network-level retry, recognized by
+    /// [`JointAccessRequest::digest`]) returns the original decision without
+    /// a second audit entry or version increment. Off by default so
+    /// benchmarks measure real verification work.
+    pub fn set_replay_protection(&mut self, on: bool) {
+        self.replay_protection = on;
     }
 
     /// Requires revocation information (a CRL) no older than `window`
@@ -262,8 +286,50 @@ impl CoalitionServer {
         Ok(())
     }
 
+    /// Records a denial caused by coalition-side unavailability (a joint
+    /// signing session that could not assemble its quorum), carrying the
+    /// session's retry trace into the audit log. Returns the corresponding
+    /// [`ServerDecision`] with `unavailable` set.
+    pub fn record_unavailable(
+        &mut self,
+        principals: Vec<String>,
+        operation: Operation,
+        detail: impl Into<String>,
+        retry_trace: Option<String>,
+    ) -> ServerDecision {
+        let detail = detail.into();
+        self.audit.push(AuditEntry {
+            at: self.engine.now(),
+            principals,
+            operation,
+            granted: false,
+            detail: detail.clone(),
+            retry_trace,
+        });
+        ServerDecision {
+            granted: false,
+            detail: Some(detail),
+            derivation: None,
+            axiom_applications: 0,
+            signature_checks: 0,
+            response: None,
+            unavailable: true,
+        }
+    }
+
     /// Handles a joint access request end to end.
     pub fn handle_request(&mut self, req: &JointAccessRequest) -> ServerDecision {
+        let digest = if self.replay_protection {
+            let digest = req.digest();
+            if let Some(cached) = self.seen.get(&digest) {
+                // Duplicate delivery: same decision, no second audit entry,
+                // no second version increment.
+                return cached.clone();
+            }
+            Some(digest)
+        } else {
+            None
+        };
         let mut signature_checks = 0usize;
         let decision = self.verify_request(req, &mut signature_checks);
         let (granted, detail, derivation, axioms) = match decision {
@@ -271,7 +337,11 @@ impl CoalitionServer {
             Err(msg) => (false, Some(msg), None, 0),
         };
         if granted && req.operation.action == "write" {
-            if let Some(obj) = self.objects.iter_mut().find(|o| o.name == req.operation.object) {
+            if let Some(obj) = self
+                .objects
+                .iter_mut()
+                .find(|o| o.name == req.operation.object)
+            {
                 obj.version += 1;
             }
         }
@@ -298,15 +368,21 @@ impl CoalitionServer {
             operation: req.operation.clone(),
             granted,
             detail: detail.clone().unwrap_or_default(),
+            retry_trace: None,
         });
-        ServerDecision {
+        let decision = ServerDecision {
             granted,
             detail,
             derivation,
             axiom_applications: axioms,
             signature_checks,
             response,
+            unavailable: false,
+        };
+        if let Some(digest) = digest {
+            self.seen.insert(digest, decision.clone());
         }
+        decision
     }
 
     fn verify_request(

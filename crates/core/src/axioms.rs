@@ -12,42 +12,137 @@ use core::fmt;
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)] // the variants are the paper's axiom numbers
 pub enum Axiom {
-    R1, R2,
-    A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14, A15, A16,
-    A17, A18, A19, A20, A21, A22, A23, A24, A25, A26, A27, A28, A29, A30,
-    A31, A32, A33, A34, A35, A36, A37, A38,
+    R1,
+    R2,
+    A1,
+    A2,
+    A3,
+    A4,
+    A5,
+    A6,
+    A7,
+    A8,
+    A9,
+    A10,
+    A11,
+    A12,
+    A13,
+    A14,
+    A15,
+    A16,
+    A17,
+    A18,
+    A19,
+    A20,
+    A21,
+    A22,
+    A23,
+    A24,
+    A25,
+    A26,
+    A27,
+    A28,
+    A29,
+    A30,
+    A31,
+    A32,
+    A33,
+    A34,
+    A35,
+    A36,
+    A37,
+    A38,
 }
 
 impl Axiom {
     /// All axioms and rules, in paper order.
     pub const ALL: [Axiom; 40] = [
-        Axiom::R1, Axiom::R2, Axiom::A1, Axiom::A2, Axiom::A3, Axiom::A4,
-        Axiom::A5, Axiom::A6, Axiom::A7, Axiom::A8, Axiom::A9, Axiom::A10,
-        Axiom::A11, Axiom::A12, Axiom::A13, Axiom::A14, Axiom::A15, Axiom::A16,
-        Axiom::A17, Axiom::A18, Axiom::A19, Axiom::A20, Axiom::A21, Axiom::A22,
-        Axiom::A23, Axiom::A24, Axiom::A25, Axiom::A26, Axiom::A27, Axiom::A28,
-        Axiom::A29, Axiom::A30, Axiom::A31, Axiom::A32, Axiom::A33, Axiom::A34,
-        Axiom::A35, Axiom::A36, Axiom::A37, Axiom::A38,
+        Axiom::R1,
+        Axiom::R2,
+        Axiom::A1,
+        Axiom::A2,
+        Axiom::A3,
+        Axiom::A4,
+        Axiom::A5,
+        Axiom::A6,
+        Axiom::A7,
+        Axiom::A8,
+        Axiom::A9,
+        Axiom::A10,
+        Axiom::A11,
+        Axiom::A12,
+        Axiom::A13,
+        Axiom::A14,
+        Axiom::A15,
+        Axiom::A16,
+        Axiom::A17,
+        Axiom::A18,
+        Axiom::A19,
+        Axiom::A20,
+        Axiom::A21,
+        Axiom::A22,
+        Axiom::A23,
+        Axiom::A24,
+        Axiom::A25,
+        Axiom::A26,
+        Axiom::A27,
+        Axiom::A28,
+        Axiom::A29,
+        Axiom::A30,
+        Axiom::A31,
+        Axiom::A32,
+        Axiom::A33,
+        Axiom::A34,
+        Axiom::A35,
+        Axiom::A36,
+        Axiom::A37,
+        Axiom::A38,
     ];
 
     /// The paper's identifier, e.g. `"A10"`.
     #[must_use]
     pub fn id(&self) -> &'static str {
         match self {
-            Axiom::R1 => "R1", Axiom::R2 => "R2",
-            Axiom::A1 => "A1", Axiom::A2 => "A2", Axiom::A3 => "A3",
-            Axiom::A4 => "A4", Axiom::A5 => "A5", Axiom::A6 => "A6",
-            Axiom::A7 => "A7", Axiom::A8 => "A8", Axiom::A9 => "A9",
-            Axiom::A10 => "A10", Axiom::A11 => "A11", Axiom::A12 => "A12",
-            Axiom::A13 => "A13", Axiom::A14 => "A14", Axiom::A15 => "A15",
-            Axiom::A16 => "A16", Axiom::A17 => "A17", Axiom::A18 => "A18",
-            Axiom::A19 => "A19", Axiom::A20 => "A20", Axiom::A21 => "A21",
-            Axiom::A22 => "A22", Axiom::A23 => "A23", Axiom::A24 => "A24",
-            Axiom::A25 => "A25", Axiom::A26 => "A26", Axiom::A27 => "A27",
-            Axiom::A28 => "A28", Axiom::A29 => "A29", Axiom::A30 => "A30",
-            Axiom::A31 => "A31", Axiom::A32 => "A32", Axiom::A33 => "A33",
-            Axiom::A34 => "A34", Axiom::A35 => "A35", Axiom::A36 => "A36",
-            Axiom::A37 => "A37", Axiom::A38 => "A38",
+            Axiom::R1 => "R1",
+            Axiom::R2 => "R2",
+            Axiom::A1 => "A1",
+            Axiom::A2 => "A2",
+            Axiom::A3 => "A3",
+            Axiom::A4 => "A4",
+            Axiom::A5 => "A5",
+            Axiom::A6 => "A6",
+            Axiom::A7 => "A7",
+            Axiom::A8 => "A8",
+            Axiom::A9 => "A9",
+            Axiom::A10 => "A10",
+            Axiom::A11 => "A11",
+            Axiom::A12 => "A12",
+            Axiom::A13 => "A13",
+            Axiom::A14 => "A14",
+            Axiom::A15 => "A15",
+            Axiom::A16 => "A16",
+            Axiom::A17 => "A17",
+            Axiom::A18 => "A18",
+            Axiom::A19 => "A19",
+            Axiom::A20 => "A20",
+            Axiom::A21 => "A21",
+            Axiom::A22 => "A22",
+            Axiom::A23 => "A23",
+            Axiom::A24 => "A24",
+            Axiom::A25 => "A25",
+            Axiom::A26 => "A26",
+            Axiom::A27 => "A27",
+            Axiom::A28 => "A28",
+            Axiom::A29 => "A29",
+            Axiom::A30 => "A30",
+            Axiom::A31 => "A31",
+            Axiom::A32 => "A32",
+            Axiom::A33 => "A33",
+            Axiom::A34 => "A34",
+            Axiom::A35 => "A35",
+            Axiom::A36 => "A36",
+            Axiom::A37 => "A37",
+            Axiom::A38 => "A38",
         }
     }
 
@@ -107,9 +202,21 @@ impl Axiom {
             self,
             Axiom::A10
                 | Axiom::A23
-                | Axiom::A24 | Axiom::A25 | Axiom::A26 | Axiom::A27 | Axiom::A28
-                | Axiom::A29 | Axiom::A30 | Axiom::A31 | Axiom::A32 | Axiom::A33
-                | Axiom::A34 | Axiom::A35 | Axiom::A36 | Axiom::A37 | Axiom::A38
+                | Axiom::A24
+                | Axiom::A25
+                | Axiom::A26
+                | Axiom::A27
+                | Axiom::A28
+                | Axiom::A29
+                | Axiom::A30
+                | Axiom::A31
+                | Axiom::A32
+                | Axiom::A33
+                | Axiom::A34
+                | Axiom::A35
+                | Axiom::A36
+                | Axiom::A37
+                | Axiom::A38
         )
     }
 }
@@ -150,9 +257,7 @@ mod tests {
     fn extensions_match_paper_claim() {
         // "These extensions are reflected in Axioms 10, 24 – 38."
         assert!(Axiom::A10.is_extension());
-        for a in [
-            Axiom::A24, Axiom::A28, Axiom::A33, Axiom::A34, Axiom::A38,
-        ] {
+        for a in [Axiom::A24, Axiom::A28, Axiom::A33, Axiom::A34, Axiom::A38] {
             assert!(a.is_extension(), "{a} is an extension");
         }
         assert!(!Axiom::A1.is_extension());

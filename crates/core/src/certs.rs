@@ -245,10 +245,7 @@ impl CertView {
         }
         match body {
             Formula::KeySpeaksFor {
-                key,
-                when,
-                subject,
-                ..
+                key, when, subject, ..
             } => Some(CertView::Identity {
                 issuer,
                 signing_key: signing_key.clone(),
@@ -334,8 +331,12 @@ mod tests {
             Time(10),
             Validity::new(Time(0), Time(50)),
         );
-        let CertView::Attribute { subject, group, negated, .. } =
-            CertView::parse(&cert).expect("parse")
+        let CertView::Attribute {
+            subject,
+            group,
+            negated,
+            ..
+        } = CertView::parse(&cert).expect("parse")
         else {
             panic!("expected attribute view");
         };
@@ -354,7 +355,9 @@ mod tests {
             Time(20),
             Time(20),
         );
-        let CertView::Attribute { negated, issuer, .. } = CertView::parse(&rev).expect("parse")
+        let CertView::Attribute {
+            negated, issuer, ..
+        } = CertView::parse(&rev).expect("parse")
         else {
             panic!("expected attribute view");
         };

@@ -212,9 +212,8 @@ impl Engine {
     /// * [`LogicError::Stale`] if the timestamp is outside the acceptance
     ///   window.
     pub fn admit_certificate(&mut self, msg: &Message) -> Result<Derivation, LogicError> {
-        let view = CertView::parse(msg).ok_or_else(|| {
-            LogicError::MalformedMessage("not an idealized certificate".into())
-        })?;
+        let view = CertView::parse(msg)
+            .ok_or_else(|| LogicError::MalformedMessage("not an idealized certificate".into()))?;
         match view {
             CertView::Identity {
                 issuer,
@@ -343,12 +342,12 @@ impl Engine {
             ts_jurisdiction,
             Rule::InitialBelief(format!("timestamp jurisdiction of {issuer}")),
         );
-        let jurisdiction_axiom = if matches!(owner, Subject::Compound(_) | Subject::Threshold { .. })
-        {
-            Axiom::A23
-        } else {
-            Axiom::A22
-        };
+        let jurisdiction_axiom =
+            if matches!(owner, Subject::Compound(_) | Subject::Threshold { .. }) {
+                Axiom::A23
+            } else {
+                Axiom::A22
+            };
         self.count_axiom();
         let at_says = Formula::at(
             body_says.clone(),
@@ -392,12 +391,8 @@ impl Engine {
             self.authenticate_statement(msg, issuer, signing_key, issued_at, label)?;
 
         // Content jurisdiction (Statements 6/8/10 → 15 → 16):
-        let body = Formula::key_speaks_for_at(
-            subject_key.clone(),
-            when,
-            issuer.clone(),
-            subject.clone(),
-        );
+        let body =
+            Formula::key_speaks_for_at(subject_key.clone(), when, issuer.clone(), subject.clone());
         let body = if negated { Formula::not(body) } else { body };
         let content_jurisdiction = Formula::controls(
             Subject::Principal(issuer.clone()),
@@ -410,11 +405,7 @@ impl Engine {
         );
         self.count_axiom(); // A22
         self.count_axiom(); // A9
-        let belief_node = Derivation::by_axiom(
-            body.clone(),
-            Axiom::A22,
-            vec![says_node, cj_node],
-        );
+        let belief_node = Derivation::by_axiom(body.clone(), Axiom::A22, vec![says_node, cj_node]);
         let final_node = Derivation::by_axiom(body.clone(), Axiom::A9, vec![belief_node]);
 
         if negated {
@@ -687,7 +678,8 @@ impl Engine {
             Rule::InitialBelief(format!("key ownership of {key}")),
         );
         let received = Formula::received(self.observer(), self.now, signed.clone());
-        let received_node = Derivation::leaf(received, Rule::Received("joint signed request".into()));
+        let received_node =
+            Derivation::leaf(received, Rule::Received("joint signed request".into()));
         let says = Formula::says(owner.clone(), t, signed.clone());
         self.count_axiom();
         let node = Derivation::by_axiom(says, Axiom::A10, vec![ownership_node, received_node]);
@@ -727,11 +719,8 @@ impl Engine {
         let received_node = Derivation::leaf(received, Rule::Received("signed request".into()));
         let says = Formula::says(owner.clone(), t, signed.clone());
         self.count_axiom();
-        let node = Derivation::by_axiom(
-            says,
-            Axiom::A10,
-            vec![key_belief.derivation, received_node],
-        );
+        let node =
+            Derivation::by_axiom(says, Axiom::A10, vec![key_belief.derivation, received_node]);
         Ok((principal, key, node))
     }
 }
@@ -831,7 +820,10 @@ mod tests {
         let d = e.admit_certificate(&threshold_ac()).expect("admit");
         let used = d.axioms_used();
         assert!(used.contains(&Axiom::A23), "multi-principal jurisdiction");
-        assert!(used.contains(&Axiom::A28), "threshold membership jurisdiction");
+        assert!(
+            used.contains(&Axiom::A28),
+            "threshold membership jurisdiction"
+        );
         let (subject, _) = e
             .membership_belief_at(&GroupId::new("G_write"), Time(10))
             .expect("belief");
@@ -1093,7 +1085,15 @@ mod tests {
             .expect("joint statement");
         assert_eq!(owner, cp);
         let d = e
-            .apply_a36_a37(&belief, &subject, &group, Time(10), &payload, &stmt, Some(&key))
+            .apply_a36_a37(
+                &belief,
+                &subject,
+                &group,
+                Time(10),
+                &payload,
+                &stmt,
+                Some(&key),
+            )
             .expect("a37");
         assert!(d.axioms_used().contains(&Axiom::A37));
         assert!(matches!(d.conclusion, Formula::GroupSays(_, _, _)));
@@ -1113,10 +1113,7 @@ mod tests {
 
     #[test]
     fn a36_plain_compound_flow() {
-        let cp = Subject::compound(vec![
-            Subject::principal("D1"),
-            Subject::principal("D2"),
-        ]);
+        let cp = Subject::compound(vec![Subject::principal("D1"), Subject::principal("D2")]);
         let k_cp = KeyId::new("K_cp2");
         let mut a = assumptions();
         a.own_key(k_cp.clone(), cp.clone());

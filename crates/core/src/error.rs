@@ -39,6 +39,8 @@ mod tests {
             LogicError::Stale("t too old".into()).to_string(),
             "stale message: t too old"
         );
-        assert!(LogicError::NotDerivable("g".into()).to_string().starts_with("not derivable"));
+        assert!(LogicError::NotDerivable("g".into())
+            .to_string()
+            .starts_with("not derivable"));
     }
 }

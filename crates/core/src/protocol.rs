@@ -74,18 +74,9 @@ impl SignedStatement {
     /// Builds the canonical signed statement for `op` by `principal` with
     /// `key` at time `t`.
     #[must_use]
-    pub fn new(
-        principal: impl Into<PrincipalId>,
-        key: KeyId,
-        op: &Operation,
-        at: Time,
-    ) -> Self {
+    pub fn new(principal: impl Into<PrincipalId>, key: KeyId, op: &Operation, at: Time) -> Self {
         let principal = principal.into();
-        let inner = Formula::says(
-            Subject::Principal(principal.clone()),
-            at,
-            op.payload(),
-        );
+        let inner = Formula::says(Subject::Principal(principal.clone()), at, op.payload());
         SignedStatement {
             principal,
             key: key.clone(),
@@ -322,11 +313,11 @@ pub fn authorize(engine: &mut Engine, request: &AccessRequest, acl: &Acl) -> Acc
         };
         // Validity must also cover the decision time (paper: tb' <= t1 and
         // t6 <= te').
-        if engine
-            .membership_belief_at(group, engine.now())
-            .is_none()
-        {
-            last_err = format!("membership in {group} expired or revoked by {}", engine.now());
+        if engine.membership_belief_at(group, engine.now()).is_none() {
+            last_err = format!(
+                "membership in {group} expired or revoked by {}",
+                engine.now()
+            );
             continue;
         }
         match conclude_group_says(engine, &subject, group, request, signers.clone()) {
@@ -340,7 +331,9 @@ pub fn authorize(engine: &mut Engine, request: &AccessRequest, acl: &Acl) -> Acc
                     conclusion: grant,
                     rule: Rule::SideCondition(format!(
                         "({group}, {}) ∈ ACL and validity covers [{}, {}]",
-                        request.operation, request.at, engine.now()
+                        request.operation,
+                        request.at,
+                        engine.now()
                     )),
                     premises: vec![group_says],
                 };
@@ -376,14 +369,9 @@ fn conclude_group_says(
         .map(|(_, b)| b.clone())
         .ok_or_else(|| LogicError::NotDerivable(format!("no membership for {group}")))?;
     match subject {
-        Subject::Threshold { .. } => engine.apply_a38(
-            &membership,
-            subject,
-            group,
-            engine.now(),
-            &payload,
-            signers,
-        ),
+        Subject::Threshold { .. } => {
+            engine.apply_a38(&membership, subject, group, engine.now(), &payload, signers)
+        }
         Subject::Bound(inner, key) => {
             // A35: Q|K ⇒ G ∧ K ⇒ Q ∧ Q says ⟨X⟩_{K⁻¹} ⊃ G says X.
             let principal = inner.principal_id().ok_or_else(|| {
@@ -519,12 +507,7 @@ mod tests {
             signed_statements: signers
                 .iter()
                 .map(|&i| {
-                    SignedStatement::new(
-                        format!("User_D{i}"),
-                        k(&format!("K_u{i}")),
-                        &op,
-                        Time(9),
-                    )
+                    SignedStatement::new(format!("User_D{i}"), k(&format!("K_u{i}")), &op, Time(9))
                 })
                 .collect(),
             operation: op,
@@ -617,7 +600,9 @@ mod tests {
         req.signed_statements = req
             .signed_statements
             .iter()
-            .map(|s| SignedStatement::new(s.principal.clone(), s.key.clone(), &req.operation, Time(13)))
+            .map(|s| {
+                SignedStatement::new(s.principal.clone(), s.key.clone(), &req.operation, Time(13))
+            })
             .collect();
         e.advance_clock(Time(13));
         let decision = authorize(&mut e, &req, &acl);

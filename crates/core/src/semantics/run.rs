@@ -333,12 +333,16 @@ mod tests {
         b.party(p("A"), 0);
         let mut run = b.build();
         // Manually inject an orphan receive.
-        run.parties.get_mut("A").expect("A").history.push(TimedEvent {
-            event: Event::Receive {
-                msg: Message::data("forged"),
-            },
-            at: Time(1),
-        });
+        run.parties
+            .get_mut("A")
+            .expect("A")
+            .history
+            .push(TimedEvent {
+                event: Event::Receive {
+                    msg: Message::data("forged"),
+                },
+                at: Time(1),
+            });
         assert!(!run.is_legal());
     }
 

@@ -56,7 +56,9 @@ impl Model {
                 when,
                 relative_to,
                 subject,
-            } => self.eval_time_ref(when, |tt| self.key_speaks_for(key, tt, t, relative_to.as_ref(), subject)),
+            } => self.eval_time_ref(when, |tt| {
+                self.key_speaks_for(key, tt, t, relative_to.as_ref(), subject)
+            }),
             Formula::MemberOf {
                 subject,
                 when,
@@ -228,7 +230,11 @@ impl Model {
                 for member in members {
                     let Subject::Bound(inner, key) = member else {
                         // Unbound members: treat their plain says as signing.
-                        let says = self.run.party(member).map(|p| p.all_sends()).unwrap_or_default();
+                        let says = self
+                            .run
+                            .party(member)
+                            .map(|p| p.all_sends())
+                            .unwrap_or_default();
                         for (tt, msg) in says {
                             if tt <= local {
                                 obligations.push((tt, msg.clone()));
@@ -317,9 +323,9 @@ impl Model {
                     return false;
                 };
                 p.sends_at(t).iter().any(|m| {
-                    m.submessages(&p.keyset_at(t)).iter().any(|sub| {
-                        matches!(sub, Message::Signed(ix, k) if k == key && **ix == *x)
-                    })
+                    m.submessages(&p.keyset_at(t))
+                        .iter()
+                        .any(|sub| matches!(sub, Message::Signed(ix, k) if k == key && **ix == *x))
                 })
             }
             other => self.says(other, t, at, x),
@@ -364,15 +370,15 @@ mod tests {
     fn received_and_says_basics() {
         let m = honest_run();
         let signed = Message::data("cert").signed(k("K_CA"));
-        assert!(m.eval(
-            Time(6),
-            &Formula::received(p("P"), Time(6), signed.clone())
-        ));
+        assert!(m.eval(Time(6), &Formula::received(p("P"), Time(6), signed.clone())));
         assert!(!m.eval(Time(6), &Formula::received(p("P"), Time(5), signed.clone())));
         assert!(m.eval(Time(5), &Formula::says(p("CA"), Time(5), signed.clone())));
         assert!(m.eval(Time(9), &Formula::said(p("CA"), Time(9), signed)));
         // A12: received ⟨X⟩ implies received X.
-        assert!(m.eval(Time(6), &Formula::received(p("P"), Time(6), Message::data("cert"))));
+        assert!(m.eval(
+            Time(6),
+            &Formula::received(p("P"), Time(6), Message::data("cert"))
+        ));
     }
 
     #[test]
@@ -547,7 +553,10 @@ mod tests {
         b.deliver(&p("A"), &p("B"), Message::data("m"), Time(5), 0);
         let m = Model::new(b.build());
         // A's send happened at A-local t105.
-        assert!(m.eval(Time(5), &Formula::says(p("A"), Time(105), Message::data("m"))));
+        assert!(m.eval(
+            Time(5),
+            &Formula::says(p("A"), Time(105), Message::data("m"))
+        ));
         assert!(!m.eval(Time(5), &Formula::says(p("A"), Time(5), Message::data("m"))));
         // φ at_A works in A's local time.
         let at = Formula::at(

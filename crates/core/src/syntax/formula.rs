@@ -310,10 +310,7 @@ mod tests {
     fn believes_nesting_displays() {
         let inner = Formula::group_says(GroupId::new("G_write"), Time(6), Message::data("write O"));
         let f = Formula::believes(Subject::principal("P"), Time(6), inner);
-        assert_eq!(
-            f.to_string(),
-            "P believes_t6 G_write says_t6 \"write O\""
-        );
+        assert_eq!(f.to_string(), "P believes_t6 G_write says_t6 \"write O\"");
     }
 
     #[test]

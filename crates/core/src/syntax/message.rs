@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn submessages_opens_tuples_and_signatures() {
-        let m = Message::Tuple(vec![
-            Message::data("a"),
-            Message::data("b").signed(k("K")),
-        ]);
+        let m = Message::Tuple(vec![Message::data("a"), Message::data("b").signed(k("K"))]);
         let subs = m.submessages(&[]);
         assert!(subs.contains(&&Message::data("a")));
         assert!(subs.contains(&&Message::data("b")));

@@ -8,7 +8,7 @@ mod principal;
 mod time;
 
 pub use formula::Formula;
-pub use parser::{parse_formula, parse_subject, ParseFormulaError, Vocabulary};
 pub use message::Message;
+pub use parser::{parse_formula, parse_subject, ParseFormulaError, Vocabulary};
 pub use principal::{GroupId, KeyId, PrincipalId, Subject};
 pub use time::{Time, TimeRef};

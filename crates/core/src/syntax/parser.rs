@@ -372,9 +372,7 @@ impl<'a> Cursor<'a> {
             self.pos += 1;
         }
         let digits: String = self.chars[start..self.pos].iter().collect();
-        digits
-            .parse()
-            .map_err(|_| self.err("expected a number"))
+        digits.parse().map_err(|_| self.err("expected a number"))
     }
 
     // ---- messages ----
@@ -602,8 +600,8 @@ mod tests {
     fn roundtrip(f: &Formula) {
         let text = f.to_string();
         let v = Vocabulary::from_formula(f);
-        let parsed = parse_formula(&text, &v)
-            .unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
+        let parsed =
+            parse_formula(&text, &v).unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
         assert_eq!(&parsed, f, "roundtrip mismatch for {text:?}");
     }
 
@@ -615,11 +613,8 @@ mod tests {
         assert!(matches!(f, Formula::KeySpeaksFor { .. }));
 
         // Statement 22: CP'_{2,3} ⇒ G_write
-        let f = parse_formula(
-            "{User_D1|K_u1, User_D2|K_u2}_{2,2} ⇒_[t0,t100] G_write",
-            &v,
-        )
-        .expect("parse");
+        let f = parse_formula("{User_D1|K_u1, User_D2|K_u2}_{2,2} ⇒_[t0,t100] G_write", &v)
+            .expect("parse");
         let Formula::MemberOf { subject, .. } = &f else {
             panic!("expected MemberOf");
         };
@@ -637,11 +632,8 @@ mod tests {
     #[test]
     fn parses_signed_message_statements() {
         let v = vocab();
-        let f = parse_formula(
-            "P received_t10 ⟨User_D1 says_t9 \"write O\"⟩_{K_u1⁻¹}",
-            &v,
-        )
-        .expect("parse");
+        let f = parse_formula("P received_t10 ⟨User_D1 says_t9 \"write O\"⟩_{K_u1⁻¹}", &v)
+            .expect("parse");
         let Formula::Received(_, _, msg) = &f else {
             panic!("expected Received");
         };
@@ -689,7 +681,11 @@ mod tests {
                 Subject::principal("P"),
                 Time(2),
             ),
-            Formula::Has(Subject::principal("P"), TimeRef::At(Time(1)), KeyId::new("K1")),
+            Formula::Has(
+                Subject::principal("P"),
+                TimeRef::At(Time(1)),
+                KeyId::new("K1"),
+            ),
             Formula::says(
                 Subject::compound(vec![Subject::principal("D1"), Subject::principal("D2")]),
                 Time(4),
@@ -725,7 +721,12 @@ mod tests {
             Validity::new(Time(0), Time(100)),
         );
         // The certificate is ⟨formula⟩_{K⁻¹}; parse its payload formula.
-        let payload = cert.as_signed().expect("signed").0.as_formula().expect("formula");
+        let payload = cert
+            .as_signed()
+            .expect("signed")
+            .0
+            .as_formula()
+            .expect("formula");
         roundtrip(payload);
     }
 

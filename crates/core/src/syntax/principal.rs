@@ -101,7 +101,6 @@ impl From<&str> for GroupId {
     }
 }
 
-
 #[cfg(feature = "serde")]
 mod serde_impls {
     use super::{GroupId, KeyId, PrincipalId};

@@ -28,7 +28,7 @@ fn cp_prime() -> Subject {
 /// Statements 1–11: server P's initial beliefs.
 fn initial_beliefs() -> TrustAssumptions {
     let mut a = TrustAssumptions::new(Time(0)); // t*
-    // Statement 1: K_AA ⇒ CP₃,₃ where CP = {D1, D2, D3}.
+                                                // Statement 1: K_AA ⇒ CP₃,₃ where CP = {D1, D2, D3}.
     a.own_key(
         k("K_AA"),
         Subject::threshold(
@@ -41,8 +41,8 @@ fn initial_beliefs() -> TrustAssumptions {
         ),
     );
     a.own_key(k("K_AA"), Subject::principal("AA")); // reading convenience
-    // Statements 2–5: AA's jurisdiction over group membership and its own
-    // timestamps.
+                                                    // Statements 2–5: AA's jurisdiction over group membership and its own
+                                                    // timestamps.
     a.group_authority("AA");
     // Statements 6–11: CA1..CA3 jurisdiction over their users' keys.
     for i in 1..=3 {
@@ -97,7 +97,10 @@ fn statements_12_through_25_in_order() {
     let text = proof.render_numbered();
 
     // Step 1 (statements 12–17): identity keys believed via A10 → A22 → A9.
-    let idx = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("missing: {needle}\n{text}"));
+    let idx = |needle: &str| {
+        text.find(needle)
+            .unwrap_or_else(|| panic!("missing: {needle}\n{text}"))
+    };
     let s_key1 = idx("K_u1 ⇒_{[t0,t100],CA1} User_D1   [axiom A9");
     // Step 2 (statements 18–22): threshold membership believed via A23 → A28.
     let s_member = idx("⇒_{[t0,t100],AA} G_write   [axiom A9");
@@ -113,7 +116,14 @@ fn statements_12_through_25_in_order() {
     // The axioms cited match the paper's walkthrough (modulo our precise
     // A28 labeling of what the paper's prose calls A25 — see protocol docs).
     let used = proof.axioms_used();
-    for ax in [Axiom::A10, Axiom::A22, Axiom::A23, Axiom::A9, Axiom::A28, Axiom::A38] {
+    for ax in [
+        Axiom::A10,
+        Axiom::A22,
+        Axiom::A23,
+        Axiom::A9,
+        Axiom::A28,
+        Axiom::A38,
+    ] {
         assert!(used.contains(&ax), "missing {ax} in {used:?}");
     }
 }

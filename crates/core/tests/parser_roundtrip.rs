@@ -72,14 +72,11 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
         ident().prop_map(Formula::Prop),
         (arb_time(), arb_time()).prop_map(|(a, b)| Formula::TimeLe(a, b)),
-        (arb_subject(), arb_time_ref(), arb_message())
-            .prop_map(|(s, t, m)| Formula::Says(s, t, m)),
-        (arb_subject(), arb_time_ref(), arb_message())
-            .prop_map(|(s, t, m)| Formula::Said(s, t, m)),
+        (arb_subject(), arb_time_ref(), arb_message()).prop_map(|(s, t, m)| Formula::Says(s, t, m)),
+        (arb_subject(), arb_time_ref(), arb_message()).prop_map(|(s, t, m)| Formula::Said(s, t, m)),
         (arb_subject(), arb_time_ref(), arb_message())
             .prop_map(|(s, t, m)| Formula::Received(s, t, m)),
-        (arb_subject(), arb_time_ref(), arb_key())
-            .prop_map(|(s, t, k)| Formula::Has(s, t, k)),
+        (arb_subject(), arb_time_ref(), arb_key()).prop_map(|(s, t, k)| Formula::Has(s, t, k)),
         (
             arb_key(),
             arb_time_ref(),
@@ -119,12 +116,21 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(Formula::not),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
-            (arb_subject(), arb_time_ref(), inner.clone())
-                .prop_map(|(s, t, f)| Formula::Believes(s, t, Box::new(f))),
-            (arb_subject(), arb_time_ref(), inner.clone())
-                .prop_map(|(s, t, f)| Formula::Controls(s, t, Box::new(f))),
-            (inner, arb_subject(), arb_time_ref())
-                .prop_map(|(f, s, t)| Formula::At(Box::new(f), s, t)),
+            (arb_subject(), arb_time_ref(), inner.clone()).prop_map(|(s, t, f)| Formula::Believes(
+                s,
+                t,
+                Box::new(f)
+            )),
+            (arb_subject(), arb_time_ref(), inner.clone()).prop_map(|(s, t, f)| Formula::Controls(
+                s,
+                t,
+                Box::new(f)
+            )),
+            (inner, arb_subject(), arb_time_ref()).prop_map(|(f, s, t)| Formula::At(
+                Box::new(f),
+                s,
+                t
+            )),
         ]
     })
 }
@@ -137,7 +143,9 @@ fn well_sorted(f: &Formula) -> bool {
     // the generators above never produce them, except via `ident()` for
     // principals ("K" alone is fine, "K_x" is not — filter).
     fn bad_name(p: &PrincipalId) -> bool {
-        p.as_str().starts_with("K_") || p.as_str().starts_with("G_") || p.as_str() == "t"
+        p.as_str().starts_with("K_")
+            || p.as_str().starts_with("G_")
+            || p.as_str() == "t"
             || (p.as_str().starts_with('t') && p.as_str()[1..].chars().all(|c| c.is_ascii_digit()))
     }
     fn check_subject(s: &Subject) -> bool {
@@ -160,27 +168,29 @@ fn well_sorted(f: &Formula) -> bool {
     }
     fn check(f: &Formula) -> bool {
         match f {
-            Formula::Prop(p) => !(p.starts_with("K_")
-                || p.starts_with("G_")
-                || (p.starts_with('t') && p[1..].chars().all(|c| c.is_ascii_digit()))),
+            Formula::Prop(p) => {
+                !(p.starts_with("K_")
+                    || p.starts_with("G_")
+                    || (p.starts_with('t') && p[1..].chars().all(|c| c.is_ascii_digit())))
+            }
             Formula::Not(a) => check(a),
             Formula::And(a, b) | Formula::Implies(a, b) => check(a) && check(b),
             Formula::TimeLe(_, _) => true,
-            Formula::Believes(s, _, a) | Formula::Controls(s, _, a) => {
-                check_subject(s) && check(a)
-            }
+            Formula::Believes(s, _, a) | Formula::Controls(s, _, a) => check_subject(s) && check(a),
             Formula::Says(s, _, m) | Formula::Said(s, _, m) | Formula::Received(s, _, m) => {
                 check_subject(s) && check_message(m)
             }
-            Formula::KeySpeaksFor { subject, relative_to, .. } => {
-                check_subject(subject)
-                    && relative_to.as_ref().is_none_or(|r| !bad_name(r))
-            }
+            Formula::KeySpeaksFor {
+                subject,
+                relative_to,
+                ..
+            } => check_subject(subject) && relative_to.as_ref().is_none_or(|r| !bad_name(r)),
             Formula::Has(s, _, _) => check_subject(s),
-            Formula::MemberOf { subject, relative_to, .. } => {
-                check_subject(subject)
-                    && relative_to.as_ref().is_none_or(|r| !bad_name(r))
-            }
+            Formula::MemberOf {
+                subject,
+                relative_to,
+                ..
+            } => check_subject(subject) && relative_to.as_ref().is_none_or(|r| !bad_name(r)),
             Formula::GroupSays(_, _, m) => check_message(m),
             Formula::Fresh { observer, msg, .. } => check_subject(observer) && check_message(msg),
             Formula::At(a, s, _) => check(a) && check_subject(s),

@@ -134,8 +134,20 @@ fn every_checkable_conclusion_is_true_in_the_model() {
     b.send_lost(&cp_domains(), &p, membership.clone().into(), Time(3));
     b.send_lost(&Subject::principal("AA"), &p, membership.into(), Time(3));
     // The signed request components.
-    b.deliver(&Subject::principal("User_D1"), &p, s1.message.clone(), Time(10), 0);
-    b.deliver(&Subject::principal("User_D2"), &p, s2.message.clone(), Time(10), 0);
+    b.deliver(
+        &Subject::principal("User_D1"),
+        &p,
+        s1.message.clone(),
+        Time(10),
+        0,
+    );
+    b.deliver(
+        &Subject::principal("User_D2"),
+        &p,
+        s2.message.clone(),
+        Time(10),
+        0,
+    );
     // The semantic counterpart of the grant: the group speaks.
     b.send_lost(&g_write, &p, op.payload(), Time(10));
     let model = Model::new(b.build());
@@ -147,9 +159,7 @@ fn every_checkable_conclusion_is_true_in_the_model() {
         let ok = match conclusion {
             Formula::Received(_, TimeRef::At(_), _)
             | Formula::Said(_, TimeRef::At(_), _)
-            | Formula::GroupSays(_, TimeRef::At(_), _) => {
-                Some(model.eval(Time(10), conclusion))
-            }
+            | Formula::GroupSays(_, TimeRef::At(_), _) => Some(model.eval(Time(10), conclusion)),
             // Says-conclusions about signed statements: the statement time
             // is the point to check.
             Formula::Says(_, TimeRef::At(t), _) => Some(model.eval(*t, conclusion)),

@@ -51,7 +51,13 @@ fn arb_spec() -> impl Strategy<Value = RunSpec> {
     );
     (
         proptest::collection::vec(send, 1..12),
-        proptest::collection::vec((0..PRINCIPALS.len(), proptest::option::of(0..PRINCIPALS.len())), 3),
+        proptest::collection::vec(
+            (
+                0..PRINCIPALS.len(),
+                proptest::option::of(0..PRINCIPALS.len()),
+            ),
+            3,
+        ),
         proptest::collection::vec(any::<bool>(), PAYLOADS.len()),
     )
         .prop_map(|(sends, key_holders, group_echoes)| RunSpec {
@@ -80,12 +86,17 @@ fn build_model(spec: &RunSpec) -> Model {
 
     for (from, to, key_idx, pay_idx, t, delivered) in &spec.sends {
         let sender = principal(*from);
-        let recipient = if from == to { server.clone() } else { principal(*to) };
+        let recipient = if from == to {
+            server.clone()
+        } else {
+            principal(*to)
+        };
         // Senders only sign with keys they hold (legal runs don't forge).
         let msg = match key_idx {
-            Some(ki) if spec.key_holders.get(*ki).is_some_and(|(h, thief)| {
-                principal(*h) == sender || thief.is_some_and(|th| principal(th) == sender)
-            }) =>
+            Some(ki)
+                if spec.key_holders.get(*ki).is_some_and(|(h, thief)| {
+                    principal(*h) == sender || thief.is_some_and(|th| principal(th) == sender)
+                }) =>
             {
                 payload(*pay_idx).signed(key(*ki))
             }

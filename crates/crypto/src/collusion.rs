@@ -152,7 +152,10 @@ mod tests {
                 .filter(|(i, _)| *i != leave_out)
                 .map(|(_, s)| s)
                 .collect();
-            assert_eq!(collude_additive(&public, &subset), CollusionOutcome::Nothing);
+            assert_eq!(
+                collude_additive(&public, &subset),
+                CollusionOutcome::Nothing
+            );
         }
     }
 

@@ -16,6 +16,15 @@ pub enum CryptoError {
     SelfCheckFailed,
     /// A share set cannot be combined (wrong count, duplicate indices, ...).
     BadShares(String),
+    /// A signing session exhausted its retries without assembling a quorum:
+    /// only `responsive` of the `needed` signers (requestor included)
+    /// contributed a share.
+    QuorumUnreachable {
+        /// Distinct signers that contributed before the session gave up.
+        responsive: usize,
+        /// Quorum size the session needed (`m`, or `n` for compound keys).
+        needed: usize,
+    },
 }
 
 impl fmt::Display for CryptoError {
@@ -26,6 +35,10 @@ impl fmt::Display for CryptoError {
             CryptoError::NotInvertible => write!(f, "message residue not invertible modulo N"),
             CryptoError::SelfCheckFailed => write!(f, "signature failed self-verification"),
             CryptoError::BadShares(msg) => write!(f, "bad share set: {msg}"),
+            CryptoError::QuorumUnreachable { responsive, needed } => write!(
+                f,
+                "quorum unreachable: only {responsive} of {needed} required signers responded"
+            ),
         }
     }
 }
@@ -40,6 +53,20 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let e = CryptoError::InvalidParameters("n must be >= 2".into());
         assert_eq!(e.to_string(), "invalid parameters: n must be >= 2");
-        assert!(CryptoError::SelfCheckFailed.to_string().starts_with("signature"));
+        assert!(CryptoError::SelfCheckFailed
+            .to_string()
+            .starts_with("signature"));
+    }
+
+    #[test]
+    fn quorum_unreachable_reports_counts() {
+        let e = CryptoError::QuorumUnreachable {
+            responsive: 2,
+            needed: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "quorum unreachable: only 2 of 3 required signers responded"
+        );
     }
 }

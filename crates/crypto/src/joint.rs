@@ -124,11 +124,20 @@ pub enum JointMsg {
 /// Party `requestor` initiates; every other party co-signs. Returns the
 /// signature together with the network statistics of the exchange.
 ///
+/// This is a thin wrapper over the resilient session layer
+/// ([`crate::session::SigningSession::sign_compound`]) with the default
+/// [`SessionConfig`](crate::session::SessionConfig): every receive is
+/// bounded by a round timeout and unanswered requests are retried, so the
+/// call returns [`CryptoError::QuorumUnreachable`] instead of hanging when
+/// the fault plan starves the quorum.
+///
 /// # Errors
 ///
 /// * [`CryptoError::InvalidParameters`] if `shares` is empty, inconsistent,
 ///   or `requestor` is out of range.
 /// * [`CryptoError::Protocol`] if a co-signer refuses (key-id mismatch).
+/// * [`CryptoError::QuorumUnreachable`] when a co-signer never responds
+///   within the retry budget.
 /// * Propagates combination failures.
 pub fn sign_over_network(
     public: &SharedPublicKey,
@@ -137,36 +146,15 @@ pub fn sign_over_network(
     msg: &[u8],
     faults: FaultPlan,
 ) -> Result<(RsaSignature, NetworkStats), CryptoError> {
-    let n = public.n_parties();
-    if shares.len() != n {
-        return Err(CryptoError::InvalidParameters(format!(
-            "need {n} shares, got {}",
-            shares.len()
-        )));
-    }
-    if requestor >= n {
-        return Err(CryptoError::InvalidParameters(format!(
-            "requestor index {requestor} out of range"
-        )));
-    }
-    let (endpoints, handle) = Network::<JointMsg>::mesh_with(n, faults, false);
-    let results = jaap_net::run_parties(endpoints, |mut ep| {
-        let me = ep.id().0;
-        let share = &shares[me];
-        if me == requestor {
-            requestor_side(&mut ep, public, share, msg)
-        } else {
-            cosigner_side(&mut ep, public, share, PartyId(requestor)).map(|()| None)
-        }
-    });
-    let mut signature = None;
-    for r in results {
-        if let Some(sig) = r? {
-            signature = Some(sig);
-        }
-    }
-    let sig = signature.ok_or_else(|| CryptoError::Protocol("requestor produced no signature".into()))?;
-    Ok((sig, handle.stats()))
+    let (sig, _report, stats) = crate::session::SigningSession::sign_compound(
+        public,
+        shares,
+        requestor,
+        msg,
+        faults,
+        &crate::session::SessionConfig::default(),
+    )?;
+    Ok((sig, stats))
 }
 
 /// Like [`sign_over_network`], but with a receive timeout and a per-party
@@ -218,8 +206,8 @@ pub fn sign_over_network_with_timeout(
             signature = Some(sig);
         }
     }
-    let sig = signature
-        .ok_or_else(|| CryptoError::Protocol("requestor produced no signature".into()))?;
+    let sig =
+        signature.ok_or_else(|| CryptoError::Protocol("requestor produced no signature".into()))?;
     Ok((sig, handle.stats()))
 }
 
@@ -293,65 +281,6 @@ fn cosigner_side_timeout(
     Ok(())
 }
 
-fn requestor_side(
-    ep: &mut Endpoint<JointMsg>,
-    public: &SharedPublicKey,
-    my_share: &KeyShare,
-    msg: &[u8],
-) -> Result<Option<RsaSignature>, CryptoError> {
-    ep.broadcast(JointMsg::Request {
-        msg: msg.to_vec(),
-        key_id: public.key_id(),
-    })
-    .map_err(|e| CryptoError::Protocol(format!("network: {e}")))?;
-    let mut shares = vec![produce_share(my_share, msg)?];
-    for j in 0..ep.n() {
-        if j == ep.id().0 {
-            continue;
-        }
-        match ep
-            .recv_from(PartyId(j))
-            .map_err(|e| CryptoError::Protocol(format!("network: {e}")))?
-        {
-            JointMsg::Share(value) => shares.push(SignatureShare { index: j, value }),
-            JointMsg::Refuse(reason) => {
-                return Err(CryptoError::Protocol(format!(
-                    "co-signer {j} refused: {reason}"
-                )))
-            }
-            JointMsg::Request { .. } => {
-                return Err(CryptoError::Protocol("unexpected request".into()))
-            }
-        }
-    }
-    combine(public, msg, &shares).map(Some)
-}
-
-fn cosigner_side(
-    ep: &mut Endpoint<JointMsg>,
-    public: &SharedPublicKey,
-    my_share: &KeyShare,
-    requestor: PartyId,
-) -> Result<(), CryptoError> {
-    let incoming = ep
-        .recv_from(requestor)
-        .map_err(|e| CryptoError::Protocol(format!("network: {e}")))?;
-    let JointMsg::Request { msg, key_id } = incoming else {
-        return Err(CryptoError::Protocol("expected a signing request".into()));
-    };
-    // §3.2: the request carries "a key ID comprising the hash of N and the
-    // public exponent e" — the co-signer checks it knows that key.
-    if key_id != public.key_id() {
-        ep.send(requestor, JointMsg::Refuse("unknown key id".into()))
-            .map_err(|e| CryptoError::Protocol(format!("network: {e}")))?;
-        return Ok(());
-    }
-    let share = produce_share(my_share, &msg)?;
-    ep.send(requestor, JointMsg::Share(share.value))
-        .map_err(|e| CryptoError::Protocol(format!("network: {e}")))?;
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,12 +343,17 @@ mod tests {
     #[test]
     fn network_protocol_produces_verifying_signature() {
         let (public, shares) = dealt(3, 5);
-        let (sig, stats) =
-            sign_over_network(&public, &shares, 0, b"joint access request", FaultPlan::reliable())
-                .expect("sign");
+        let (sig, stats) = sign_over_network(
+            &public,
+            &shares,
+            0,
+            b"joint access request",
+            FaultPlan::reliable(),
+        )
+        .expect("sign");
         assert!(public.verify(b"joint access request", &sig));
-        // 1 broadcast (2 msgs) + 2 replies.
-        assert_eq!(stats.messages_sent, 4);
+        // 2 requests + 2 share replies + 2 session-done notices.
+        assert_eq!(stats.messages_sent, 6);
     }
 
     #[test]

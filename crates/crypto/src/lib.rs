@@ -18,6 +18,10 @@
 //! * [`threshold`] — **m-of-n threshold signatures** (§3.3) via integer
 //!   Shamir sharing with Shoup's `Δ = n!` Lagrange trick, including a
 //!   dealer-free conversion from additive shares.
+//! * [`session`] — **resilient signing sessions**: per-round timeouts,
+//!   bounded retries with exponential backoff, and m-of-n co-signer
+//!   failover so signing completes whenever a quorum of domains is live —
+//!   and fails fast with [`CryptoError::QuorumUnreachable`] otherwise.
 //! * [`refresh`] — proactive re-randomization of additive shares
 //!   (Wu et al. [27], discussed in §6).
 //! * [`collusion`] — share-combination analysis backing the paper's
@@ -54,6 +58,7 @@ pub mod fdh;
 pub mod joint;
 pub mod refresh;
 pub mod rsa;
+pub mod session;
 pub mod sha256;
 pub mod shamir;
 pub mod shared;

@@ -98,7 +98,9 @@ pub fn refresh_over_network(
 
 fn validate(shares: &[KeyShare]) -> Result<(), CryptoError> {
     if shares.is_empty() {
-        return Err(CryptoError::InvalidParameters("no shares to refresh".into()));
+        return Err(CryptoError::InvalidParameters(
+            "no shares to refresh".into(),
+        ));
     }
     for (i, s) in shares.iter().enumerate() {
         if s.index() != i {
@@ -150,7 +152,11 @@ mod tests {
         let (public, shares) = dealt(3, 5);
         let mut refreshed = shares.clone();
         refresh_in_place(&mut StdRng::seed_from_u64(6), &mut refreshed).expect("refresh");
-        let mixed = vec![shares[0].clone(), refreshed[1].clone(), refreshed[2].clone()];
+        let mixed = vec![
+            shares[0].clone(),
+            refreshed[1].clone(),
+            refreshed[2].clone(),
+        ];
         assert!(joint::sign_locally(&public, &mixed, b"m").is_err());
     }
 

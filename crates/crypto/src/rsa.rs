@@ -110,11 +110,7 @@ impl RsaPublicKey {
     ///
     /// [`CryptoError::InvalidParameters`] if the modulus is too small to
     /// carry any payload per block.
-    pub fn encrypt(
-        &self,
-        rng: &mut dyn RngCore,
-        msg: &[u8],
-    ) -> Result<RsaCiphertext, CryptoError> {
+    pub fn encrypt(&self, rng: &mut dyn RngCore, msg: &[u8]) -> Result<RsaCiphertext, CryptoError> {
         let modulus_bytes = (self.n.bit_len() - 1) / 8;
         // Layout per block: 8 random bytes || 1 length byte || payload.
         if modulus_bytes < 10 {
@@ -309,7 +305,9 @@ mod tests {
     #[test]
     fn verify_rejects_out_of_range_values() {
         let kp = keypair(256, 6);
-        assert!(!kp.public().verify(b"m", &RsaSignature::from_value(Nat::zero())));
+        assert!(!kp
+            .public()
+            .verify(b"m", &RsaSignature::from_value(Nat::zero())));
         let too_big = RsaSignature::from_value(kp.public().modulus().clone());
         assert!(!kp.public().verify(b"m", &too_big));
     }
@@ -377,7 +375,10 @@ mod tests {
         let kp1 = keypair(256, 24);
         let kp2 = keypair(256, 25);
         let mut rng = StdRng::seed_from_u64(26);
-        let ct = kp1.public().encrypt(&mut rng, b"secret data").expect("encrypt");
+        let ct = kp1
+            .public()
+            .encrypt(&mut rng, b"secret data")
+            .expect("encrypt");
         match kp2.decrypt(&ct) {
             Err(_) => {}
             Ok(garbled) => assert_ne!(garbled, b"secret data"),

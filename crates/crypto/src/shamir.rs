@@ -124,7 +124,6 @@ pub mod field {
             })
             .collect()
     }
-
 }
 
 /// Shamir sharing over the integers with `Δ = n!` scaling (Shoup).

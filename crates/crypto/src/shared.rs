@@ -33,8 +33,7 @@
 use std::time::{Duration, Instant};
 
 use jaap_bigint::{
-    is_probable_prime, jacobi, next_prime, random_below, random_nat, Int, Jacobi, Nat,
-    SMALL_PRIMES,
+    is_probable_prime, jacobi, next_prime, random_below, random_nat, Int, Jacobi, Nat, SMALL_PRIMES,
 };
 use jaap_net::{Endpoint, Network, NetworkStats, PartyId};
 use rand::rngs::StdRng;
@@ -263,8 +262,9 @@ impl SharedRsaKey {
         let start = Instant::now();
         let (endpoints, handle) = Network::<KeygenMsg>::mesh(n);
         let results = jaap_net::run_parties(endpoints, |mut ep| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
-                .wrapping_mul(ep.id().0 as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ep.id().0 as u64 + 1)),
+            );
             keygen_party(&mut ep, bits, &mut rng)
         });
         let mut shares = Vec::with_capacity(n);
@@ -478,7 +478,8 @@ fn sample_sieved_share(
         }
         for (j, out) in outgoing.into_iter().enumerate() {
             if j != ep.id().0 {
-                ep.send(PartyId(j), KeygenMsg::SieveBlind(out)).map_err(net_err)?;
+                ep.send(PartyId(j), KeygenMsg::SieveBlind(out))
+                    .map_err(net_err)?;
             }
         }
         let mut blind = own_blind;
@@ -632,7 +633,8 @@ fn biprimality_test(
             (p_share + q_share).shr_bits(2)
         };
         let v = g.modpow(&exponent, modulus);
-        ep.broadcast(KeygenMsg::BiprimalityV(v.clone())).map_err(net_err)?;
+        ep.broadcast(KeygenMsg::BiprimalityV(v.clone()))
+            .map_err(net_err)?;
 
         // Everyone reconstructs v₀ and Π_{i≥1} vᵢ identically.
         let mut v0 = if leader { v.clone() } else { Nat::zero() };
@@ -665,7 +667,10 @@ fn apply_share(d: &Int, h: &Nat, modulus: &Nat) -> Result<Nat, CryptoError> {
 }
 
 fn gather(ep: &mut Endpoint<KeygenMsg>) -> Result<Vec<KeygenMsg>, CryptoError> {
-    Ok(gather_with_sender(ep)?.into_iter().map(|(_, m)| m).collect())
+    Ok(gather_with_sender(ep)?
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect())
 }
 
 fn gather_with_sender(

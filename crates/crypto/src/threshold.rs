@@ -238,7 +238,9 @@ pub fn combine(
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != subset.len() || sorted.iter().any(|&i| i >= public.n) {
-            return Err(CryptoError::BadShares("duplicate or out-of-range index".into()));
+            return Err(CryptoError::BadShares(
+                "duplicate or out-of-range index".into(),
+            ));
         }
     }
     let modulus = public.public.modulus();
@@ -345,9 +347,7 @@ pub fn sign_over_network(
                         }
                     }
                     Err(jaap_net::NetError::Timeout) => continue,
-                    Err(e) => {
-                        return Err(CryptoError::Protocol(format!("network: {e}")))
-                    }
+                    Err(e) => return Err(CryptoError::Protocol(format!("network: {e}"))),
                 }
             }
             combine(public, msg, &collected).map(Some)
@@ -356,8 +356,13 @@ pub fn sign_over_network(
                 Ok(env) if env.from == PartyId(requestor) => {
                     if let ThresholdMsg::Request(body) = env.payload {
                         let share = shares[me].sign_share(&body)?;
-                        ep.send(PartyId(requestor), ThresholdMsg::Share(share.value))
-                            .map_err(|e| CryptoError::Protocol(format!("network: {e}")))?;
+                        // The requestor exits as soon as it holds m shares;
+                        // a reply racing that exit sees Disconnected, which
+                        // is not a failure from the co-signer's side.
+                        match ep.send(PartyId(requestor), ThresholdMsg::Share(share.value)) {
+                            Ok(()) | Err(jaap_net::NetError::Disconnected) => {}
+                            Err(e) => return Err(CryptoError::Protocol(format!("network: {e}"))),
+                        }
                     }
                     Ok(None)
                 }
@@ -371,8 +376,8 @@ pub fn sign_over_network(
             signature = Some(sig);
         }
     }
-    let sig = signature
-        .ok_or_else(|| CryptoError::Protocol("requestor produced no signature".into()))?;
+    let sig =
+        signature.ok_or_else(|| CryptoError::Protocol("requestor produced no signature".into()))?;
     Ok((sig, handle.stats()))
 }
 
@@ -399,11 +404,7 @@ mod tests {
         ThresholdKey::deal(&mut rng, &kp, m, n).expect("deal")
     }
 
-    fn sig_shares(
-        shares: &[ThresholdShare],
-        idx: &[usize],
-        msg: &[u8],
-    ) -> Vec<ThresholdSigShare> {
+    fn sig_shares(shares: &[ThresholdShare], idx: &[usize], msg: &[u8]) -> Vec<ThresholdSigShare> {
         idx.iter()
             .map(|&i| shares[i].sign_share(msg).expect("share"))
             .collect()
@@ -453,7 +454,10 @@ mod tests {
         let (public, shares) = dealt(2, 3, 5);
         let mut ss = sig_shares(&shares, &[0, 2], b"m");
         ss[0].value = &ss[0].value + &Nat::one();
-        assert_eq!(combine(&public, b"m", &ss), Err(CryptoError::SelfCheckFailed));
+        assert_eq!(
+            combine(&public, b"m", &ss),
+            Err(CryptoError::SelfCheckFailed)
+        );
     }
 
     #[test]

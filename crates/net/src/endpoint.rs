@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::fmt::Debug;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 
@@ -23,6 +23,33 @@ pub struct Envelope<M> {
     pub seq: u64,
     /// The payload.
     pub payload: M,
+}
+
+/// Channel representation of a message: the envelope plus the instant the
+/// environment allows it to surface (delay injection). Not part of the
+/// public API — receivers only ever see the [`Envelope`].
+#[derive(Debug, Clone)]
+pub(crate) struct Wire<M> {
+    env: Envelope<M>,
+    due: Option<Instant>,
+}
+
+impl<M> Wire<M> {
+    /// Whether the message may surface at or before `deadline`.
+    fn due_by(&self, deadline: Instant) -> bool {
+        self.due.is_none_or(|d| d <= deadline)
+    }
+
+    /// Blocks out any residual injected delay, then unwraps the envelope.
+    fn surface(self) -> Envelope<M> {
+        if let Some(due) = self.due {
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        self.env
+    }
 }
 
 /// Errors surfaced by endpoint operations.
@@ -59,9 +86,9 @@ impl std::error::Error for NetError {}
 pub struct Endpoint<M> {
     id: PartyId,
     n: usize,
-    senders: Vec<Sender<Envelope<M>>>,
-    receiver: Receiver<Envelope<M>>,
-    pending: Vec<VecDeque<Envelope<M>>>,
+    senders: Vec<Sender<Wire<M>>>,
+    receiver: Receiver<Wire<M>>,
+    pending: Vec<VecDeque<Wire<M>>>,
     shared: Arc<Shared>,
 }
 
@@ -69,8 +96,8 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
     pub(crate) fn new(
         id: usize,
         n: usize,
-        senders: Vec<Sender<Envelope<M>>>,
-        receiver: Receiver<Envelope<M>>,
+        senders: Vec<Sender<Wire<M>>>,
+        receiver: Receiver<Wire<M>>,
         shared: Arc<Shared>,
     ) -> Self {
         Endpoint {
@@ -95,6 +122,24 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
         self.n
     }
 
+    fn record(&self, seq: u64, to: PartyId, payload: &M, event: TranscriptEvent) {
+        if self.shared.record_transcript {
+            self.shared.transcript.lock().push(TranscriptEntry {
+                seq,
+                from: self.id,
+                to,
+                payload: format!("{payload:?}"),
+                event,
+            });
+        }
+    }
+
+    /// Counts a suppressed message and tags the transcript accordingly.
+    fn block(&self, seq: u64, to: PartyId, payload: &M, event: TranscriptEvent) {
+        self.shared.stats.lock().messages_blocked += 1;
+        self.record(seq, to, payload, event);
+    }
+
     /// Sends `payload` to party `to`.
     ///
     /// # Errors
@@ -102,8 +147,10 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
     /// [`NetError::SelfSend`] when `to == self.id()`,
     /// [`NetError::UnknownParty`] for an out-of-range id, and
     /// [`NetError::Disconnected`] if the peer's endpoint has been dropped.
-    /// A message consumed by the fault plan still returns `Ok(())` — the
-    /// sender cannot tell (that is the point of the environment adversary).
+    /// A message consumed by the fault plan — dropped, blocked by a
+    /// partition, or suppressed because this party has crash-stopped —
+    /// still returns `Ok(())`: the sender cannot tell (that is the point of
+    /// the environment adversary).
     pub fn send(&self, to: PartyId, payload: M) -> Result<(), NetError> {
         if to == self.id {
             return Err(NetError::SelfSend);
@@ -118,6 +165,34 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
             cur
         };
         self.shared.stats.lock().messages_sent += 1;
+
+        // Crash-stop: once this party exhausts its send budget it is dead —
+        // every later send is silently swallowed.
+        let my_sends = {
+            let mut sent_by = self.shared.sent_by.lock();
+            sent_by[self.id.0] += 1;
+            sent_by[self.id.0]
+        };
+        if let Some(budget) = self.shared.plan.crash_limit(self.id.0) {
+            if my_sends > budget {
+                {
+                    let mut crashed = self.shared.crashed.lock();
+                    if !crashed[self.id.0] {
+                        crashed[self.id.0] = true;
+                        self.shared.stats.lock().parties_crashed += 1;
+                    }
+                }
+                self.block(seq, to, &payload, TranscriptEvent::DeadSender);
+                return Ok(());
+            }
+        }
+
+        // Partition: the link between the two parties is severed.
+        if self.shared.plan.is_severed(self.id.0, to.0) {
+            self.block(seq, to, &payload, TranscriptEvent::Partitioned);
+            return Ok(());
+        }
+
         let fate = self.shared.faults.lock().decide();
         let env = Envelope {
             from: self.id,
@@ -125,27 +200,18 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
             seq,
             payload,
         };
-        if self.shared.record_transcript {
-            self.shared.transcript.lock().push(TranscriptEntry {
-                seq,
-                from: self.id,
-                to,
-                payload: format!("{:?}", env.payload),
-                event: match fate {
-                    Fate::Deliver => TranscriptEvent::Delivered,
-                    Fate::Drop => TranscriptEvent::Dropped,
-                    Fate::Duplicate => TranscriptEvent::Duplicated,
-                },
-            });
-        }
         match fate {
             Fate::Drop => {
                 self.shared.stats.lock().messages_dropped += 1;
+                self.record(seq, to, &env.payload, TranscriptEvent::Dropped);
                 Ok(())
             }
             Fate::Deliver => {
                 self.shared.stats.lock().messages_delivered += 1;
-                sender.send(env).map_err(|_| NetError::Disconnected)
+                self.record(seq, to, &env.payload, TranscriptEvent::Delivered);
+                sender
+                    .send(Wire { env, due: None })
+                    .map_err(|_| NetError::Disconnected)
             }
             Fate::Duplicate => {
                 {
@@ -153,9 +219,25 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
                     stats.messages_duplicated += 1;
                     stats.messages_delivered += 2;
                 }
+                self.record(seq, to, &env.payload, TranscriptEvent::Duplicated);
+                let wire = Wire { env, due: None };
                 sender
-                    .send(env.clone())
-                    .and_then(|()| sender.send(env))
+                    .send(wire.clone())
+                    .and_then(|()| sender.send(wire))
+                    .map_err(|_| NetError::Disconnected)
+            }
+            Fate::Delay(d) => {
+                {
+                    let mut stats = self.shared.stats.lock();
+                    stats.messages_delayed += 1;
+                    stats.messages_delivered += 1;
+                }
+                self.record(seq, to, &env.payload, TranscriptEvent::Delayed(d));
+                sender
+                    .send(Wire {
+                        env,
+                        due: Some(Instant::now() + d),
+                    })
                     .map_err(|_| NetError::Disconnected)
             }
         }
@@ -175,38 +257,60 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
         Ok(())
     }
 
-    /// Receives the next message in arrival order, blocking. Messages
-    /// previously buffered by [`Endpoint::recv_from`] are returned first in
-    /// sender-id order.
+    /// Pops the first buffered message, in sender-id order.
+    fn pop_pending(&mut self) -> Option<Wire<M>> {
+        self.pending.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Receives the next message in arrival order, blocking (including
+    /// through any injected delay). Messages previously buffered by
+    /// [`Endpoint::recv_from`] are returned first in sender-id order.
     ///
     /// # Errors
     ///
     /// [`NetError::Disconnected`] if all senders are gone.
     pub fn recv(&mut self) -> Result<Envelope<M>, NetError> {
-        for q in &mut self.pending {
-            if let Some(env) = q.pop_front() {
-                return Ok(env);
-            }
+        if let Some(w) = self.pop_pending() {
+            return Ok(w.surface());
         }
-        self.receiver.recv().map_err(|_| NetError::Disconnected)
+        self.receiver
+            .recv()
+            .map(Wire::surface)
+            .map_err(|_| NetError::Disconnected)
     }
 
-    /// Like [`Endpoint::recv`] with a timeout.
+    /// Like [`Endpoint::recv`] with a timeout. A message whose injected
+    /// delay extends past the timeout is kept buffered (it will surface on a
+    /// later receive) and [`NetError::Timeout`] is returned.
     ///
     /// # Errors
     ///
-    /// [`NetError::Timeout`] if nothing arrives in `dur`;
+    /// [`NetError::Timeout`] if nothing surfaces within `dur`;
     /// [`NetError::Disconnected`] if all senders are gone.
     pub fn recv_timeout(&mut self, dur: Duration) -> Result<Envelope<M>, NetError> {
+        let deadline = Instant::now() + dur;
         for q in &mut self.pending {
-            if let Some(env) = q.pop_front() {
-                return Ok(env);
+            if q.front().is_some_and(|w| w.due_by(deadline)) {
+                let w = q.pop_front().expect("nonempty queue");
+                return Ok(w.surface());
             }
         }
-        self.receiver.recv_timeout(dur).map_err(|e| match e {
-            RecvTimeoutError::Timeout => NetError::Timeout,
-            RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })
+        loop {
+            let now = Instant::now();
+            let Some(budget) = deadline
+                .checked_duration_since(now)
+                .filter(|b| !b.is_zero())
+            else {
+                return Err(NetError::Timeout);
+            };
+            match self.receiver.recv_timeout(budget) {
+                Ok(w) if w.due_by(deadline) => return Ok(w.surface()),
+                // Not due yet: keep it for a later receive, keep waiting.
+                Ok(w) => self.pending[w.env.from.0].push_back(w),
+                Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Disconnected),
+            }
+        }
     }
 
     /// Receives the next message *from a specific sender*, buffering
@@ -220,15 +324,55 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
         if from.0 >= self.n {
             return Err(NetError::UnknownParty(from));
         }
-        if let Some(env) = self.pending[from.0].pop_front() {
-            return Ok(env.payload);
+        if let Some(w) = self.pending[from.0].pop_front() {
+            return Ok(w.surface().payload);
         }
         loop {
-            let env = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
-            if env.from == from {
-                return Ok(env.payload);
+            let w = self.receiver.recv().map_err(|_| NetError::Disconnected)?;
+            if w.env.from == from {
+                return Ok(w.surface().payload);
             }
-            self.pending[env.from.0].push_back(env);
+            self.pending[w.env.from.0].push_back(w);
+        }
+    }
+
+    /// Like [`Endpoint::recv_from`] with a timeout: the bounded wait every
+    /// signing-session round uses so no protocol step can hang on a crashed
+    /// or partitioned peer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownParty`] for an out-of-range id;
+    /// [`NetError::Timeout`] if nothing from `from` surfaces within `dur`;
+    /// [`NetError::Disconnected`] if the channel closes first.
+    pub fn recv_from_timeout(&mut self, from: PartyId, dur: Duration) -> Result<M, NetError> {
+        if from.0 >= self.n {
+            return Err(NetError::UnknownParty(from));
+        }
+        let deadline = Instant::now() + dur;
+        if self.pending[from.0]
+            .front()
+            .is_some_and(|w| w.due_by(deadline))
+        {
+            let w = self.pending[from.0].pop_front().expect("nonempty queue");
+            return Ok(w.surface().payload);
+        }
+        loop {
+            let now = Instant::now();
+            let Some(budget) = deadline
+                .checked_duration_since(now)
+                .filter(|b| !b.is_zero())
+            else {
+                return Err(NetError::Timeout);
+            };
+            match self.receiver.recv_timeout(budget) {
+                Ok(w) if w.env.from == from && w.due_by(deadline) => {
+                    return Ok(w.surface().payload);
+                }
+                Ok(w) => self.pending[w.env.from.0].push_back(w),
+                Err(RecvTimeoutError::Timeout) => return Err(NetError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(NetError::Disconnected),
+            }
         }
     }
 
@@ -262,6 +406,7 @@ impl<M> core::fmt::Debug for Endpoint<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::network::Network;
     use crate::run_parties;
 
@@ -276,7 +421,10 @@ mod tests {
     fn unknown_party_rejected() {
         let (mut eps, _h) = Network::<u8>::mesh(2);
         let ep = eps.remove(0);
-        assert_eq!(ep.send(PartyId(9), 1), Err(NetError::UnknownParty(PartyId(9))));
+        assert_eq!(
+            ep.send(PartyId(9), 1),
+            Err(NetError::UnknownParty(PartyId(9)))
+        );
     }
 
     #[test]
@@ -352,8 +500,59 @@ mod tests {
     }
 
     #[test]
+    fn recv_from_timeout_times_out_on_wrong_sender() {
+        let (eps, _h) = Network::<u8>::mesh(3);
+        let results = run_parties(eps, |mut ep| match ep.id().0 {
+            0 => {
+                // Party 1 sends, party 2 stays silent: waiting on 2 times out
+                // while 1's message stays buffered for later.
+                let r = ep.recv_from_timeout(PartyId(2), Duration::from_millis(50));
+                assert_eq!(r, Err(NetError::Timeout));
+                ep.recv_from(PartyId(1)).expect("buffered message from 1")
+            }
+            1 => {
+                ep.send(PartyId(0), 42).expect("send");
+                0
+            }
+            _ => 0,
+        });
+        assert_eq!(results[0], 42);
+    }
+
+    #[test]
+    fn delayed_message_past_timeout_surfaces_later() {
+        let plan = FaultPlan::seeded(11).with_delay(1.0, Duration::from_millis(60));
+        let (eps, _h) = Network::<u8>::mesh_with(2, plan, false);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 9).expect("send");
+            } else {
+                // Give the wire time to arrive in the channel, then poll with
+                // a window shorter than any possible residual delay sleep.
+                let mut got = None;
+                for _ in 0..100 {
+                    match ep.recv_timeout(Duration::from_millis(5)) {
+                        Ok(env) => {
+                            got = Some(env.payload);
+                            break;
+                        }
+                        Err(NetError::Timeout) => continue,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                assert_eq!(got, Some(9), "delayed message never surfaced");
+            }
+        });
+    }
+
+    #[test]
     fn error_display() {
-        assert_eq!(NetError::SelfSend.to_string(), "a party cannot send to itself");
-        assert!(NetError::UnknownParty(PartyId(3)).to_string().contains("party#3"));
+        assert_eq!(
+            NetError::SelfSend.to_string(),
+            "a party cannot send to itself"
+        );
+        assert!(NetError::UnknownParty(PartyId(3))
+            .to_string()
+            .contains("party#3"));
     }
 }

@@ -44,7 +44,7 @@ mod network;
 mod transcript;
 
 pub use endpoint::{Endpoint, Envelope, NetError};
-pub use fault::FaultPlan;
+pub use fault::{Crash, FaultPlan};
 pub use network::{run_parties, Network, NetworkHandle, NetworkStats};
 pub use transcript::{TranscriptEntry, TranscriptEvent};
 

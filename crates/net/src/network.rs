@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crossbeam_channel::unbounded;
 use parking_lot::Mutex;
 
-use crate::endpoint::{Endpoint, Envelope};
+use crate::endpoint::{Endpoint, Wire};
 use crate::fault::{FaultPlan, FaultRng};
 use crate::transcript::TranscriptEntry;
 
@@ -21,6 +21,12 @@ pub struct NetworkStats {
     pub messages_dropped: u64,
     /// Messages delivered twice.
     pub messages_duplicated: u64,
+    /// Messages delivered late because of an injected delay.
+    pub messages_delayed: u64,
+    /// Messages suppressed by a severed link or a crashed sender.
+    pub messages_blocked: u64,
+    /// Parties that have crash-stopped (exhausted their send budget).
+    pub parties_crashed: u64,
 }
 
 pub(crate) struct Shared {
@@ -28,6 +34,11 @@ pub(crate) struct Shared {
     pub(crate) stats: Mutex<NetworkStats>,
     pub(crate) transcript: Mutex<Vec<TranscriptEntry>>,
     pub(crate) faults: Mutex<FaultRng>,
+    pub(crate) plan: FaultPlan,
+    /// Per-party outbound send attempts (drives the crash-stop schedule).
+    pub(crate) sent_by: Mutex<Vec<u64>>,
+    /// Which parties have already crash-stopped (so each is counted once).
+    pub(crate) crashed: Mutex<Vec<bool>>,
     pub(crate) record_transcript: bool,
 }
 
@@ -81,7 +92,9 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0`, if [`FaultPlan::validate`] rejects the plan
+    /// (e.g. a probability outside `[0, 1]`), or if a crash or partition
+    /// entry names a party outside `0..n`.
     #[must_use]
     pub fn mesh_with(
         n: usize,
@@ -89,17 +102,29 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
         record_transcript: bool,
     ) -> (Vec<Endpoint<M>>, NetworkHandle) {
         assert!(n > 0, "a network needs at least one party");
+        if let Err(why) = faults.validate() {
+            panic!("invalid FaultPlan: {why}");
+        }
+        for c in &faults.crashes {
+            assert!(c.party < n, "crash entry names unknown party {}", c.party);
+        }
+        for &(a, b) in &faults.severed {
+            assert!(a < n && b < n, "partition names unknown party ({a}, {b})");
+        }
         let shared = Arc::new(Shared {
             seq: Mutex::new(0),
             stats: Mutex::new(NetworkStats::default()),
             transcript: Mutex::new(Vec::new()),
-            faults: Mutex::new(FaultRng::new(faults)),
+            faults: Mutex::new(FaultRng::new(faults.clone())),
+            plan: faults,
+            sent_by: Mutex::new(vec![0; n]),
+            crashed: Mutex::new(vec![false; n]),
             record_transcript,
         });
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Envelope<M>>();
+            let (tx, rx) = unbounded::<Wire<M>>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -208,18 +233,16 @@ mod tests {
 
     #[test]
     fn dropped_messages_counted_not_delivered() {
-        let plan = FaultPlan {
-            drop_prob: 1.0,
-            duplicate_prob: 0.0,
-            seed: 1,
-        };
+        let plan = FaultPlan::seeded(1).with_drop(1.0);
         let (eps, handle) = Network::<u8>::mesh_with(2, plan, false);
         let _ = run_parties(eps, |mut ep| {
             if ep.id().0 == 0 {
                 ep.send(PartyId(1), 1).expect("send");
                 ep.send(PartyId(1), 2).expect("send");
             } else {
-                assert!(ep.recv_timeout(std::time::Duration::from_millis(50)).is_err());
+                assert!(ep
+                    .recv_timeout(std::time::Duration::from_millis(50))
+                    .is_err());
             }
         });
         let s = handle.stats();
@@ -230,11 +253,7 @@ mod tests {
 
     #[test]
     fn duplicated_messages_delivered_twice() {
-        let plan = FaultPlan {
-            drop_prob: 0.0,
-            duplicate_prob: 1.0,
-            seed: 1,
-        };
+        let plan = FaultPlan::seeded(1).with_duplicate(1.0);
         let (eps, handle) = Network::<u8>::mesh_with(2, plan, false);
         let _ = run_parties(eps, |mut ep| {
             if ep.id().0 == 0 {
@@ -246,5 +265,102 @@ mod tests {
         });
         assert_eq!(handle.stats().messages_duplicated, 1);
         assert_eq!(handle.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultPlan")]
+    fn mesh_with_rejects_out_of_range_probability() {
+        let plan = FaultPlan {
+            drop_prob: 1.7,
+            ..FaultPlan::reliable()
+        };
+        let _ = Network::<u8>::mesh_with(2, plan, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown party")]
+    fn mesh_with_rejects_crash_of_unknown_party() {
+        let _ = Network::<u8>::mesh_with(2, FaultPlan::reliable().with_crash(7, 0), false);
+    }
+
+    #[test]
+    fn crashed_party_goes_mute_after_send_budget() {
+        let plan = FaultPlan::reliable().with_crash(0, 2);
+        let (eps, handle) = Network::<u8>::mesh_with(2, plan, true);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                for v in 0..5 {
+                    ep.send(PartyId(1), v).expect("send never errors for crash");
+                }
+            } else {
+                assert_eq!(ep.recv().expect("first").payload, 0);
+                assert_eq!(ep.recv().expect("second").payload, 1);
+                assert!(ep
+                    .recv_timeout(std::time::Duration::from_millis(50))
+                    .is_err());
+            }
+        });
+        let s = handle.stats();
+        assert_eq!(s.messages_sent, 5);
+        assert_eq!(s.messages_delivered, 2);
+        assert_eq!(s.messages_blocked, 3);
+        assert_eq!(s.parties_crashed, 1);
+        use crate::transcript::TranscriptEvent;
+        let dead = handle
+            .transcript()
+            .iter()
+            .filter(|e| e.event == TranscriptEvent::DeadSender)
+            .count();
+        assert_eq!(dead, 3);
+    }
+
+    #[test]
+    fn partitioned_link_blocks_both_directions() {
+        let plan = FaultPlan::reliable().with_partition(&[0], &[1]);
+        let (eps, handle) = Network::<u8>::mesh_with(3, plan, true);
+        let _ = run_parties(eps, |mut ep| match ep.id().0 {
+            0 => {
+                ep.send(PartyId(1), 10).expect("blocked send still ok");
+                ep.send(PartyId(2), 20).expect("send");
+            }
+            1 => {
+                ep.send(PartyId(0), 30).expect("blocked send still ok");
+                assert!(ep
+                    .recv_timeout(std::time::Duration::from_millis(50))
+                    .is_err());
+            }
+            _ => {
+                assert_eq!(ep.recv().expect("recv").payload, 20);
+            }
+        });
+        let s = handle.stats();
+        assert_eq!(s.messages_blocked, 2);
+        assert_eq!(s.messages_delivered, 1);
+        use crate::transcript::TranscriptEvent;
+        let cut = handle
+            .transcript()
+            .iter()
+            .filter(|e| e.event == TranscriptEvent::Partitioned)
+            .count();
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_arrive() {
+        let plan = FaultPlan::seeded(9).with_delay(1.0, std::time::Duration::from_millis(30));
+        let (eps, handle) = Network::<u8>::mesh_with(2, plan, false);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 5).expect("send");
+            } else {
+                let env = ep
+                    .recv_timeout(std::time::Duration::from_secs(2))
+                    .expect("delayed message must still arrive");
+                assert_eq!(env.payload, 5);
+            }
+        });
+        let s = handle.stats();
+        assert_eq!(s.messages_delayed, 1);
+        assert_eq!(s.messages_delivered, 1);
     }
 }

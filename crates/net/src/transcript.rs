@@ -12,6 +12,12 @@ pub enum TranscriptEvent {
     Dropped,
     /// Delivered twice (replayed).
     Duplicated,
+    /// Held back by the environment before delivery.
+    Delayed(std::time::Duration),
+    /// Suppressed because the link is severed by a partition.
+    Partitioned,
+    /// Suppressed because the sender has crash-stopped.
+    DeadSender,
 }
 
 /// One transcript line: who sent what to whom, and its fate.
@@ -36,6 +42,9 @@ impl core::fmt::Display for TranscriptEntry {
             TranscriptEvent::Delivered => "->",
             TranscriptEvent::Dropped => "-X",
             TranscriptEvent::Duplicated => "=>",
+            TranscriptEvent::Delayed(_) => "~>",
+            TranscriptEvent::Partitioned => "|X",
+            TranscriptEvent::DeadSender => "+X",
         };
         write!(
             f,
@@ -63,5 +72,21 @@ mod tests {
         assert!(s.contains("party#0"));
         assert!(s.contains("party#2"));
         assert!(s.contains("share"));
+    }
+
+    #[test]
+    fn fault_model_events_have_distinct_markers() {
+        let mut entry = TranscriptEntry {
+            seq: 1,
+            from: PartyId(0),
+            to: PartyId(1),
+            payload: "m".into(),
+            event: TranscriptEvent::Delayed(std::time::Duration::from_millis(3)),
+        };
+        assert!(entry.to_string().contains("~>"));
+        entry.event = TranscriptEvent::Partitioned;
+        assert!(entry.to_string().contains("|X"));
+        entry.event = TranscriptEvent::DeadSender;
+        assert!(entry.to_string().contains("+X"));
     }
 }

@@ -67,10 +67,7 @@ impl ThresholdSubject {
     /// Looks up the bound key for a member name.
     #[must_use]
     pub fn key_of(&self, name: &str) -> Option<&RsaPublicKey> {
-        self.members
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, k)| k)
+        self.members.iter().find(|(n, _)| n == name).map(|(_, k)| k)
     }
 }
 
@@ -307,13 +304,8 @@ impl CompoundAttributeCertificate {
     /// The logic-level subject `{P1, …, Pn}|K_cp`.
     #[must_use]
     pub fn to_logic_subject(&self) -> Subject {
-        Subject::compound(
-            self.member_names
-                .iter()
-                .map(Subject::principal)
-                .collect(),
-        )
-        .bound(key_name(&self.shared_key))
+        Subject::compound(self.member_names.iter().map(Subject::principal).collect())
+            .bound(key_name(&self.shared_key))
     }
 
     /// The idealized certificate: `⟨AA says_t (CP|K ⇒ [tb,te] G)⟩_{K_AA⁻¹}`.
@@ -449,8 +441,7 @@ mod tests {
         let s = subject(&mut rng, 2);
         let group = GroupId::new("G_write");
         let validity = Validity::new(Time(0), Time(100));
-        let body =
-            ThresholdAttributeCertificate::body_bytes("AA", &s, &group, validity, Time(6));
+        let body = ThresholdAttributeCertificate::body_bytes("AA", &s, &group, validity, Time(6));
         let signature = joint::sign_locally(&aa_key, &shares, &body).expect("joint sign");
         let cert = ThresholdAttributeCertificate {
             issuer: "AA".into(),
@@ -475,8 +466,7 @@ mod tests {
         let s = subject(&mut rng, 2);
         let group = GroupId::new("G_write");
         let validity = Validity::new(Time(0), Time(100));
-        let body =
-            ThresholdAttributeCertificate::body_bytes("AA", &s, &group, validity, Time(6));
+        let body = ThresholdAttributeCertificate::body_bytes("AA", &s, &group, validity, Time(6));
         let signature = joint::sign_locally(&aa_key, &shares, &body).expect("joint sign");
         let cert = ThresholdAttributeCertificate {
             issuer: "AA".into(),

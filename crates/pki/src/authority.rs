@@ -65,13 +65,8 @@ impl CertificateAuthority {
         timestamp: Time,
     ) -> Result<IdentityCertificate, PkiError> {
         let subject = subject.into();
-        let body = IdentityCertificate::body_bytes(
-            &self.name,
-            &subject,
-            subject_key,
-            validity,
-            timestamp,
-        );
+        let body =
+            IdentityCertificate::body_bytes(&self.name, &subject, subject_key, validity, timestamp);
         let signature = self
             .keypair
             .sign(&body)
@@ -173,10 +168,7 @@ impl RevocationAuthority {
     /// # Errors
     ///
     /// Propagates signing failures.
-    pub(crate) fn sign(
-        &self,
-        body: &[u8],
-    ) -> Result<jaap_crypto::rsa::RsaSignature, CryptoError> {
+    pub(crate) fn sign(&self, body: &[u8]) -> Result<jaap_crypto::rsa::RsaSignature, CryptoError> {
         self.keypair.sign(body)
     }
 

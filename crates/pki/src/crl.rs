@@ -119,11 +119,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ra = RevocationAuthority::new("RA", "AA", &mut rng, 192).expect("ra");
         let user = RsaKeyPair::generate(&mut rng, 128).expect("user");
-        let subject = ThresholdSubject::new(
-            vec![("User_D1".into(), user.public().clone())],
-            1,
-        )
-        .expect("subject");
+        let subject = ThresholdSubject::new(vec![("User_D1".into(), user.public().clone())], 1)
+            .expect("subject");
         let entries = vec![CrlEntry {
             subject,
             group: GroupId::new("G_write"),

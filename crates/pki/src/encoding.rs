@@ -69,8 +69,11 @@ impl Encoder {
 
     fn put(&mut self, tag: Tag, value: &[u8]) -> &mut Self {
         self.buf.push(tag as u8);
-        self.buf
-            .extend_from_slice(&u32::try_from(value.len()).expect("field too long").to_be_bytes());
+        self.buf.extend_from_slice(
+            &u32::try_from(value.len())
+                .expect("field too long")
+                .to_be_bytes(),
+        );
         self.buf.extend_from_slice(value);
         self
     }

@@ -247,10 +247,7 @@ mod tests {
             panic!("expected identity view");
         };
         assert_eq!(issuer.as_str(), "CA1");
-        assert_eq!(
-            subject,
-            jaap_core::syntax::Subject::principal("User_D1")
-        );
+        assert_eq!(subject, jaap_core::syntax::Subject::principal("User_D1"));
         assert!(!negated);
     }
 

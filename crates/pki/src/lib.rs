@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PkiError::BadSignature("x".into()).to_string().contains("bad signature"));
-        assert!(PkiError::UnknownIssuer("y".into()).to_string().contains("unknown issuer"));
+        assert!(PkiError::BadSignature("x".into())
+            .to_string()
+            .contains("bad signature"));
+        assert!(PkiError::UnknownIssuer("y".into())
+            .to_string()
+            .contains("unknown issuer"));
     }
 }

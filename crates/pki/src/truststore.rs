@@ -104,10 +104,7 @@ impl TrustStore {
         }
         if let Some(aa) = &self.aa {
             let n = aa.domains.len();
-            let cp = Subject::threshold(
-                aa.domains.iter().map(Subject::principal).collect(),
-                n,
-            );
+            let cp = Subject::threshold(aa.domains.iter().map(Subject::principal).collect(), n);
             // Statement 1: K_AA ⇒ CP_{n,n}; plus the paper's reading
             // convenience "we say that AA signs messages with K_AA as well".
             a.own_key(key_name(aa.key.rsa()), cp);
@@ -318,9 +315,8 @@ mod tests {
     #[test]
     fn verified_identity_idealizes() {
         let f = fixture();
-        let cert = f
-            .ca
-            .issue_identity(
+        let cert =
+            f.ca.issue_identity(
                 "User_D1",
                 f.user.public(),
                 Validity::new(Time(0), Time(100)),
@@ -353,11 +349,8 @@ mod tests {
     #[test]
     fn forged_threshold_ac_rejected() {
         let f = fixture();
-        let subject = ThresholdSubject::new(
-            vec![("User_D1".into(), f.user.public().clone())],
-            1,
-        )
-        .expect("subject");
+        let subject = ThresholdSubject::new(vec![("User_D1".into(), f.user.public().clone())], 1)
+            .expect("subject");
         let validity = Validity::new(Time(0), Time(100));
         let body = ThresholdAttributeCertificate::body_bytes(
             "AA",
@@ -375,9 +368,7 @@ mod tests {
             group: GroupId::new("G_write"),
             validity,
             timestamp: Time(6),
-            signature: jaap_crypto::rsa::RsaSignature::from_value(jaap_bigint::Nat::from(
-                12345u64,
-            )),
+            signature: jaap_crypto::rsa::RsaSignature::from_value(jaap_bigint::Nat::from(12345u64)),
         };
         assert!(matches!(
             f.store.idealize_threshold_attribute(&cert),
@@ -388,11 +379,8 @@ mod tests {
     #[test]
     fn properly_jointly_signed_ac_idealizes() {
         let f = fixture();
-        let subject = ThresholdSubject::new(
-            vec![("User_D1".into(), f.user.public().clone())],
-            1,
-        )
-        .expect("subject");
+        let subject = ThresholdSubject::new(vec![("User_D1".into(), f.user.public().clone())], 1)
+            .expect("subject");
         let validity = Validity::new(Time(0), Time(100));
         let body = ThresholdAttributeCertificate::body_bytes(
             "AA",
@@ -416,16 +404,15 @@ mod tests {
     #[test]
     fn ra_revocation_idealizes() {
         let f = fixture();
-        let subject = ThresholdSubject::new(
-            vec![("User_D1".into(), f.user.public().clone())],
-            1,
-        )
-        .expect("subject");
-        let rev = f
-            .ra
-            .revoke_attribute(&subject, GroupId::new("G_write"), Time(20), Time(20))
-            .expect("revoke");
-        let msg = f.store.idealize_attribute_revocation(&rev).expect("idealize");
+        let subject = ThresholdSubject::new(vec![("User_D1".into(), f.user.public().clone())], 1)
+            .expect("subject");
+        let rev =
+            f.ra.revoke_attribute(&subject, GroupId::new("G_write"), Time(20), Time(20))
+                .expect("revoke");
+        let msg = f
+            .store
+            .idealize_attribute_revocation(&rev)
+            .expect("idealize");
         let view = jaap_core::certs::CertView::parse(&msg).expect("parse");
         assert!(matches!(
             view,

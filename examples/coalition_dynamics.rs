@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("remaining members still write: granted = {}\n", w.granted);
 
     println!("== Cost trend as the coalition grows ==");
-    println!("{:>4} {:>14} {:>10} {:>10}", "n", "rekey", "revoked", "reissued");
+    println!(
+        "{:>4} {:>14} {:>10} {:>10}",
+        "n", "rekey", "revoked", "reissued"
+    );
     for name in ["D5", "D6", "D7", "D8"] {
         let r = coalition.join_domain(name)?;
         println!(

@@ -25,27 +25,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Research alliance formed ==");
     println!("members: Genetics, Hospital, Pharma");
-    println!(
-        "research data ({OBJECT_O}) writes require 2-of-3 member signatures\n"
-    );
+    println!("research data ({OBJECT_O}) writes require 2-of-3 member signatures\n");
 
     // The gene-sequence write: consensus between the discoverer and the
     // trial site.
     let w = alliance.request_write(&["User_Genetics", "User_Hospital"])?;
-    println!("Genetics + Hospital write gene-sequence data: granted = {}", w.granted);
+    println!(
+        "Genetics + Hospital write gene-sequence data: granted = {}",
+        w.granted
+    );
 
     // Pharma alone cannot slip a modification through.
     let solo = alliance.request_write(&["User_Pharma"])?;
-    println!("Pharma unilateral write:                      granted = {}", solo.granted);
+    println!(
+        "Pharma unilateral write:                      granted = {}",
+        solo.granted
+    );
 
     // Jointly administer the *policy object*: the AA (all three domains
     // signing jointly) grants User_Genetics a set-policy privilege bound to
     // its public key — selective distribution of privileges (§4.2).
     println!("\n== Joint administration of the policy object ==");
-    let genetics_user = alliance
-        .user("User_Genetics")
-        .expect("user")
-        .clone();
+    let genetics_user = alliance.user("User_Genetics").expect("user").clone();
     let set_policy_ac = alliance.aa().issue_attribute_certificate(
         "User_Genetics",
         genetics_user.public(),

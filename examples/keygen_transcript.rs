@@ -6,8 +6,8 @@
 //! cargo run --release --example keygen_transcript
 //! ```
 
-use jaap_crypto::shared::SharedRsaKey;
 use jaap_crypto::joint;
+use jaap_crypto::shared::SharedRsaKey;
 use jaap_net::FaultPlan;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,11 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  D1           : S = S_1 * S_2 * S_3 * M^r mod N,  verify S^e = M");
 
     println!("\n== Environment faults: replayed messages are tolerated ==");
-    let plan = FaultPlan {
-        drop_prob: 0.0,
-        duplicate_prob: 1.0,
-        seed: 5,
-    };
+    let plan = FaultPlan::seeded(5).with_duplicate(1.0);
     let (sig, stats) = joint::sign_over_network(&public, &shares, 1, b"replayed", plan)?;
     println!(
         "with 100% duplication: {} deliveries, signature verifies: {}",

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // certificates needs everyone online; a 3-of-5 threshold conversion
     // keeps the AA operational through maintenance windows.
     println!("\n== Joint-signature availability (per-domain uptime p) ==");
-    println!("{:>6} {:>10} {:>12} {:>12}", "p", "n-of-n", "majority", "gain");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "p", "n-of-n", "majority", "gain"
+    );
     for p in [0.90f64, 0.95, 0.99] {
         let full = availability::analytic(5, 5, p);
         let majority = availability::analytic(5, 3, p);
@@ -58,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sig = jaap_crypto::threshold::combine(&tp, b"emergency tasking order", &quorum)?;
     println!(
         "3-of-5 threshold signature verifies against the SAME shared key: {}",
-        coalition.aa().public().verify(b"emergency tasking order", &sig)
+        coalition
+            .aa()
+            .public()
+            .verify(b"emergency tasking order", &sig)
     );
 
     // §6: proactive refresh. Exfiltrated shares go stale.
@@ -77,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.is_compromised()
     );
     let post = coalition.request_write(&["User_US", "User_DE", "User_UK"])?;
-    println!("coalition still operational after refresh: granted = {}", post.granted);
+    println!(
+        "coalition still operational after refresh: granted = {}",
+        post.granted
+    );
 
     Ok(())
 }

@@ -58,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "D1",
         coalition.write_ac().subject.clone(),
         jaap_core::syntax::GroupId::new("G_write"),
-        jaap_core::certs::Validity::new(
-            jaap_core::syntax::Time(0),
-            jaap_core::syntax::Time(100),
-        ),
+        jaap_core::certs::Validity::new(jaap_core::syntax::Time(0), jaap_core::syntax::Time(100)),
         jaap_core::syntax::Time(7),
     )?;
     println!(

@@ -31,12 +31,27 @@ fn main() {
     // it to P; the group (whose voice the threshold certificate creates)
     // says it too.
     let payload = Message::data("\"write\" Object O");
-    b.deliver(&users[0], &server, payload.clone().signed(keys[0].clone()), Time(4), 1);
-    b.deliver(&users[1], &server, payload.clone().signed(keys[1].clone()), Time(4), 1);
+    b.deliver(
+        &users[0],
+        &server,
+        payload.clone().signed(keys[0].clone()),
+        Time(4),
+        1,
+    );
+    b.deliver(
+        &users[1],
+        &server,
+        payload.clone().signed(keys[1].clone()),
+        Time(4),
+        1,
+    );
     b.send_lost(&group, &server, payload.clone(), Time(4));
 
     let model = Model::new(b.build());
-    println!("run is legal (Appendix C conditions): {}\n", model.run().is_legal());
+    println!(
+        "run is legal (Appendix C conditions): {}\n",
+        model.run().is_legal()
+    );
 
     // The threshold compound of the certificate.
     let cp = Subject::threshold(
@@ -52,7 +67,11 @@ fn main() {
     let checks: Vec<(String, Formula)> = vec![
         (
             "P received ⟨X⟩_K_u1⁻¹".into(),
-            Formula::received(server.clone(), Time(5), payload.clone().signed(keys[0].clone())),
+            Formula::received(
+                server.clone(),
+                Time(5),
+                payload.clone().signed(keys[0].clone()),
+            ),
         ),
         (
             "K_u1 ⇒ User_D1".into(),
@@ -79,7 +98,11 @@ fn main() {
     let a10 = Formula::implies(
         Formula::and(
             Formula::key_speaks_for(keys[0].clone(), Time(6), users[0].clone()),
-            Formula::received(server.clone(), Time(6), payload.clone().signed(keys[0].clone())),
+            Formula::received(
+                server.clone(),
+                Time(6),
+                payload.clone().signed(keys[0].clone()),
+            ),
         ),
         Formula::said(users[0].clone(), Time(6), payload.clone()),
     );
@@ -90,9 +113,17 @@ fn main() {
         Formula::and(
             Formula::and(
                 Formula::member_of(cp, Time(4), GroupId::new("G_write")),
-                Formula::says(users[0].clone(), Time(4), payload.clone().signed(keys[0].clone())),
+                Formula::says(
+                    users[0].clone(),
+                    Time(4),
+                    payload.clone().signed(keys[0].clone()),
+                ),
             ),
-            Formula::says(users[1].clone(), Time(4), payload.clone().signed(keys[1].clone())),
+            Formula::says(
+                users[1].clone(),
+                Time(4),
+                payload.clone().signed(keys[1].clone()),
+            ),
         ),
         Formula::group_says(GroupId::new("G_write"), Time(4), payload.clone()),
     );

@@ -77,12 +77,18 @@ fn users_compound() -> Subject {
 fn compound_certificate_verifies_and_idealizes() {
     let s = setup(7001);
     assert!(s.cert.verify(s.aa.public()).is_ok());
-    let msg = s.store.idealize_compound_attribute(&s.cert).expect("idealize");
+    let msg = s
+        .store
+        .idealize_compound_attribute(&s.cert)
+        .expect("idealize");
     let view = jaap_core::certs::CertView::parse(&msg).expect("parse");
     let jaap_core::certs::CertView::Attribute { subject, .. } = view else {
         panic!("expected attribute");
     };
-    assert_eq!(subject, users_compound().bound(key_name(s.users_public.rsa())));
+    assert_eq!(
+        subject,
+        users_compound().bound(key_name(s.users_public.rsa()))
+    );
 }
 
 #[test]
@@ -96,7 +102,10 @@ fn a37_grant_with_joint_user_signature() {
     engine.advance_clock(Time(10));
 
     // Admit the compound AC.
-    let ideal = s.store.idealize_compound_attribute(&s.cert).expect("idealize");
+    let ideal = s
+        .store
+        .idealize_compound_attribute(&s.cert)
+        .expect("idealize");
     engine.admit_certificate(&ideal).expect("admit");
     let group = GroupId::new("G_write");
     let (subject, belief) = engine
@@ -118,7 +127,15 @@ fn a37_grant_with_joint_user_signature() {
         .expect("joint statement");
     assert_eq!(owner, users_compound());
     let derivation = engine
-        .apply_a36_a37(&belief, &subject, &group, Time(10), &logic_payload, &stmt, Some(&key))
+        .apply_a36_a37(
+            &belief,
+            &subject,
+            &group,
+            Time(10),
+            &logic_payload,
+            &stmt,
+            Some(&key),
+        )
         .expect("a37");
     assert!(derivation
         .axioms_used()
@@ -156,7 +173,10 @@ fn wrong_shared_key_in_statement_fails_a37() {
     assumptions.own_key(key_name(other_public.rsa()), users_compound());
     let mut engine = Engine::new("P", assumptions);
     engine.advance_clock(Time(10));
-    let ideal = s.store.idealize_compound_attribute(&s.cert).expect("idealize");
+    let ideal = s
+        .store
+        .idealize_compound_attribute(&s.cert)
+        .expect("idealize");
     engine.admit_certificate(&ideal).expect("admit");
     let group = GroupId::new("G_write");
     let (subject, belief) = engine
@@ -170,6 +190,14 @@ fn wrong_shared_key_in_statement_fails_a37() {
         .authenticate_joint_statement(&signed, Time(10))
         .expect("joint statement");
     // A37's selective binding: the statement key must be the cert's key.
-    let err = engine.apply_a36_a37(&belief, &subject, &group, Time(10), &payload, &stmt, Some(&key));
+    let err = engine.apply_a36_a37(
+        &belief,
+        &subject,
+        &group,
+        Time(10),
+        &payload,
+        &stmt,
+        Some(&key),
+    );
     assert!(err.is_err());
 }

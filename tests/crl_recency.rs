@@ -22,13 +22,13 @@ fn empty_crl_heartbeat_satisfies_recency() {
     // No CRL yet: everything is refused.
     let d = c.request_write(&["User_D1", "User_D2"]).expect("w");
     assert!(!d.granted);
-    assert!(d.detail.expect("detail").contains("revocation information stale"));
+    assert!(d
+        .detail
+        .expect("detail")
+        .contains("revocation information stale"));
 
     // An empty heartbeat CRL restores service.
-    let crl = c
-        .ra()
-        .issue_crl(1, c.server().now(), vec![])
-        .expect("crl");
+    let crl = c.ra().issue_crl(1, c.server().now(), vec![]).expect("crl");
     c.server_mut().admit_crl(&crl).expect("admit");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }

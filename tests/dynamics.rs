@@ -17,10 +17,7 @@ fn join_leave_join_sequence_stays_consistent() {
     c.join_domain("D4").expect("join D4");
     c.join_domain("D5").expect("join D5");
     assert_eq!(c.domains().len(), 5);
-    assert!(c
-        .request_write(&["User_D4", "User_D5"])
-        .expect("w")
-        .granted);
+    assert!(c.request_write(&["User_D4", "User_D5"]).expect("w").granted);
 
     c.leave_domain("D1").expect("leave D1");
     assert_eq!(c.domains().len(), 4);
@@ -28,10 +25,7 @@ fn join_leave_join_sequence_stays_consistent() {
         c.request_write(&["User_D1", "User_D2"]),
         Err(jaap_coalition::CoalitionError::Config(_))
     ));
-    assert!(c
-        .request_write(&["User_D2", "User_D4"])
-        .expect("w")
-        .granted);
+    assert!(c.request_write(&["User_D2", "User_D4"]).expect("w").granted);
 }
 
 #[test]
@@ -79,10 +73,7 @@ fn n_of_n_threshold_tracks_membership_on_leave() {
     let mut c = coalition(4005);
     c.leave_domain("D3").expect("leave");
     assert!(!c.request_write(&["User_D1"]).expect("w").granted);
-    assert!(c
-        .request_write(&["User_D1", "User_D2"])
-        .expect("w")
-        .granted);
+    assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }
 
 #[test]

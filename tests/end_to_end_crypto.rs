@@ -20,7 +20,7 @@ fn bf_keygen_then_networked_joint_signature() {
     )
     .expect("sign");
     assert!(public.verify(b"threshold attribute certificate body", &sig));
-    assert_eq!(net.messages_sent, 4); // broadcast (2) + 2 share replies
+    assert_eq!(net.messages_sent, 6); // 2 requests + 2 share replies + 2 done notices
 }
 
 #[test]
@@ -28,13 +28,8 @@ fn joint_signature_tolerates_duplicated_messages() {
     // Replayed (duplicated) messages must not corrupt the protocol: the
     // per-sender receive discipline simply ignores extras.
     let (public, shares, _) = SharedRsaKey::generate(64, 3, 6002).expect("keygen");
-    let plan = FaultPlan {
-        drop_prob: 0.0,
-        duplicate_prob: 1.0,
-        seed: 3,
-    };
-    let (sig, _) =
-        joint::sign_over_network(&public, &shares, 0, b"replayed", plan).expect("sign");
+    let plan = FaultPlan::seeded(3).with_duplicate(1.0);
+    let (sig, _) = joint::sign_over_network(&public, &shares, 0, b"replayed", plan).expect("sign");
     assert!(public.verify(b"replayed", &sig));
 }
 
@@ -61,7 +56,11 @@ fn refresh_over_network_then_sign() {
     let sig = joint::sign_locally(&public, &refreshed, b"after refresh").expect("sign");
     assert!(public.verify(b"after refresh", &sig));
     // Mixed old/new shares break.
-    let mixed = vec![shares[0].clone(), refreshed[1].clone(), refreshed[2].clone()];
+    let mixed = vec![
+        shares[0].clone(),
+        refreshed[1].clone(),
+        refreshed[2].clone(),
+    ];
     assert!(joint::sign_locally(&public, &mixed, b"x").is_err());
 }
 

@@ -1,0 +1,230 @@
+//! Fault tolerance of the signing-session layer and the coalition's
+//! graceful degradation (the robustness acceptance suite).
+//!
+//! Covers: the §3.3 availability law as an executable property (m-of-n
+//! signing succeeds iff ≥ m domains are live), agreement of the *real*
+//! networked sessions with the analytic binomial model, bounded-time
+//! failure under heavy loss (no hangs), co-signer failover under combined
+//! drop + crash faults, and server-side idempotency for duplicate request
+//! deliveries.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use jaap_coalition::aa::SigningMode;
+use jaap_coalition::availability;
+use jaap_coalition::scenario::{CoalitionBuilder, OBJECT_O};
+use jaap_core::protocol::Operation;
+use jaap_crypto::rsa::RsaKeyPair;
+use jaap_crypto::session::{SessionConfig, SigningSession};
+use jaap_crypto::shared::SharedRsaKey;
+use jaap_crypto::threshold::{ThresholdKey, ThresholdPublic, ThresholdShare};
+use jaap_crypto::{joint, CryptoError};
+use jaap_net::FaultPlan;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dealt_threshold(m: usize, n: usize, seed: u64) -> (ThresholdPublic, Vec<ThresholdShare>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kp = RsaKeyPair::generate(&mut rng, 192).expect("keygen");
+    ThresholdKey::deal(&mut rng, &kp, m, n).expect("deal")
+}
+
+/// A config with enough retry budget that a 20% per-message drop rate
+/// cannot plausibly exhaust it (per-round request+reply success is 0.64;
+/// nine rounds leave ~1e-4 residual failure probability).
+fn retry_heavy() -> SessionConfig {
+    SessionConfig {
+        round_timeout: Duration::from_millis(60),
+        max_retries: 8,
+        backoff_base: Duration::from_millis(2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The executable §3.3 law: a 2-of-4 threshold session (driven by the
+    /// first live domain, with failover) succeeds **iff** at least 2
+    /// domains are live. Crash-stop faults only, so the equivalence is
+    /// exact, not statistical.
+    #[test]
+    fn threshold_signing_succeeds_iff_quorum_live(mask in 1u8..16) {
+        let (public, shares) = dealt_threshold(2, 4, 7000 + u64::from(mask));
+        let live: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+        let requestor = live[0];
+        let mut faults = FaultPlan::reliable();
+        for i in 0..4 {
+            if !live.contains(&i) {
+                faults = faults.with_crash(i, 0);
+            }
+        }
+        let result = SigningSession::sign_threshold(
+            &public,
+            &shares,
+            requestor,
+            b"iff",
+            faults,
+            &SessionConfig::fast(),
+        );
+        if live.len() >= 2 {
+            let (sig, report, _) = result.expect("quorum live: must sign");
+            prop_assert!(public.verify(b"iff", &sig));
+            prop_assert!(report.responsive.iter().all(|i| live.contains(i)));
+        } else {
+            prop_assert_eq!(
+                result.unwrap_err(),
+                CryptoError::QuorumUnreachable { responsive: 1, needed: 2 }
+            );
+        }
+    }
+}
+
+#[test]
+fn networked_availability_agrees_with_analytic() {
+    // The real signing sessions, sampled over random up/down patterns,
+    // must reproduce the binomial model within Monte-Carlo error
+    // (80 trials at p ≈ 0.9: 4σ ≈ 0.14).
+    let empirical = availability::networked(3, 2, 0.8, 80, 42);
+    let model = availability::analytic(3, 2, 0.8);
+    assert!(
+        (empirical - model).abs() < 0.15,
+        "sessions {empirical} vs analytic {model}"
+    );
+}
+
+#[test]
+fn lossy_network_fails_fast_instead_of_hanging() {
+    // Regression guard: `sign_over_network` under heavy loss must return
+    // QuorumUnreachable within its bounded session deadline — the
+    // watchdog channel would time out if any party hung.
+    let mut rng = StdRng::seed_from_u64(7100);
+    let (public, shares) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = joint::sign_over_network(
+            &public,
+            &shares,
+            0,
+            b"lossy",
+            FaultPlan::seeded(9).with_drop(0.9),
+        );
+        let _ = tx.send(result);
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("signing must terminate — a hang here is the bug this test guards against");
+    match result {
+        Err(CryptoError::QuorumUnreachable { responsive, needed }) => {
+            assert_eq!(needed, 3);
+            assert!(responsive < 3);
+        }
+        Ok(_) => {} // astronomically unlikely under 90% loss, but legal
+        Err(e) => panic!("expected QuorumUnreachable, got {e}"),
+    }
+}
+
+#[test]
+fn threshold_completes_via_failover_under_drop_and_crash() {
+    // Acceptance: drop_prob = 0.2 plus one crashed co-signer — a 2-of-3
+    // threshold session still completes, by failing over to the standby.
+    let (public, shares) = dealt_threshold(2, 3, 7200);
+    let faults = FaultPlan::seeded(11).with_drop(0.2).with_crash(1, 0);
+    let (sig, report, _) =
+        SigningSession::sign_threshold(&public, &shares, 0, b"degraded", faults, &retry_heavy())
+            .expect("2-of-3 must survive one crashed co-signer");
+    assert!(public.verify(b"degraded", &sig));
+    assert!(
+        report.reroutes.contains(&(1, 2)),
+        "expected failover 1→2, got {:?}",
+        report.reroutes
+    );
+    assert!(report.summary().contains("failing over to standby 2"));
+}
+
+#[test]
+fn compound_reports_accurate_counts_under_drop_and_crash() {
+    // Acceptance: same fault plan, but n-of-n compound signing has no
+    // standbys — it must fail with *accurate* responsive/needed counts
+    // (parties 0 and 2 contribute; crashed party 1 never does).
+    let mut rng = StdRng::seed_from_u64(7300);
+    let (public, shares) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
+    let faults = FaultPlan::seeded(11).with_drop(0.2).with_crash(1, 0);
+    let err = SigningSession::sign_compound(&public, &shares, 0, b"doomed", faults, &retry_heavy())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CryptoError::QuorumUnreachable {
+            responsive: 2,
+            needed: 3
+        }
+    );
+}
+
+#[test]
+fn coalition_degrades_gracefully_when_signing_unavailable() {
+    // E6 networked path: with a domain crashed, the request does not error
+    // or hang — the server records an Unavailable-style denial whose audit
+    // entry carries the signing session's retry trace.
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(7400)
+        .build()
+        .expect("coalition");
+    c.aa_mut().set_signing_mode(SigningMode::Networked);
+    c.set_session_config(SessionConfig::fast());
+    c.set_fault_plan(FaultPlan::reliable().with_crash(1, 0));
+    let d = c
+        .request_write(&["User_D1", "User_D2"])
+        .expect("degraded, not failed");
+    assert!(!d.granted);
+    assert!(d.unavailable);
+    assert!(d
+        .detail
+        .as_deref()
+        .expect("detail")
+        .contains("quorum unreachable"));
+    let entry = c.server().audit_log().last().expect("audited");
+    assert!(!entry.granted);
+    let trace = entry.retry_trace.as_deref().expect("retry trace");
+    assert!(trace.contains("unresponsive"), "trace: {trace}");
+    // The same coalition recovers once the network heals.
+    c.set_fault_plan(FaultPlan::reliable());
+    let d = c.request_write(&["User_D1", "User_D2"]).expect("healed");
+    assert!(d.granted);
+    assert!(!d.unavailable);
+}
+
+#[test]
+fn duplicate_request_delivery_is_idempotent() {
+    // A network-level redelivery of the same joint request must not log
+    // twice or apply the write twice.
+    let mut c = CoalitionBuilder::new()
+        .key_bits(192)
+        .seed(7500)
+        .build()
+        .expect("coalition");
+    c.server_mut().set_replay_protection(true);
+    let req = c
+        .build_request(&["User_D1", "User_D2"], Operation::new("write", OBJECT_O))
+        .expect("request");
+    let first = c.server_mut().handle_request(&req);
+    let second = c.server_mut().handle_request(&req);
+    assert!(first.granted);
+    assert_eq!(first.granted, second.granted);
+    assert_eq!(c.server().audit_log().len(), 1, "one entry per request");
+    assert_eq!(
+        c.server().object(OBJECT_O).expect("object").version,
+        1,
+        "duplicate delivery must not double-apply the write"
+    );
+    // A *fresh* request (new submission time ⇒ new digest) is processed.
+    c.advance_time(jaap_core::syntax::Time(11));
+    let req2 = c
+        .build_request(&["User_D1", "User_D2"], Operation::new("write", OBJECT_O))
+        .expect("request");
+    assert!(c.server_mut().handle_request(&req2).granted);
+    assert_eq!(c.server().audit_log().len(), 2);
+    assert_eq!(c.server().object(OBJECT_O).expect("object").version, 2);
+}

@@ -58,7 +58,10 @@ fn derivation_follows_the_papers_appendix_e_steps() {
     assert!(used.contains(&Axiom::A22));
     assert!(used.contains(&Axiom::A23), "AA is a compound principal");
     assert!(used.contains(&Axiom::A9));
-    assert!(used.contains(&Axiom::A28), "threshold membership jurisdiction");
+    assert!(
+        used.contains(&Axiom::A28),
+        "threshold membership jurisdiction"
+    );
     assert!(used.contains(&Axiom::A38));
 
     // The proof ends with the paper's statement 25 shape and ACL check.

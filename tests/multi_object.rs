@@ -100,7 +100,12 @@ fn audit_request(
 #[test]
 fn audit_append_requires_all_three_domains() {
     let mut r = rig(10_001);
-    let all = audit_request(&r, &["User_D1", "User_D2", "User_D3"], "append", &r.audit_append_ac);
+    let all = audit_request(
+        &r,
+        &["User_D1", "User_D2", "User_D3"],
+        "append",
+        &r.audit_append_ac,
+    );
     assert!(r.coalition.server_mut().handle_request(&all).granted);
 
     let two = audit_request(&r, &["User_D1", "User_D2"], "append", &r.audit_append_ac);
@@ -147,7 +152,10 @@ fn privileges_do_not_leak_across_objects() {
 #[test]
 fn object_versions_are_tracked_independently() {
     let mut r = rig(10_004);
-    let w = r.coalition.request_write(&["User_D1", "User_D2"]).expect("w");
+    let w = r
+        .coalition
+        .request_write(&["User_D1", "User_D2"])
+        .expect("w");
     assert!(w.granted);
     assert_eq!(
         r.coalition
@@ -157,7 +165,10 @@ fn object_versions_are_tracked_independently() {
             .version,
         1
     );
-    assert_eq!(r.coalition.server().object(AUDIT_LOG).expect("log").version, 0);
+    assert_eq!(
+        r.coalition.server().object(AUDIT_LOG).expect("log").version,
+        0
+    );
 }
 
 #[test]
@@ -190,9 +201,10 @@ fn revoking_audit_append_keeps_everything_else() {
     // Audit reads and research-data writes are unaffected.
     let read = audit_request(&r, &["User_D2"], "read", &r.audit_read_ac);
     assert!(r.coalition.server_mut().handle_request(&read).granted);
-    assert!(r
-        .coalition
-        .request_write(&["User_D1", "User_D3"])
-        .expect("w")
-        .granted);
+    assert!(
+        r.coalition
+            .request_write(&["User_D1", "User_D3"])
+            .expect("w")
+            .granted
+    );
 }

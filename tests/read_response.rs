@@ -65,7 +65,15 @@ fn writes_do_not_leak_contents() {
 #[test]
 fn each_read_is_freshly_encrypted() {
     let mut c = coalition(11_004);
-    let a = c.request_read(&["User_D1"]).expect("r1").response.expect("ct");
-    let b = c.request_read(&["User_D1"]).expect("r2").response.expect("ct");
+    let a = c
+        .request_read(&["User_D1"])
+        .expect("r1")
+        .response
+        .expect("ct");
+    let b = c
+        .request_read(&["User_D1"])
+        .expect("r2")
+        .response
+        .expect("ct");
     assert_ne!(a, b, "randomized encryption: no two responses identical");
 }

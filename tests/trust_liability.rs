@@ -2,9 +2,7 @@
 //! material, plus the collusion bounds.
 
 use jaap_coalition::aa::{CoalitionAa, LockboxAa};
-use jaap_coalition::liability::{
-    exposure_probability, min_compromises, simulate_exposure, Scheme,
-};
+use jaap_coalition::liability::{exposure_probability, min_compromises, simulate_exposure, Scheme};
 use jaap_core::certs::Validity;
 use jaap_core::syntax::{GroupId, Time};
 use jaap_crypto::collusion::{collude_additive, CollusionOutcome};
@@ -38,8 +36,13 @@ fn case1_single_penetration_forges_valid_certificates() {
 
     let s = subject(&mut rng);
     let validity = Validity::new(Time(0), Time(100));
-    let body =
-        ThresholdAttributeCertificate::body_bytes("AA", &s, &GroupId::new("G_write"), validity, Time(5));
+    let body = ThresholdAttributeCertificate::body_bytes(
+        "AA",
+        &s,
+        &GroupId::new("G_write"),
+        validity,
+        Time(5),
+    );
     let forged_sig = stolen.sign(&body).expect("sign with stolen key");
     // The forgery verifies against the AA's public key: unilateral policy
     // modification achieved with one compromise.

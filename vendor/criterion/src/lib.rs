@@ -1,0 +1,172 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use (`criterion_group!`,
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`) as a simple wall-clock timing
+//! harness: each benchmark is warmed up once, then timed over a bounded
+//! batch of iterations, and mean time per iteration is printed. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Upper bound on how long one benchmark's measurement loop runs.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepted for upstream compatibility; command-line filtering and
+    /// criterion flags are ignored by this stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Upstream prints the summary report here; the stand-in prints
+    /// per-benchmark lines eagerly, so this is a no-op.
+    pub fn final_summary(self) {}
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl ToString, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints mean wall-clock time per iteration.
+    pub fn bench_function(&mut self, id: impl ToString, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.to_string()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; collects timing via [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly — one warm-up call, then up to the group's
+    /// sample count (bounded by a global time budget) — timing each call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        hint::black_box(routine()); // warm-up, untimed
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if budget_start.elapsed() > MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {id:<40} (no timed iterations)");
+    } else {
+        let mean = b.total / b.iters as u32;
+        println!("bench {id:<40} mean {mean:>12?} over {} iters", b.iters);
+    }
+}
+
+/// Bundles benchmark functions into one runner fn, mirroring upstream's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Runs the groups from `criterion_group!`, mirroring upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        let mut ran = 0u32;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + up to 3 timed samples.
+        assert!((2..=4).contains(&ran), "ran = {ran}");
+    }
+
+    #[test]
+    fn criterion_group_macro_compiles_and_runs() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, target);
+        benches();
+    }
+}

@@ -1,0 +1,46 @@
+//! Boolean strategies (`proptest::bool::weighted`).
+
+use rand::rngs::StdRng;
+
+use crate::strategy::{weighted_bool, Strategy};
+
+/// `true` with probability `p` (clamped to `[0, 1]`).
+pub fn weighted(p: f64) -> Weighted {
+    Weighted {
+        p: p.clamp(0.0, 1.0),
+    }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        weighted_bool(rng, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_tracks_probability() {
+        let strat = weighted(0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trues = (0..1000).filter(|_| strat.sample(&mut rng)).count();
+        assert!((850..=950).contains(&trues), "got {trues} trues");
+    }
+
+    #[test]
+    fn degenerate_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..100).all(|_| weighted(1.0).sample(&mut rng)));
+        assert!((0..100).all(|_| !weighted(0.0).sample(&mut rng)));
+    }
+}

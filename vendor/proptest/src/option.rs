@@ -1,0 +1,44 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::rngs::StdRng;
+
+use crate::strategy::{weighted_bool, Strategy};
+
+/// Yields `Some(inner sample)` three times out of four, `None` otherwise
+/// (matching upstream's Some-biased default).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if weighted_bool(rng, 0.75) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+    use rand::SeedableRng;
+
+    #[test]
+    fn of_yields_both_variants() {
+        let strat = of(Just(1u8));
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<_> = (0..200).map(|_| strat.sample(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_some));
+        assert!(samples.iter().any(Option::is_none));
+    }
+}

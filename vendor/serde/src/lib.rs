@@ -1,0 +1,6 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` features are disabled by default and no code in
+//! this repository enables them; this crate exists only so dependency
+//! resolution succeeds without network access. Enabling a `serde` feature
+//! against this placeholder is a compile error by design.
