@@ -3,9 +3,9 @@
 //! This crate is the numeric substrate for the threshold-RSA machinery used by
 //! the coalition Attribute Authority (paper Section 3). It deliberately avoids
 //! external bignum dependencies: everything — limb arithmetic, Karatsuba
-//! multiplication, Knuth Algorithm D division, modular exponentiation,
-//! extended GCD, Miller–Rabin primality and Jacobi symbols — is implemented
-//! here.
+//! multiplication and squaring, Knuth Algorithm D division, Montgomery
+//! (CIOS) reduction with sliding-window modular exponentiation, extended
+//! GCD, Miller–Rabin primality and Jacobi symbols — is implemented here.
 //!
 //! Two public types:
 //!
@@ -40,6 +40,7 @@ mod error;
 mod fmt;
 mod int;
 mod modular;
+mod montgomery;
 mod mul;
 mod nat;
 mod prime;
@@ -47,6 +48,7 @@ mod random;
 
 pub use error::ParseNatError;
 pub use int::{Int, Sign};
+pub use montgomery::MontgomeryContext;
 pub use nat::Nat;
 pub use prime::{is_probable_prime, jacobi, next_prime, random_prime, Jacobi, SMALL_PRIMES};
 pub use random::{random_below, random_nat, random_nat_exact};

@@ -39,14 +39,43 @@ impl Nat {
         (self * b).rem_nat(m)
     }
 
-    /// Modular exponentiation `self^exp mod m` by 4-bit windowed
-    /// square-and-multiply.
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Odd moduli (every RSA modulus, every odd prime) are routed through
+    /// the precomputed [`crate::MontgomeryContext`], which replaces the
+    /// full-width division after every square with a word-by-word CIOS
+    /// reduction. Even moduli fall back to [`Nat::modpow_plain`]. Both
+    /// paths use sliding-window exponentiation with odd-power tables.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero. `x^0 mod 1 == 0` (every residue mod 1 is 0).
     #[must_use]
     pub fn modpow(&self, exp: &Nat, m: &Nat) -> Nat {
+        assert!(!m.is_zero(), "modpow modulus must be nonzero");
+        if m.is_one() {
+            return Nat::zero();
+        }
+        if let Some(ctx) = crate::MontgomeryContext::new(m) {
+            return ctx.modpow(self, exp);
+        }
+        self.modpow_plain(exp, m)
+    }
+
+    /// Modular exponentiation by sliding-window square-and-multiply with a
+    /// generic `rem_nat` reduction after every step. This is the reference
+    /// path (any modulus, including even ones); [`Nat::modpow`] dispatches
+    /// odd moduli to the Montgomery fast path instead.
+    ///
+    /// The window table holds only the **odd** powers `base^1, base^3, …`
+    /// — a small exponent like `e = 65537` costs one squaring and one
+    /// table entry instead of a full 16-entry table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn modpow_plain(&self, exp: &Nat, m: &Nat) -> Nat {
         assert!(!m.is_zero(), "modpow modulus must be nonzero");
         if m.is_one() {
             return Nat::zero();
@@ -58,27 +87,47 @@ impl Nat {
         if base.is_zero() {
             return Nat::zero();
         }
-
-        // Precompute base^0..base^15.
-        let mut table = Vec::with_capacity(16);
-        table.push(Nat::one());
-        for i in 1..16 {
+        let w = window_bits(exp.bit_len());
+        // Odd powers base^1, base^3, …, base^(2^w - 1).
+        let b2 = base.square().rem_nat(m);
+        let mut table = Vec::with_capacity(1 << (w - 1));
+        table.push(base);
+        for i in 1..(1usize << (w - 1)) {
             let prev: &Nat = &table[i - 1];
-            table.push(prev.mulm(&base, m));
+            table.push(prev.mulm(&b2, m));
         }
-
-        let nibbles = exp.bit_len().div_ceil(4);
         let mut acc = Nat::one();
-        for i in (0..nibbles).rev() {
-            if i != nibbles - 1 {
-                for _ in 0..4 {
+        let mut started = false;
+        let mut i = exp.bit_len() as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                if started {
+                    acc = acc.square().rem_nat(m);
+                }
+                i -= 1;
+                continue;
+            }
+            let mut l = (i - w as isize + 1).max(0);
+            while !exp.bit(l as usize) {
+                l += 1;
+            }
+            let width = (i - l + 1) as usize;
+            if started {
+                for _ in 0..width {
                     acc = acc.square().rem_nat(m);
                 }
             }
-            let nib = nibble(exp, i);
-            if nib != 0 {
-                acc = acc.mulm(&table[nib as usize], m);
+            let mut val = 0usize;
+            for j in (l..=i).rev() {
+                val = (val << 1) | usize::from(exp.bit(j as usize));
             }
+            acc = if started {
+                acc.mulm(&table[val >> 1], m)
+            } else {
+                table[val >> 1].clone()
+            };
+            started = true;
+            i = l - 1;
         }
         acc
     }
@@ -186,10 +235,17 @@ fn divide_ints(a: &Int, b: &Int) -> Int {
     Int::with_sign(sign, q)
 }
 
-fn nibble(n: &Nat, i: usize) -> u8 {
-    let bit = i * 4;
-    let (limb, off) = (bit / 64, bit % 64);
-    n.limbs().get(limb).map_or(0, |l| ((l >> off) & 0xF) as u8)
+/// Sliding-window width for an exponent of `bits` bits: wider windows
+/// amortize more squarings per multiply but cost `2^(w-1)` table entries,
+/// so short exponents get narrow windows.
+pub(crate) fn window_bits(bits: usize) -> usize {
+    match bits {
+        0..=7 => 1,
+        8..=35 => 2,
+        36..=127 => 3,
+        128..=767 => 4,
+        _ => 5,
+    }
 }
 
 #[cfg(test)]

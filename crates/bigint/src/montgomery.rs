@@ -1,0 +1,331 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! A [`MontgomeryContext`] precomputes, for an odd modulus `n` of `k`
+//! 64-bit limbs, the word inverse `n' = -n⁻¹ mod 2⁶⁴` and `R² mod n`
+//! (with `R = 2^{64k}`). Products are then reduced word by word with the
+//! CIOS (coarsely integrated operand scanning) method — one multiply-add
+//! sweep per limb instead of a full-width `div_rem` after every partial
+//! product, which is what makes `modpow` over RSA-sized moduli cheap.
+//!
+//! Values inside the context live in Montgomery form `aR mod n`; the
+//! context converts on the way in ([`MontgomeryContext::to_mont`]) and out
+//! ([`MontgomeryContext::from_mont`]). [`MontgomeryContext::modpow`] runs a
+//! sliding-window exponentiation entirely in Montgomery form, squaring via
+//! the dedicated [`Nat::square`] routine followed by a word-by-word REDC.
+
+use crate::Nat;
+
+/// Precomputed reduction context for one odd modulus.
+#[derive(Debug, Clone)]
+pub struct MontgomeryContext {
+    /// The modulus `n` (odd, > 1).
+    n: Nat,
+    /// Limb count `k` of the modulus.
+    k: usize,
+    /// `-n⁻¹ mod 2⁶⁴` (Dussé–Kaliski word inverse).
+    n0_inv: u64,
+    /// `R² mod n`, used to convert into Montgomery form.
+    r2: Nat,
+    /// `R mod n` — the Montgomery representation of 1.
+    one: Nat,
+}
+
+impl MontgomeryContext {
+    /// Builds a context for `n`. Returns `None` unless `n` is odd and > 1
+    /// (Montgomery reduction requires `gcd(n, 2⁶⁴) = 1`).
+    #[must_use]
+    pub fn new(n: &Nat) -> Option<Self> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return None;
+        }
+        let k = n.limbs().len();
+        let n0_inv = word_inverse(n.limbs()[0]).wrapping_neg();
+        // R² mod n with R = 2^(64k): one shift + one division at setup.
+        let r2 = Nat::one().shl_bits(128 * k).rem_nat(n);
+        let one = Nat::one().shl_bits(64 * k).rem_nat(n);
+        Some(MontgomeryContext {
+            n: n.clone(),
+            k,
+            n0_inv,
+            r2,
+            one,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    #[must_use]
+    pub fn modulus(&self) -> &Nat {
+        &self.n
+    }
+
+    /// Converts `a` (any natural) into Montgomery form `aR mod n`.
+    #[must_use]
+    pub fn to_mont(&self, a: &Nat) -> Nat {
+        let a = if a >= &self.n {
+            a.rem_nat(&self.n)
+        } else {
+            a.clone()
+        };
+        self.mont_mul(&a, &self.r2)
+    }
+
+    /// Converts `aR mod n` back to the ordinary residue `a mod n`.
+    #[must_use]
+    pub fn from_mont(&self, a: &Nat) -> Nat {
+        self.mont_mul(a, &Nat::one())
+    }
+
+    /// Montgomery product `abR⁻¹ mod n` by CIOS: the reduction word is
+    /// folded into each row of the schoolbook product.
+    #[must_use]
+    pub fn mont_mul(&self, a: &Nat, b: &Nat) -> Nat {
+        let k = self.k;
+        let nl = self.n.limbs();
+        let al = a.limbs();
+        let bl = b.limbs();
+        debug_assert!(al.len() <= k && bl.len() <= k);
+        // t has room for k limbs plus two carry words.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = al.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut c = 0u64;
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
+                let bj = bl.get(j).copied().unwrap_or(0);
+                let s = u128::from(*tj) + u128::from(ai) * u128::from(bj) + u128::from(c);
+                *tj = s as u64;
+                c = (s >> 64) as u64;
+            }
+            let s = u128::from(t[k]) + u128::from(c);
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+            // m chosen so t + m*n clears the low word; then shift one word.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = u128::from(t[0]) + u128::from(m) * u128::from(nl[0]);
+            let mut c = (s >> 64) as u64;
+            for j in 1..k {
+                let s = u128::from(t[j]) + u128::from(m) * u128::from(nl[j]) + u128::from(c);
+                t[j - 1] = s as u64;
+                c = (s >> 64) as u64;
+            }
+            let s = u128::from(t[k]) + u128::from(c);
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        self.final_reduce(t)
+    }
+
+    /// Montgomery square `a²R⁻¹ mod n`: the triangular [`Nat::square`]
+    /// computes the double-width product (about half the partial products
+    /// of a general multiply), then a word-by-word REDC folds it back.
+    #[must_use]
+    pub fn mont_sqr(&self, a: &Nat) -> Nat {
+        self.redc(a.square())
+    }
+
+    /// Word-by-word Montgomery reduction of a value `< nR` (e.g. a full
+    /// double-width product of two reduced operands): returns `tR⁻¹ mod n`.
+    #[must_use]
+    pub fn redc(&self, t: Nat) -> Nat {
+        let k = self.k;
+        let nl = self.n.limbs();
+        let mut t = t.limbs().to_vec();
+        t.resize(2 * k + 1, 0);
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut c = 0u64;
+            for j in 0..k {
+                let s = u128::from(t[i + j]) + u128::from(m) * u128::from(nl[j]) + u128::from(c);
+                t[i + j] = s as u64;
+                c = (s >> 64) as u64;
+            }
+            let mut idx = i + k;
+            while c != 0 {
+                let s = u128::from(t[idx]) + u128::from(c);
+                t[idx] = s as u64;
+                c = (s >> 64) as u64;
+                idx += 1;
+            }
+        }
+        self.final_reduce(t[k..].to_vec())
+    }
+
+    /// Sliding-window modular exponentiation `base^exp mod n` through the
+    /// Montgomery machinery. `base` need not be reduced.
+    #[must_use]
+    pub fn modpow(&self, base: &Nat, exp: &Nat) -> Nat {
+        if exp.is_zero() {
+            return Nat::one().rem_nat(&self.n);
+        }
+        let b = self.to_mont(base);
+        if b.is_zero() {
+            return Nat::zero();
+        }
+        let w = crate::modular::window_bits(exp.bit_len());
+        // Odd powers b^1, b^3, …, b^(2^w - 1) in Montgomery form.
+        let b2 = self.mont_sqr(&b);
+        let mut table = Vec::with_capacity(1 << (w - 1));
+        table.push(b);
+        for i in 1..(1usize << (w - 1)) {
+            let prev = &table[i - 1];
+            table.push(self.mont_mul(prev, &b2));
+        }
+        let mut acc = self.one.clone();
+        let mut started = false;
+        let mut i = exp.bit_len() as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                if started {
+                    acc = self.mont_sqr(&acc);
+                }
+                i -= 1;
+                continue;
+            }
+            // Take the widest window [l..=i] (≤ w bits) ending on a set bit.
+            let mut l = (i - w as isize + 1).max(0);
+            while !exp.bit(l as usize) {
+                l += 1;
+            }
+            let width = (i - l + 1) as usize;
+            if started {
+                for _ in 0..width {
+                    acc = self.mont_sqr(&acc);
+                }
+            }
+            let mut val = 0usize;
+            for j in (l..=i).rev() {
+                val = (val << 1) | usize::from(exp.bit(j as usize));
+            }
+            debug_assert!(val & 1 == 1);
+            acc = if started {
+                self.mont_mul(&acc, &table[val >> 1])
+            } else {
+                table[val >> 1].clone()
+            };
+            started = true;
+            i = l - 1;
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Normalizes a limb buffer (≥ k limbs plus carries) to a `Nat < n`.
+    /// After CIOS/REDC the value is `< 2n`, so a single conditional
+    /// subtraction suffices.
+    fn final_reduce(&self, limbs: Vec<u64>) -> Nat {
+        let v = Nat::from_limbs(limbs);
+        debug_assert!(v < self.n.shl_bits(1), "Montgomery output out of range");
+        if v >= self.n {
+            &v - &self.n
+        } else {
+            v
+        }
+    }
+}
+
+/// Inverse of an odd word mod 2⁶⁴ by Newton–Hensel lifting: each step
+/// doubles the number of correct low bits, so five steps from a 5-bit-exact
+/// seed cover 64 bits.
+fn word_inverse(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 5 bits for odd x (x*x ≡ 1 mod 32)
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(MontgomeryContext::new(&nat(10)).is_none());
+        assert!(MontgomeryContext::new(&Nat::one()).is_none());
+        assert!(MontgomeryContext::new(&Nat::zero()).is_none());
+        assert!(MontgomeryContext::new(&nat(9)).is_some());
+    }
+
+    #[test]
+    fn word_inverse_random_odds() {
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..50 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let odd = x | 1;
+            assert_eq!(odd.wrapping_mul(word_inverse(odd)), 1);
+        }
+    }
+
+    #[test]
+    fn round_trip_through_montgomery_form() {
+        let m: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("m");
+        let ctx = MontgomeryContext::new(&m).expect("ctx");
+        for v in [0u128, 1, 2, 0xDEADBEEF, u128::MAX - 17] {
+            let a = nat(v).rem_nat(&m);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_mulm() {
+        let m: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("m");
+        let ctx = MontgomeryContext::new(&m).expect("ctx");
+        let a = nat(0x1234_5678_9ABC_DEF0_1111);
+        let b = nat(0xFEDC_BA98_7654_3210_2222);
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        assert_eq!(ctx.from_mont(&ctx.mont_mul(&am, &bm)), a.mulm(&b, &m));
+        assert_eq!(ctx.from_mont(&ctx.mont_sqr(&am)), a.mulm(&a, &m));
+    }
+
+    #[test]
+    fn modpow_matches_plain_on_fermat() {
+        // 2^128 - 159 is prime: a^(p-1) ≡ 1 (mod p).
+        let p: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("p");
+        let e = &p - &Nat::one();
+        let ctx = MontgomeryContext::new(&p).expect("ctx");
+        for a in [2u128, 3, 65_537, 0xDEADBEEF] {
+            assert_eq!(ctx.modpow(&nat(a), &e), Nat::one());
+            assert_eq!(ctx.modpow(&nat(a), &e), nat(a).modpow_plain(&e, &p));
+        }
+    }
+
+    #[test]
+    fn modpow_edge_exponents() {
+        let m = nat(1_000_003); // odd prime
+        let ctx = MontgomeryContext::new(&m).expect("ctx");
+        assert_eq!(ctx.modpow(&nat(5), &Nat::zero()), Nat::one());
+        assert_eq!(ctx.modpow(&nat(5), &Nat::one()), nat(5));
+        assert_eq!(ctx.modpow(&Nat::zero(), &nat(12)), Nat::zero());
+        // Base larger than the modulus reduces first.
+        assert_eq!(
+            ctx.modpow(&nat(1_000_003 + 7), &nat(3)),
+            nat(7).modpow_plain(&nat(3), &m)
+        );
+    }
+
+    #[test]
+    fn redc_of_wide_product_reduces() {
+        let m: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("m");
+        let ctx = MontgomeryContext::new(&m).expect("ctx");
+        let a = ctx.to_mont(&nat(0xABCDEF));
+        let b = ctx.to_mont(&nat(0x123456));
+        assert_eq!(ctx.redc(a.mul_nat(&b)), ctx.mont_mul(&a, &b));
+    }
+}

@@ -15,16 +15,27 @@ impl Nat {
             return Nat::zero();
         }
         if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            if self.limbs == other.limbs {
+                // A large balanced self-product is a squaring in disguise.
+                return square_limbs(&self.limbs);
+            }
             karatsuba(&self.limbs, &other.limbs)
         } else {
             schoolbook(&self.limbs, &other.limbs)
         }
     }
 
-    /// `self * self`, slightly cheaper call-site for modexp loops.
+    /// `self * self` by a dedicated squaring routine: the triangular
+    /// schoolbook computes each cross product `aᵢaⱼ (i<j)` once and doubles
+    /// the sum — about half the partial products of `mul_nat(self)` — and
+    /// large operands recurse through a Karatsuba split whose three
+    /// sub-products are themselves squarings.
     #[must_use]
     pub fn square(&self) -> Nat {
-        self.mul_nat(self)
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        square_limbs(&self.limbs)
     }
 
     /// Multiplies by a single limb.
@@ -83,6 +94,73 @@ fn karatsuba(a: &[u64], b: &[u64]) -> Nat {
     let z2 = a_hi.mul_nat(&b_hi);
     let z1 = (&a_lo + &a_hi).mul_nat(&(&b_lo + &b_hi)) - &z0 - &z2;
 
+    &z0 + &z1.shl_bits(half * 64) + z2.shl_bits(half * 128)
+}
+
+/// Squaring dispatch mirroring [`Nat::mul_nat`]: triangular schoolbook
+/// below the Karatsuba threshold, a balanced recursive split above it.
+fn square_limbs(a: &[u64]) -> Nat {
+    if a.len() >= KARATSUBA_THRESHOLD {
+        karatsuba_square(a)
+    } else {
+        schoolbook_square(a)
+    }
+}
+
+/// Triangular schoolbook squaring: sum the strictly-upper-triangle partial
+/// products, double by a 1-bit shift, then add the diagonal `aᵢ²` terms.
+fn schoolbook_square(a: &[u64]) -> Nat {
+    let k = a.len();
+    let mut out = vec![0u64; 2 * k];
+    for i in 0..k {
+        if a[i] == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for j in (i + 1)..k {
+            let p = u128::from(a[i]) * u128::from(a[j]) + u128::from(out[i + j]) + carry;
+            out[i + j] = p as u64;
+            carry = p >> 64;
+        }
+        let mut idx = i + k;
+        while carry != 0 {
+            let s = u128::from(out[idx]) + carry;
+            out[idx] = s as u64;
+            carry = s >> 64;
+            idx += 1;
+        }
+    }
+    // Double the off-diagonal sum: 2T fits in 2k limbs because a² does.
+    let mut top = 0u64;
+    for x in &mut out {
+        let shifted = (*x << 1) | top;
+        top = *x >> 63;
+        *x = shifted;
+    }
+    debug_assert_eq!(top, 0);
+    // Add the diagonal a[i]² at position 2i.
+    let mut carry = 0u64;
+    for i in 0..k {
+        let d = u128::from(a[i]) * u128::from(a[i]);
+        let s = u128::from(out[2 * i]) + u128::from(d as u64) + u128::from(carry);
+        out[2 * i] = s as u64;
+        let s2 = u128::from(out[2 * i + 1]) + u128::from((d >> 64) as u64) + (s >> 64);
+        out[2 * i + 1] = s2 as u64;
+        carry = (s2 >> 64) as u64;
+    }
+    debug_assert_eq!(carry, 0);
+    Nat::from_limbs(out)
+}
+
+/// Karatsuba squaring: `(lo + hi·B)² = lo² + 2·lo·hi·B + hi²·B²` via the
+/// three-squares identity `2·lo·hi = (lo+hi)² - lo² - hi²`, so every
+/// recursive sub-product is itself a squaring.
+fn karatsuba_square(a: &[u64]) -> Nat {
+    let half = a.len().div_ceil(2);
+    let (lo, hi) = split(a, half);
+    let z0 = lo.square();
+    let z2 = hi.square();
+    let z1 = (&lo + &hi).square() - &z0 - &z2;
     &z0 + &z1.shl_bits(half * 64) + z2.shl_bits(half * 128)
 }
 

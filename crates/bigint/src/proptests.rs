@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use crate::{Int, Nat};
+use crate::{Int, MontgomeryContext, Nat};
 
 fn arb_nat() -> impl Strategy<Value = Nat> {
     proptest::collection::vec(any::<u64>(), 0..8).prop_map(Nat::from_limbs)
@@ -10,6 +10,19 @@ fn arb_nat() -> impl Strategy<Value = Nat> {
 
 fn arb_nonzero_nat() -> impl Strategy<Value = Nat> {
     arb_nat().prop_filter("nonzero", |n| !n.is_zero())
+}
+
+/// Random odd moduli > 1 across 1–8 limbs (the Montgomery domain).
+fn arb_odd_modulus() -> impl Strategy<Value = Nat> {
+    proptest::collection::vec(any::<u64>(), 1..8).prop_map(|mut limbs| {
+        limbs[0] |= 1;
+        let n = Nat::from_limbs(limbs);
+        if n.is_one() {
+            Nat::from(3u64)
+        } else {
+            n
+        }
+    })
 }
 
 fn arb_int() -> impl Strategy<Value = Int> {
@@ -109,6 +122,54 @@ proptest! {
             expect = expect * u128::from(base) % u128::from(m);
         }
         prop_assert_eq!(got, Nat::from(expect));
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_plain(
+        base in arb_nat(),
+        exp in proptest::collection::vec(any::<u64>(), 0..4).prop_map(Nat::from_limbs),
+        m in arb_odd_modulus(),
+    ) {
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus > 1");
+        prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow_plain(&exp, &m));
+    }
+
+    #[test]
+    fn montgomery_mul_matches_mulm(a in arb_nat(), b in arb_nat(), m in arb_odd_modulus()) {
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus > 1");
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        prop_assert_eq!(ctx.from_mont(&ctx.mont_mul(&am, &bm)), a.mulm(&b, &m));
+        prop_assert_eq!(ctx.from_mont(&ctx.mont_sqr(&am)), a.mulm(&a, &m));
+    }
+
+    #[test]
+    fn dispatched_modpow_matches_plain(
+        base in arb_nat(),
+        exp in proptest::collection::vec(any::<u64>(), 0..3).prop_map(Nat::from_limbs),
+        m in arb_nonzero_nat(),
+    ) {
+        // Whatever path modpow picks (Montgomery for odd m, plain for
+        // even), the answer is the reference one.
+        prop_assert_eq!(base.modpow(&exp, &m), base.modpow_plain(&exp, &m));
+    }
+
+    #[test]
+    fn square_matches_general_multiplication(a in arb_nat()) {
+        prop_assert_eq!(a.square(), a.mul_nat(&a));
+    }
+
+    #[test]
+    fn large_square_binomial_identity(
+        limbs in proptest::collection::vec(any::<u64>(), 33..80),
+    ) {
+        // Above the Karatsuba threshold (exercises the recursive split):
+        // (a+1)² = a² + 2a + 1 ties large squarings to an unbalanced
+        // product-free identity.
+        let a = Nat::from_limbs(limbs);
+        let lhs = (&a + &Nat::one()).square();
+        let rhs = a.square() + a.shl_bits(1) + Nat::one();
+        prop_assert_eq!(lhs, rhs);
     }
 
     #[test]

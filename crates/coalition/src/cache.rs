@@ -1,0 +1,278 @@
+//! Revocation-aware certificate-verification cache.
+//!
+//! The coalition server re-receives the *same* certificates on almost
+//! every request: identity certificates travel with each joint request and
+//! the standing threshold AC is presented unchanged until re-issued. Each
+//! presentation costs an RSA verification (`sig^e mod N`). The
+//! [`VerifyCache`] memoizes the verify-and-idealize step, keyed on the
+//! certificate digest × verifying-key id, so a byte-identical certificate
+//! checked once against the same trusted key is served from memory.
+//!
+//! Soundness of reuse: the key includes a collision-resistant digest of the
+//! certificate body *and* signature, so a hit can only occur for a
+//! byte-identical certificate whose signature already verified against the
+//! same key — the cached idealized [`Message`] is exactly what
+//! re-verification would produce. Revocation reasoning stays in the logic
+//! engine; on top of that the cache is invalidated eagerly:
+//!
+//! * [`VerifyCache::invalidate_subject`] on an `IdentityRevocation`,
+//! * [`VerifyCache::invalidate_group`] on an `AttributeRevocation` or any
+//!   CRL entry,
+//! * timestamp expiry — entries past their certificate's validity end are
+//!   evicted on lookup.
+//!
+//! The cache is `Clone`-cheap (a shared handle) and thread-safe, so the
+//! [`crate::server::CoalitionServer::verify_batch`] worker pool shares one
+//! instance live across workers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jaap_core::syntax::{Message, Time};
+use jaap_crypto::sha256::{hex, Sha256};
+use jaap_pki::attribute::{AttributeCertificate, ThresholdAttributeCertificate};
+use jaap_pki::IdentityCertificate;
+use parking_lot::Mutex;
+
+/// Cache key: `(certificate digest, verifying key id)`.
+pub type CacheKey = (String, String);
+
+/// One memoized verification result.
+#[derive(Debug, Clone)]
+struct CachedEntry {
+    /// The idealized message the verify step produced.
+    message: Message,
+    /// Validity end of the certificate; entries are evicted past this.
+    expires: Time,
+    /// Subject names for identity-revocation invalidation.
+    subjects: Vec<String>,
+    /// Granted group for attribute-revocation invalidation.
+    group: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<CacheKey, CachedEntry>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Aggregate cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that fell through to a real verification.
+    pub misses: u64,
+    /// Entries dropped by revocations or expiry.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+/// A shared, thread-safe verification cache handle.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl VerifyCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        VerifyCache::default()
+    }
+
+    /// Looks up a memoized idealization. Counts a hit or a miss; an entry
+    /// whose certificate validity has expired is evicted and counts as a
+    /// miss (and an invalidation).
+    #[must_use]
+    pub fn lookup(&self, key: &CacheKey, now: Time) -> Option<Message> {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.entries.get(key) {
+            if now.0 > entry.expires.0 {
+                inner.entries.remove(key);
+                inner.invalidations += 1;
+                inner.misses += 1;
+                return None;
+            }
+            inner.hits += 1;
+            return Some(inner.entries[key].message.clone());
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Memoizes a verified certificate's idealization.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        message: Message,
+        expires: Time,
+        subjects: Vec<String>,
+        group: Option<String>,
+    ) {
+        self.inner.lock().entries.insert(
+            key,
+            CachedEntry {
+                message,
+                expires,
+                subjects,
+                group,
+            },
+        );
+    }
+
+    /// Drops every entry naming `subject` (identity revocation). Returns
+    /// how many entries were dropped.
+    pub fn invalidate_subject(&self, subject: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner
+            .entries
+            .retain(|_, e| !e.subjects.iter().any(|s| s == subject));
+        let dropped = before - inner.entries.len();
+        inner.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Drops every entry granting `group` (attribute revocation / CRL
+    /// entry). Returns how many entries were dropped.
+    pub fn invalidate_group(&self, group: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner
+            .entries
+            .retain(|_, e| e.group.as_deref() != Some(group));
+        let dropped = before - inner.entries.len();
+        inner.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.invalidations += dropped;
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            invalidations: inner.invalidations,
+            entries: inner.entries.len(),
+        }
+    }
+}
+
+fn digest(domain: &str, body: &[u8], sig: &jaap_bigint::Nat) -> String {
+    let mut h = Sha256::new();
+    h.update(domain.as_bytes());
+    h.update(body);
+    h.update(b"|");
+    h.update(&sig.to_bytes_be());
+    hex(&h.finalize())
+}
+
+/// Digest of an identity certificate (body + signature).
+#[must_use]
+pub fn identity_digest(cert: &IdentityCertificate) -> String {
+    let body = IdentityCertificate::body_bytes(
+        &cert.issuer,
+        &cert.subject,
+        &cert.subject_key,
+        cert.validity,
+        cert.timestamp,
+    );
+    digest("jaap-cache-identity", &body, cert.signature.value())
+}
+
+/// Digest of a threshold attribute certificate (body + signature).
+#[must_use]
+pub fn threshold_digest(cert: &ThresholdAttributeCertificate) -> String {
+    let body = ThresholdAttributeCertificate::body_bytes(
+        &cert.issuer,
+        &cert.subject,
+        &cert.group,
+        cert.validity,
+        cert.timestamp,
+    );
+    digest("jaap-cache-threshold", &body, cert.signature.value())
+}
+
+/// Digest of a single-subject attribute certificate (body + signature).
+#[must_use]
+pub fn attribute_digest(cert: &AttributeCertificate) -> String {
+    let body = AttributeCertificate::body_bytes(
+        &cert.issuer,
+        &cert.subject,
+        &cert.subject_key,
+        &cert.group,
+        cert.validity,
+        cert.timestamp,
+    );
+    digest("jaap-cache-attribute", &body, cert.signature.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaap_core::syntax::Message;
+
+    fn msg(tag: &str) -> Message {
+        Message::data(tag)
+    }
+
+    fn key(d: &str) -> CacheKey {
+        (d.to_string(), "K".to_string())
+    }
+
+    #[test]
+    fn hit_miss_and_expiry() {
+        let cache = VerifyCache::new();
+        assert_eq!(cache.lookup(&key("a"), Time(0)), None);
+        cache.insert(key("a"), msg("m"), Time(10), vec!["U".into()], None);
+        assert_eq!(cache.lookup(&key("a"), Time(5)), Some(msg("m")));
+        // Past validity end: evicted, counted as miss + invalidation.
+        assert_eq!(cache.lookup(&key("a"), Time(11)), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn subject_and_group_invalidation() {
+        let cache = VerifyCache::new();
+        cache.insert(key("id"), msg("id"), Time(100), vec!["U1".into()], None);
+        cache.insert(
+            key("ac"),
+            msg("ac"),
+            Time(100),
+            vec!["U1".into(), "U2".into()],
+            Some("G_write".into()),
+        );
+        assert_eq!(cache.invalidate_group("G_read"), 0);
+        assert_eq!(cache.invalidate_group("G_write"), 1);
+        assert_eq!(cache.invalidate_subject("U1"), 1);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cache = VerifyCache::new();
+        let other = cache.clone();
+        other.insert(key("a"), msg("m"), Time(10), vec![], None);
+        assert_eq!(cache.lookup(&key("a"), Time(0)), Some(msg("m")));
+        cache.clear();
+        assert_eq!(other.stats().entries, 0);
+    }
+}

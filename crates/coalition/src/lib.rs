@@ -8,7 +8,8 @@
 //!   baseline (conventional key in a hardware lockbox).
 //! * [`server`] — the coalition server `P`: reference monitor combining
 //!   signature verification with the §4.3 authorization protocol, plus an
-//!   audit log.
+//!   audit log. Supports a revocation-aware verification cache ([`cache`])
+//!   and multi-worker batch verification.
 //! * [`request`] — joint access requests: the requestor/co-signer assembly
 //!   of Figure 2(b).
 //! * [`scenario`] — one-call construction of the full Figure 1 scenario.
@@ -41,6 +42,7 @@
 
 pub mod aa;
 pub mod availability;
+pub mod cache;
 pub mod domain;
 pub mod dynamics;
 pub mod liability;

@@ -277,6 +277,36 @@ impl Coalition {
         self.server.advance_clock(to);
     }
 
+    /// Enables/disables the server's certificate-verification cache
+    /// (delegates to [`CoalitionServer::set_verification_cache`]).
+    pub fn set_verification_cache(&mut self, on: bool) {
+        self.server.set_verification_cache(on);
+    }
+
+    /// Replaces the server with a fresh one built from the coalition's
+    /// existing trust material: a new trust store, an empty audit log,
+    /// `Object O` back at version 0, and the clock preserved. No keys are
+    /// regenerated, so this is cheap; benchmarks use it to sweep server
+    /// configurations (cache on/off, worker counts) against identical
+    /// certificates and requests.
+    pub fn reset_server(&mut self) {
+        let now = self.server.now();
+        let mut store = TrustStore::new(Time(0));
+        for d in &self.domains {
+            store.trust_ca(d.ca().name(), d.ca().public().clone());
+        }
+        let names: Vec<String> = self.domains.iter().map(|d| d.name().to_string()).collect();
+        store.trust_aa("AA", self.aa.public().clone(), names);
+        store.trust_ra("RA", "AA", self.ra.public().clone());
+        let mut server = CoalitionServer::new("P", store);
+        let mut acl = Acl::new();
+        acl.permit(GroupId::new("G_write"), "write");
+        acl.permit(GroupId::new("G_read"), "read");
+        server.add_object(OBJECT_O, acl);
+        server.advance_clock(now);
+        self.server = server;
+    }
+
     /// Sets the fault model the AA's networked signing sessions run under
     /// (delegates to [`CoalitionAa::set_fault_plan`]).
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {

@@ -5,16 +5,24 @@
 //!
 //! 1. **Crypto** — verify every certificate signature against the trusted
 //!    keys ([`jaap_pki::TrustStore`]) and every request-statement signature
-//!    against the key certified for its signer.
+//!    against the key certified for its signer. This phase is a pure
+//!    function of the trust store and the request, so it can be memoized
+//!    (the optional [`VerifyCache`]) and fanned out across worker threads
+//!    ([`CoalitionServer::verify_batch`]).
 //! 2. **Logic** — idealize the verified certificates and run the four-step
 //!    authorization protocol ([`jaap_core::protocol::authorize`]), yielding
-//!    a machine-checkable derivation.
+//!    a machine-checkable derivation. This phase mutates the belief engine
+//!    and therefore always runs serially, in request order.
 //! 3. **ACL** — the object's ACL entry `(G, op)` is the final side
 //!    condition.
 //!
 //! The logic step can be disabled ([`CoalitionServer::set_logic_checking`])
 //! for the D3 ablation (crypto-only reference monitor), which measures what
-//! the derivation layer costs and what it adds.
+//! the derivation layer costs and what it adds. For the same honesty,
+//! decisions and audit entries record how many signature checks were served
+//! from the cache rather than verified cryptographically.
+
+use std::sync::Arc;
 
 use jaap_core::engine::Engine;
 use jaap_core::protocol::{self, AccessRequest, Acl, Operation, SignedStatement};
@@ -23,9 +31,11 @@ use jaap_core::Derivation;
 use jaap_crypto::rsa::RsaCiphertext;
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cache::{self, VerifyCache};
 use crate::request::{statement_bytes, JointAccessRequest};
 use crate::CoalitionError;
 
@@ -56,6 +66,11 @@ pub struct AuditEntry {
     pub granted: bool,
     /// Denial detail (empty when granted).
     pub detail: String,
+    /// How many signature checks were satisfied from the verification
+    /// cache instead of being verified cryptographically (0 with the cache
+    /// off) — recorded so ablation runs can't silently claim crypto work
+    /// that never happened.
+    pub cached_checks: usize,
     /// Signing-session retry trace, when the decision followed a degraded
     /// networked signing attempt (timeouts, failovers, re-requests).
     pub retry_trace: Option<String>,
@@ -72,8 +87,13 @@ pub struct ServerDecision {
     pub derivation: Option<Derivation>,
     /// Axiom applications spent (0 with logic checking off).
     pub axiom_applications: usize,
-    /// Number of RSA signature verifications performed.
+    /// Number of RSA signature verifications actually performed.
     pub signature_checks: usize,
+    /// Number of certificate checks served from the verification cache
+    /// (their signatures were verified on an earlier, byte-identical
+    /// presentation). `signature_checks + cached_signature_checks` is the
+    /// total number of checks the decision rests on.
+    pub cached_signature_checks: usize,
     /// For granted reads: the object contents encrypted under the
     /// requestor's certified key (Figure 2(d): `Response: {Object O}_Ku3`).
     pub response: Option<RsaCiphertext>,
@@ -82,6 +102,32 @@ pub struct ServerDecision {
     /// the required domains were reachable). Such a request may succeed if
     /// retried later — a policy denial will not.
     pub unavailable: bool,
+}
+
+/// The crypto phase's verified artifacts: idealized certificates and the
+/// signed statements, ready for the logic engine.
+struct CryptoVerified {
+    identity_msgs: Vec<jaap_core::syntax::Message>,
+    attribute_msgs: Vec<jaap_core::syntax::Message>,
+    signed_statements: Vec<SignedStatement>,
+}
+
+/// Everything the crypto phase produces for one request, including the
+/// check counters for failed verifications (they did real work too).
+struct CryptoOutcome {
+    signature_checks: usize,
+    cached_signature_checks: usize,
+    result: Result<CryptoVerified, String>,
+}
+
+impl CryptoOutcome {
+    fn failed(detail: String) -> Self {
+        CryptoOutcome {
+            signature_checks: 0,
+            cached_signature_checks: 0,
+            result: Err(detail),
+        }
+    }
 }
 
 /// The coalition server.
@@ -103,6 +149,9 @@ pub struct CoalitionServer {
     replay_protection: bool,
     /// Digest → decision cache backing replay protection.
     seen: std::collections::HashMap<String, ServerDecision>,
+    /// Optional certificate-verification memoization (off by default so
+    /// benchmarks measure real verification work).
+    verify_cache: Option<VerifyCache>,
     rng: StdRng,
 }
 
@@ -124,6 +173,7 @@ impl CoalitionServer {
             last_crl: None,
             replay_protection: false,
             seen: std::collections::HashMap::new(),
+            verify_cache: None,
             rng: StdRng::seed_from_u64(0x5EC5EC),
         }
     }
@@ -198,6 +248,24 @@ impl CoalitionServer {
         self.logic_checking = on;
     }
 
+    /// Enables/disables the certificate-verification cache. Turning it off
+    /// drops all memoized entries.
+    pub fn set_verification_cache(&mut self, on: bool) {
+        if on {
+            if self.verify_cache.is_none() {
+                self.verify_cache = Some(VerifyCache::new());
+            }
+        } else {
+            self.verify_cache = None;
+        }
+    }
+
+    /// The verification cache handle, when enabled (for stats inspection).
+    #[must_use]
+    pub fn verification_cache(&self) -> Option<&VerifyCache> {
+        self.verify_cache.as_ref()
+    }
+
     /// Enables/disables replay protection: with it on, a duplicate delivery
     /// of the *same* request (a network-level retry, recognized by
     /// [`JointAccessRequest::digest`]) returns the original decision without
@@ -216,7 +284,8 @@ impl CoalitionServer {
     }
 
     /// Admits a CRL: verifies it, rejects sequence rollback, feeds every
-    /// entry to the engine, and refreshes the recency anchor.
+    /// entry to the engine, refreshes the recency anchor, and drops any
+    /// cached verification whose certificate grants a listed group.
     ///
     /// # Errors
     ///
@@ -237,6 +306,11 @@ impl CoalitionServer {
                 .admit_certificate(msg)
                 .map_err(|e| CoalitionError::Config(format!("CRL entry not admitted: {e}")))?;
         }
+        if let Some(cache) = &self.verify_cache {
+            for entry in &crl.entries {
+                cache.invalidate_group(entry.group.as_str());
+            }
+        }
         self.last_crl = Some((crl.sequence, crl.timestamp));
         Ok(())
     }
@@ -253,8 +327,9 @@ impl CoalitionServer {
         &self.engine
     }
 
-    /// Admits an attribute revocation (from the RA): verifies it and feeds
-    /// the idealization to the engine (believe-until-revoked).
+    /// Admits an attribute revocation (from the RA): verifies it, feeds
+    /// the idealization to the engine (believe-until-revoked), and drops
+    /// any cached verification granting the revoked group.
     ///
     /// # Errors
     ///
@@ -267,10 +342,14 @@ impl CoalitionServer {
         self.engine
             .admit_certificate(&msg)
             .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
+        if let Some(cache) = &self.verify_cache {
+            cache.invalidate_group(rev.group.as_str());
+        }
         Ok(())
     }
 
-    /// Admits an identity revocation from a domain CA.
+    /// Admits an identity revocation from a domain CA, dropping any cached
+    /// verification naming the revoked subject.
     ///
     /// # Errors
     ///
@@ -283,6 +362,9 @@ impl CoalitionServer {
         self.engine
             .admit_certificate(&msg)
             .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
+        if let Some(cache) = &self.verify_cache {
+            cache.invalidate_subject(&rev.subject);
+        }
         Ok(())
     }
 
@@ -304,6 +386,7 @@ impl CoalitionServer {
             operation,
             granted: false,
             detail: detail.clone(),
+            cached_checks: 0,
             retry_trace,
         });
         ServerDecision {
@@ -312,6 +395,7 @@ impl CoalitionServer {
             derivation: None,
             axiom_applications: 0,
             signature_checks: 0,
+            cached_signature_checks: 0,
             response: None,
             unavailable: true,
         }
@@ -319,20 +403,145 @@ impl CoalitionServer {
 
     /// Handles a joint access request end to end.
     pub fn handle_request(&mut self, req: &JointAccessRequest) -> ServerDecision {
+        if self.replay_protection {
+            if let Some(cached) = self.seen.get(&req.digest()) {
+                // Duplicate delivery: same decision, no second audit entry,
+                // no second version increment.
+                return cached.clone();
+            }
+        }
+        let outcome = match self.recency_error() {
+            // A stale-recency refusal short-circuits before any crypto
+            // work, exactly as in the serial pipeline of record.
+            Some(detail) => CryptoOutcome::failed(detail),
+            None => crypto_verify(
+                &self.store,
+                self.verify_cache.as_ref(),
+                self.engine.now(),
+                req,
+            ),
+        };
+        self.finish_decision(req, outcome)
+    }
+
+    /// Handles a batch of **independent** requests, fanning the crypto
+    /// phase (certificate + statement signature verification) across
+    /// `workers` threads while the belief-engine phase runs serially in
+    /// request order afterwards. Decisions are identical to calling
+    /// [`CoalitionServer::handle_request`] on each request in order; only
+    /// the split of checks between `signature_checks` and
+    /// `cached_signature_checks` can differ when the cache is on, since
+    /// workers racing on a cold cache may each verify the same certificate
+    /// once.
+    pub fn verify_batch(
+        &mut self,
+        requests: &[JointAccessRequest],
+        workers: usize,
+    ) -> Vec<ServerDecision> {
+        let workers = workers.max(1).min(requests.len().max(1));
+        let recency_err = self.recency_error();
+        let now = self.engine.now();
+        let mut outcomes: Vec<Option<CryptoOutcome>> = Vec::with_capacity(requests.len());
+        outcomes.resize_with(requests.len(), || None);
+
+        if let Some(detail) = recency_err {
+            for slot in &mut outcomes {
+                *slot = Some(CryptoOutcome::failed(detail.clone()));
+            }
+        } else if workers == 1 {
+            for (slot, req) in outcomes.iter_mut().zip(requests) {
+                *slot = Some(crypto_verify(
+                    &self.store,
+                    self.verify_cache.as_ref(),
+                    now,
+                    req,
+                ));
+            }
+        } else {
+            let store = &self.store;
+            let shared_cache = self.verify_cache.clone();
+            // All jobs are enqueued up front; workers drain the queue
+            // through a shared receiver (the vendored channel's receiver is
+            // single-consumer, hence the mutex) and post indexed results.
+            let (job_tx, job_rx) = crossbeam_channel::unbounded::<usize>();
+            for i in 0..requests.len() {
+                let _ = job_tx.send(i);
+            }
+            drop(job_tx);
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            let (res_tx, res_rx) = crossbeam_channel::unbounded::<(usize, CryptoOutcome)>();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let job_rx = Arc::clone(&job_rx);
+                    let res_tx = res_tx.clone();
+                    let cache = shared_cache.clone();
+                    scope.spawn(move || loop {
+                        let job = job_rx.lock().try_recv();
+                        let Ok(i) = job else { break };
+                        let outcome = crypto_verify(store, cache.as_ref(), now, &requests[i]);
+                        if res_tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(res_tx);
+                while let Ok((i, outcome)) = res_rx.recv() {
+                    outcomes[i] = Some(outcome);
+                }
+            });
+        }
+
+        requests
+            .iter()
+            .zip(outcomes)
+            .map(|(req, outcome)| {
+                let outcome = outcome.unwrap_or_else(|| {
+                    CryptoOutcome::failed("internal: crypto phase returned no result".into())
+                });
+                self.finish_decision(req, outcome)
+            })
+            .collect()
+    }
+
+    /// The stale-revocation-information refusal, if the recency policy is
+    /// on and unsatisfied (Stubblebine–Wright).
+    fn recency_error(&self) -> Option<String> {
+        let window = self.revocation_recency?;
+        let fresh_enough = self
+            .last_crl
+            .is_some_and(|(_, ts)| self.engine.now().0.saturating_sub(ts.0) <= window);
+        if fresh_enough {
+            None
+        } else {
+            Some(format!(
+                "revocation information stale: no CRL within the last {window} ticks"
+            ))
+        }
+    }
+
+    /// The serial tail of the pipeline: replay bookkeeping, the logic/ACL
+    /// phase, version bump, read response, audit entry.
+    fn finish_decision(
+        &mut self,
+        req: &JointAccessRequest,
+        outcome: CryptoOutcome,
+    ) -> ServerDecision {
         let digest = if self.replay_protection {
             let digest = req.digest();
             if let Some(cached) = self.seen.get(&digest) {
-                // Duplicate delivery: same decision, no second audit entry,
-                // no second version increment.
                 return cached.clone();
             }
             Some(digest)
         } else {
             None
         };
-        let mut signature_checks = 0usize;
-        let decision = self.verify_request(req, &mut signature_checks);
-        let (granted, detail, derivation, axioms) = match decision {
+        let CryptoOutcome {
+            signature_checks,
+            cached_signature_checks,
+            result,
+        } = outcome;
+        let verdict = result.and_then(|verified| self.authorize_verified(req, verified));
+        let (granted, detail, derivation, axioms) = match verdict {
             Ok((derivation, axioms)) => (true, None, derivation, axioms),
             Err(msg) => (false, Some(msg), None, 0),
         };
@@ -368,6 +577,7 @@ impl CoalitionServer {
             operation: req.operation.clone(),
             granted,
             detail: detail.clone().unwrap_or_default(),
+            cached_checks: cached_signature_checks,
             retry_trace: None,
         });
         let decision = ServerDecision {
@@ -376,6 +586,7 @@ impl CoalitionServer {
             derivation,
             axiom_applications: axioms,
             signature_checks,
+            cached_signature_checks,
             response,
             unavailable: false,
         };
@@ -385,78 +596,13 @@ impl CoalitionServer {
         decision
     }
 
-    fn verify_request(
+    /// ACL lookup plus the §4.3 logic phase (or the D3 crypto-only check)
+    /// over already-verified artifacts.
+    fn authorize_verified(
         &mut self,
         req: &JointAccessRequest,
-        signature_checks: &mut usize,
+        verified: CryptoVerified,
     ) -> Result<(Option<Derivation>, usize), String> {
-        // Recency of revocation information (Stubblebine–Wright).
-        if let Some(window) = self.revocation_recency {
-            let fresh_enough = self
-                .last_crl
-                .is_some_and(|(_, ts)| self.engine.now().0.saturating_sub(ts.0) <= window);
-            if !fresh_enough {
-                return Err(format!(
-                    "revocation information stale: no CRL within the last {window} ticks"
-                ));
-            }
-        }
-        // Crypto step 1: verify and idealize certificates.
-        let mut identity_msgs = Vec::new();
-        for cert in &req.identity_certs {
-            *signature_checks += 1;
-            identity_msgs.push(
-                self.store
-                    .idealize_identity(cert)
-                    .map_err(|e| format!("identity certificate: {e}"))?,
-            );
-        }
-        let mut attribute_msgs = Vec::new();
-        for cert in &req.threshold_certs {
-            *signature_checks += 1;
-            attribute_msgs.push(
-                self.store
-                    .idealize_threshold_attribute(cert)
-                    .map_err(|e| format!("threshold attribute certificate: {e}"))?,
-            );
-        }
-        for cert in &req.attribute_certs {
-            *signature_checks += 1;
-            attribute_msgs.push(
-                self.store
-                    .idealize_attribute(cert)
-                    .map_err(|e| format!("attribute certificate: {e}"))?,
-            );
-        }
-
-        // Crypto step 2: verify the request-statement signatures against
-        // the keys certified for the signers.
-        let mut signed_statements = Vec::new();
-        for stmt in &req.statements {
-            let cert = req
-                .identity_certs
-                .iter()
-                .find(|c| c.subject == stmt.principal)
-                .ok_or_else(|| {
-                    format!("no identity certificate presented for {}", stmt.principal)
-                })?;
-            let body = statement_bytes(&stmt.principal, &req.operation, stmt.at);
-            *signature_checks += 1;
-            if !cert.subject_key.verify(&body, &stmt.signature) {
-                return Err(format!(
-                    "request signature by {} does not verify",
-                    stmt.principal
-                ));
-            }
-            signed_statements.push(SignedStatement::new(
-                stmt.principal.as_str(),
-                key_name(&cert.subject_key),
-                &req.operation,
-                stmt.at,
-            ));
-        }
-
-        // ACL for the object.
         let acl = self
             .object(&req.operation.object)
             .map(|o| o.acl.clone())
@@ -471,9 +617,9 @@ impl CoalitionServer {
 
         // Logic step: the four-step §4.3 protocol.
         let request = AccessRequest {
-            identity_certs: identity_msgs,
-            attribute_certs: attribute_msgs,
-            signed_statements,
+            identity_certs: verified.identity_msgs,
+            attribute_certs: verified.attribute_msgs,
+            signed_statements: verified.signed_statements,
             operation: req.operation.clone(),
             at: req.at,
         };
@@ -486,6 +632,153 @@ impl CoalitionServer {
                 .map_or_else(|| "denied".to_string(), |r| r.to_string()))
         }
     }
+}
+
+/// The crypto phase: verify and idealize every certificate (through the
+/// cache when one is supplied) and verify every statement signature. Pure
+/// in the server state — safe to run on worker threads.
+fn crypto_verify(
+    store: &TrustStore,
+    cache: Option<&VerifyCache>,
+    now: Time,
+    req: &JointAccessRequest,
+) -> CryptoOutcome {
+    let mut checks = 0usize;
+    let mut cached = 0usize;
+    let result = crypto_verify_inner(store, cache, now, req, &mut checks, &mut cached);
+    CryptoOutcome {
+        signature_checks: checks,
+        cached_signature_checks: cached,
+        result,
+    }
+}
+
+fn crypto_verify_inner(
+    store: &TrustStore,
+    cache: Option<&VerifyCache>,
+    now: Time,
+    req: &JointAccessRequest,
+    checks: &mut usize,
+    cached: &mut usize,
+) -> Result<CryptoVerified, String> {
+    // Crypto step 1: verify and idealize certificates.
+    let mut identity_msgs = Vec::new();
+    for cert in &req.identity_certs {
+        let key = cache
+            .and_then(|_| store.ca_key(&cert.issuer))
+            .map(|ca_key| (cache::identity_digest(cert), key_name(ca_key).to_string()));
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            if let Some(msg) = cache.lookup(key, now) {
+                *cached += 1;
+                identity_msgs.push(msg);
+                continue;
+            }
+        }
+        *checks += 1;
+        let msg = store
+            .idealize_identity(cert)
+            .map_err(|e| format!("identity certificate: {e}"))?;
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.insert(
+                key,
+                msg.clone(),
+                cert.validity.end,
+                vec![cert.subject.clone()],
+                None,
+            );
+        }
+        identity_msgs.push(msg);
+    }
+    let aa_key_id = || store.aa_key().map(|k| key_name(k.rsa()).to_string());
+    let mut attribute_msgs = Vec::new();
+    for cert in &req.threshold_certs {
+        let key = cache
+            .and_then(|_| aa_key_id())
+            .map(|kid| (cache::threshold_digest(cert), kid));
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            if let Some(msg) = cache.lookup(key, now) {
+                *cached += 1;
+                attribute_msgs.push(msg);
+                continue;
+            }
+        }
+        *checks += 1;
+        let msg = store
+            .idealize_threshold_attribute(cert)
+            .map_err(|e| format!("threshold attribute certificate: {e}"))?;
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.insert(
+                key,
+                msg.clone(),
+                cert.validity.end,
+                cert.subject
+                    .members
+                    .iter()
+                    .map(|(name, _)| name.clone())
+                    .collect(),
+                Some(cert.group.as_str().to_string()),
+            );
+        }
+        attribute_msgs.push(msg);
+    }
+    for cert in &req.attribute_certs {
+        let key = cache
+            .and_then(|_| aa_key_id())
+            .map(|kid| (cache::attribute_digest(cert), kid));
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            if let Some(msg) = cache.lookup(key, now) {
+                *cached += 1;
+                attribute_msgs.push(msg);
+                continue;
+            }
+        }
+        *checks += 1;
+        let msg = store
+            .idealize_attribute(cert)
+            .map_err(|e| format!("attribute certificate: {e}"))?;
+        if let (Some(cache), Some(key)) = (cache, key) {
+            cache.insert(
+                key,
+                msg.clone(),
+                cert.validity.end,
+                vec![cert.subject.clone()],
+                Some(cert.group.as_str().to_string()),
+            );
+        }
+        attribute_msgs.push(msg);
+    }
+
+    // Crypto step 2: verify the request-statement signatures against the
+    // keys certified for the signers. Statements are fresh per request and
+    // never cached.
+    let mut signed_statements = Vec::new();
+    for stmt in &req.statements {
+        let cert = req
+            .identity_certs
+            .iter()
+            .find(|c| c.subject == stmt.principal)
+            .ok_or_else(|| format!("no identity certificate presented for {}", stmt.principal))?;
+        let body = statement_bytes(&stmt.principal, &req.operation, stmt.at);
+        *checks += 1;
+        if !cert.subject_key.verify(&body, &stmt.signature) {
+            return Err(format!(
+                "request signature by {} does not verify",
+                stmt.principal
+            ));
+        }
+        signed_statements.push(SignedStatement::new(
+            stmt.principal.as_str(),
+            key_name(&cert.subject_key),
+            &req.operation,
+            stmt.at,
+        ));
+    }
+
+    Ok(CryptoVerified {
+        identity_msgs,
+        attribute_msgs,
+        signed_statements,
+    })
 }
 
 /// The crypto-only baseline monitor (no derivations, no revocation
@@ -535,10 +828,12 @@ mod tests {
         let d = c.request_write(&["User_D1", "User_D2"]).expect("request");
         assert!(d.granted);
         assert!(d.signature_checks >= 5); // 2 id certs + 1 AC + 2 statements
+        assert_eq!(d.cached_signature_checks, 0); // cache off by default
         assert!(d.axiom_applications > 0);
         let server = c.server();
         assert_eq!(server.audit_log().len(), 1);
         assert!(server.audit_log()[0].granted);
+        assert_eq!(server.audit_log()[0].cached_checks, 0);
         assert_eq!(server.object("Object O").expect("obj").version, 1);
     }
 
@@ -586,5 +881,73 @@ mod tests {
             .expect("request");
         assert!(!d.granted);
         assert!(d.detail.expect("detail").contains("unknown object"));
+    }
+
+    #[test]
+    fn second_identical_presentation_hits_cache() {
+        let mut c = CoalitionBuilder::new()
+            .domains(&["D1", "D2", "D3"])
+            .key_bits(192)
+            .seed(11)
+            .build()
+            .expect("build");
+        c.server_mut().set_verification_cache(true);
+        let first = c.request_write(&["User_D1", "User_D2"]).expect("first");
+        assert!(first.granted);
+        assert_eq!(first.cached_signature_checks, 0);
+        c.advance_time(Time(12));
+        let second = c.request_write(&["User_D1", "User_D2"]).expect("second");
+        assert!(second.granted);
+        // 2 identity certs + 1 threshold AC come from the cache; the two
+        // statement signatures are always verified afresh.
+        assert_eq!(second.cached_signature_checks, 3);
+        assert_eq!(second.signature_checks, 2);
+        let stats = c.server().verification_cache().expect("cache on").stats();
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn verify_batch_matches_serial_decisions() {
+        let build = || {
+            CoalitionBuilder::new()
+                .domains(&["D1", "D2", "D3"])
+                .key_bits(192)
+                .seed(12)
+                .build()
+                .expect("build")
+        };
+        let mut serial = build();
+        let mut batch = build();
+        let mut requests = Vec::new();
+        for (t, signers) in [
+            (20, vec!["User_D1", "User_D2"]),
+            (21, vec!["User_D3"]),
+            (22, vec!["User_D2", "User_D3"]),
+            (23, vec!["User_D1"]),
+        ] {
+            serial.advance_time(Time(t));
+            batch.advance_time(Time(t));
+            requests.push(
+                batch
+                    .build_request(&signers, Operation::new("write", "Object O"))
+                    .expect("request"),
+            );
+        }
+        let expected: Vec<ServerDecision> = requests
+            .iter()
+            .map(|r| serial.server_mut().handle_request(r))
+            .collect();
+        let got = batch.server_mut().verify_batch(&requests, 4);
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.granted, e.granted);
+            assert_eq!(g.detail, e.detail);
+            assert_eq!(g.signature_checks, e.signature_checks);
+        }
+        assert_eq!(
+            batch.server().object("Object O").expect("obj").version,
+            serial.server().object("Object O").expect("obj").version
+        );
+        assert_eq!(batch.server().audit_log().len(), 4);
     }
 }

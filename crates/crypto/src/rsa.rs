@@ -154,7 +154,15 @@ impl RsaKeyPair {
         let modulus_bytes = (self.public.n.bit_len() - 1) / 8;
         let mut out = Vec::new();
         for block in &ct.blocks {
-            let m = block.modpow(&self.d, &self.public.n);
+            let mut m = self.private_op(block);
+            // CRT self-check: re-encrypting with the (small) public
+            // exponent must reproduce the block; on a fault, recompute via
+            // the full-width exponent.
+            if self.crt.is_some()
+                && m.modpow(&self.public.e, &self.public.n) != block.rem_nat(&self.public.n)
+            {
+                m = self.private_op_classic(block);
+            }
             let bytes = m.to_bytes_be();
             // Leading zero bytes of the random prefix are stripped by the
             // integer encoding; re-pad to the block layout.
@@ -177,6 +185,19 @@ impl RsaKeyPair {
     }
 }
 
+/// Precomputed Chinese-remainder parameters for the private operation:
+/// two half-width exponentiations mod `p` and `q` replace one full-width
+/// exponentiation mod `N` (roughly a 3–4× speedup at RSA sizes).
+#[derive(Debug, Clone)]
+struct CrtParams {
+    /// `d mod (p-1)`.
+    dp: Nat,
+    /// `d mod (q-1)`.
+    dq: Nat,
+    /// `q⁻¹ mod p` (Garner's recombination coefficient).
+    qinv: Nat,
+}
+
 /// An RSA key pair.
 #[derive(Debug, Clone)]
 pub struct RsaKeyPair {
@@ -184,6 +205,10 @@ pub struct RsaKeyPair {
     d: Nat,
     p: Nat,
     q: Nat,
+    /// CRT parameters, derived at keygen; `None` only if derivation failed
+    /// (never for honestly generated p ≠ q), in which case every private
+    /// operation uses the full-width exponent.
+    crt: Option<CrtParams>,
 }
 
 impl RsaKeyPair {
@@ -210,11 +235,13 @@ impl RsaKeyPair {
             let Some(d) = e.modinv(&phi) else {
                 continue; // gcd(e, phi) != 1; rare, retry
             };
+            let crt = CrtParams::derive(&d, &p, &q);
             return Ok(RsaKeyPair {
                 public: RsaPublicKey::new(n, e),
                 d,
                 p,
                 q,
+                crt,
             });
         }
     }
@@ -243,22 +270,90 @@ impl RsaKeyPair {
         (&self.p, &self.q)
     }
 
+    /// Whether the fast CRT private path is available.
+    #[must_use]
+    pub fn has_crt(&self) -> bool {
+        self.crt.is_some()
+    }
+
+    /// The private operation `c^d mod N` through the CRT fast path when
+    /// available: `m₁ = c^{dp} mod p`, `m₂ = c^{dq} mod q`, recombined by
+    /// Garner's formula `m₂ + q·(qinv·(m₁ - m₂) mod p)`.
+    fn private_op(&self, c: &Nat) -> Nat {
+        let Some(crt) = &self.crt else {
+            return self.private_op_classic(c);
+        };
+        let m1 = c.modpow(&crt.dp, &self.p);
+        let m2 = c.modpow(&crt.dq, &self.q);
+        let h = m1.subm(&m2, &self.p).mulm(&crt.qinv, &self.p);
+        &m2 + &(&h * &self.q)
+    }
+
+    /// The private operation via one full-width exponentiation with `d`
+    /// (the non-CRT reference path; also the fallback when the CRT result
+    /// fails its self-check).
+    #[must_use]
+    pub fn private_op_classic(&self, c: &Nat) -> Nat {
+        c.modpow(&self.d, &self.public.n)
+    }
+
     /// Signs `msg`: `FDH(msg)^d mod N`.
+    ///
+    /// Uses the CRT fast path, then verifies the result against the public
+    /// key; on a self-check failure (faulted or corrupted CRT parameters)
+    /// it recomputes once with the full-width exponent before giving up —
+    /// a CRT fault must never leak a bogus signature (Boneh–DeMillo–Lipton).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::SelfCheckFailed`] if no path produces a
+    /// verifying signature (indicates key corruption).
+    pub fn sign(&self, msg: &[u8]) -> Result<RsaSignature, CryptoError> {
+        let h = fdh::encode(msg, &self.public.n);
+        let sig = RsaSignature {
+            s: self.private_op(&h),
+        };
+        if self.public.verify(msg, &sig) {
+            return Ok(sig);
+        }
+        if self.crt.is_some() {
+            let sig = RsaSignature {
+                s: self.private_op_classic(&h),
+            };
+            if self.public.verify(msg, &sig) {
+                return Ok(sig);
+            }
+        }
+        Err(CryptoError::SelfCheckFailed)
+    }
+
+    /// Signs `msg` through the non-CRT path only (reference/ablation; the
+    /// E14 bench and the equivalence proptests compare against this).
     ///
     /// # Errors
     ///
     /// Returns [`CryptoError::SelfCheckFailed`] if the produced signature
-    /// does not verify (indicates key corruption).
-    pub fn sign(&self, msg: &[u8]) -> Result<RsaSignature, CryptoError> {
+    /// does not verify.
+    pub fn sign_classic(&self, msg: &[u8]) -> Result<RsaSignature, CryptoError> {
         let h = fdh::encode(msg, &self.public.n);
         let sig = RsaSignature {
-            s: h.modpow(&self.d, &self.public.n),
+            s: self.private_op_classic(&h),
         };
         if self.public.verify(msg, &sig) {
             Ok(sig)
         } else {
             Err(CryptoError::SelfCheckFailed)
         }
+    }
+}
+
+impl CrtParams {
+    /// Derives `(dp, dq, qinv)` from the private exponent and factors.
+    fn derive(d: &Nat, p: &Nat, q: &Nat) -> Option<Self> {
+        let dp = d.rem_nat(&(p - &Nat::one()));
+        let dq = d.rem_nat(&(q - &Nat::one()));
+        let qinv = q.modinv(p)?;
+        Some(CrtParams { dp, dq, qinv })
     }
 }
 
@@ -400,5 +495,62 @@ mod tests {
         let a = keypair(128, 11);
         let b = keypair(128, 11);
         assert_eq!(a.public(), b.public());
+    }
+
+    #[test]
+    fn crt_params_derived_at_keygen() {
+        let kp = keypair(256, 30);
+        assert!(kp.has_crt());
+    }
+
+    #[test]
+    fn crt_private_op_matches_classic_on_residues() {
+        let kp = keypair(256, 31);
+        for v in [0u64, 1, 2, 65_537, u64::MAX] {
+            let c = Nat::from(v);
+            assert_eq!(kp.private_op(&c), kp.private_op_classic(&c));
+        }
+        // A residue near the modulus.
+        let c = kp.public().modulus() - &Nat::two();
+        assert_eq!(kp.private_op(&c), kp.private_op_classic(&c));
+    }
+
+    mod crt_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// CRT and non-CRT signatures agree byte for byte across keys
+            /// and messages.
+            #[test]
+            fn crt_signature_matches_classic(
+                seed in 0u64..6,
+                msg in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let kp = keypair(192, 3100 + seed);
+                prop_assert!(kp.has_crt());
+                let crt = kp.sign(&msg).expect("crt sign");
+                let classic = kp.sign_classic(&msg).expect("classic sign");
+                prop_assert_eq!(crt.value(), classic.value());
+                prop_assert_eq!(
+                    crt.value().to_bytes_be(),
+                    classic.value().to_bytes_be()
+                );
+            }
+
+            /// The raw private operation agrees on arbitrary ciphertext
+            /// residues, so decryption is CRT-invariant too.
+            #[test]
+            fn crt_private_op_matches_classic(
+                seed in 0u64..6,
+                limbs in proptest::collection::vec(any::<u64>(), 1..6),
+            ) {
+                let kp = keypair(192, 3200 + seed);
+                let c = Nat::from_limbs(limbs).rem_nat(kp.public().modulus());
+                prop_assert_eq!(kp.private_op(&c), kp.private_op_classic(&c));
+            }
+        }
     }
 }
