@@ -19,6 +19,7 @@ use jaap_crypto::rsa::{RsaKeyPair, RsaSignature};
 use jaap_crypto::session::{SessionConfig, SessionReport, SigningSession};
 use jaap_crypto::shared::{KeyShare, SharedPublicKey, SharedRsaKey};
 use jaap_net::FaultPlan;
+use jaap_obs::MetricsRegistry;
 use jaap_pki::attribute::{AttributeCertificate, ThresholdAttributeCertificate, ThresholdSubject};
 use rand::RngCore;
 
@@ -51,6 +52,9 @@ pub struct CoalitionAa {
     fault_plan: FaultPlan,
     /// Timeout/retry policy of networked signing sessions.
     session_config: SessionConfig,
+    /// When set, networked signing sessions record round latencies,
+    /// retries/backoff, failovers and per-link network outcomes here.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl CoalitionAa {
@@ -74,6 +78,7 @@ impl CoalitionAa {
             mode: SigningMode::Local,
             fault_plan: FaultPlan::reliable(),
             session_config: SessionConfig::default(),
+            metrics: None,
         })
     }
 
@@ -100,6 +105,7 @@ impl CoalitionAa {
                 mode: SigningMode::Local,
                 fault_plan: FaultPlan::reliable(),
                 session_config: SessionConfig::default(),
+                metrics: None,
             },
             stats,
         ))
@@ -124,6 +130,12 @@ impl CoalitionAa {
     /// Sets the timeout/retry policy of networked signing sessions.
     pub fn set_session_config(&mut self, config: SessionConfig) {
         self.session_config = config;
+    }
+
+    /// Attaches (or detaches, with `None`) the registry networked signing
+    /// sessions report into.
+    pub fn set_metrics(&mut self, metrics: Option<MetricsRegistry>) {
+        self.metrics = metrics;
     }
 
     /// The AA's name.
@@ -190,13 +202,14 @@ impl CoalitionAa {
                 SessionReport::default(),
             ),
             SigningMode::Networked => {
-                let (outcome, report, _stats) = SigningSession::run_compound(
+                let (outcome, report, _stats) = SigningSession::run_compound_observed(
                     &self.public,
                     &self.shares,
                     0,
                     body,
                     self.fault_plan.clone(),
                     &self.session_config,
+                    self.metrics.as_ref(),
                 );
                 (outcome.map_err(CoalitionError::from), report)
             }

@@ -24,15 +24,29 @@
 //! The cache is `Clone`-cheap (a shared handle) and thread-safe, so the
 //! [`crate::server::CoalitionServer::verify_batch`] worker pool shares one
 //! instance live across workers.
+//!
+//! **Bounded.** The cache holds at most its capacity
+//! ([`DEFAULT_CACHE_CAPACITY`] unless overridden via
+//! [`VerifyCache::with_capacity`]); inserting past the bound evicts the
+//! oldest entries by insertion order. Eviction is sound for the same reason
+//! memoization is: an evicted certificate is simply re-verified on its next
+//! presentation, so decisions never change — only the hit/miss split does.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use jaap_core::syntax::{Message, Time};
 use jaap_crypto::sha256::{hex, Sha256};
+use jaap_obs::{Counter, MetricsRegistry};
 use jaap_pki::attribute::{AttributeCertificate, ThresholdAttributeCertificate};
 use jaap_pki::IdentityCertificate;
 use parking_lot::Mutex;
+
+/// Default bound on live cache entries. Generous for the coalition
+/// scenarios (a request presents a handful of certificates), small enough
+/// that a long-running server cannot grow without bound on a stream of
+/// distinct certificates.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Cache key: `(certificate digest, verifying key id)`.
 pub type CacheKey = (String, String);
@@ -50,12 +64,74 @@ struct CachedEntry {
     group: Option<String>,
 }
 
-#[derive(Debug, Default)]
+/// Registry handles, pre-resolved once when a registry is attached so the
+/// hot path only touches atomics.
+#[derive(Debug, Clone)]
+struct CacheCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl CacheCounters {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        CacheCounters {
+            hits: registry.counter("server.cache.hits"),
+            misses: registry.counter("server.cache.misses"),
+            invalidations: registry.counter("server.cache.invalidations"),
+            evictions: registry.counter("server.cache.evictions"),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct Inner {
     entries: HashMap<CacheKey, CachedEntry>,
+    /// Keys in insertion order, for capacity eviction. May hold keys whose
+    /// entries were already invalidated; those are skipped when popped.
+    order: VecDeque<CacheKey>,
+    /// Maximum live entries; `None` means unbounded (comparison baseline).
+    capacity: Option<usize>,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    evictions: u64,
+    metrics: Option<CacheCounters>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: Some(DEFAULT_CACHE_CAPACITY),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+            metrics: None,
+        }
+    }
+}
+
+impl Inner {
+    /// Pops insertion-order keys until the live-entry count fits the
+    /// capacity. Stale keys (already invalidated) are skipped uncounted.
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        while self.entries.len() > cap {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            if self.entries.remove(&old).is_some() {
+                self.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
+            }
+        }
+    }
 }
 
 /// Aggregate cache counters.
@@ -67,6 +143,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by revocations or expiry.
     pub invalidations: u64,
+    /// Entries dropped by the capacity bound (oldest-first).
+    pub evictions: u64,
     /// Live entries.
     pub entries: usize,
 }
@@ -78,10 +156,40 @@ pub struct VerifyCache {
 }
 
 impl VerifyCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache bounded at [`DEFAULT_CACHE_CAPACITY`].
     #[must_use]
     pub fn new() -> Self {
         VerifyCache::default()
+    }
+
+    /// Creates an empty cache bounded at `capacity` live entries (`None`
+    /// for the unbounded comparison baseline).
+    #[must_use]
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        let cache = VerifyCache::default();
+        cache.inner.lock().capacity = capacity;
+        cache
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.lock().capacity
+    }
+
+    /// Re-bounds the cache, evicting oldest entries immediately if the new
+    /// capacity is already exceeded.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        inner.enforce_capacity();
+    }
+
+    /// Mirrors the cache counters into `registry` (pre-resolved handles:
+    /// `server.cache.{hits,misses,invalidations,evictions}`). Pass `None`
+    /// to detach.
+    pub fn set_metrics(&self, registry: Option<&MetricsRegistry>) {
+        self.inner.lock().metrics = registry.map(CacheCounters::resolve);
     }
 
     /// Looks up a memoized idealization. Counts a hit or a miss; an entry
@@ -95,16 +203,28 @@ impl VerifyCache {
                 inner.entries.remove(key);
                 inner.invalidations += 1;
                 inner.misses += 1;
+                if let Some(m) = &inner.metrics {
+                    m.invalidations.inc();
+                    m.misses.inc();
+                }
                 return None;
             }
             inner.hits += 1;
+            if let Some(m) = &inner.metrics {
+                m.hits.inc();
+            }
             return Some(inner.entries[key].message.clone());
         }
         inner.misses += 1;
+        if let Some(m) = &inner.metrics {
+            m.misses.inc();
+        }
         None
     }
 
-    /// Memoizes a verified certificate's idealization.
+    /// Memoizes a verified certificate's idealization. Past the capacity
+    /// bound, the oldest entries (by first insertion) are evicted to make
+    /// room.
     pub fn insert(
         &self,
         key: CacheKey,
@@ -113,15 +233,26 @@ impl VerifyCache {
         subjects: Vec<String>,
         group: Option<String>,
     ) {
-        self.inner.lock().entries.insert(
-            key,
-            CachedEntry {
-                message,
-                expires,
-                subjects,
-                group,
-            },
-        );
+        let mut inner = self.inner.lock();
+        let fresh = inner
+            .entries
+            .insert(
+                key.clone(),
+                CachedEntry {
+                    message,
+                    expires,
+                    subjects,
+                    group,
+                },
+            )
+            .is_none();
+        if fresh {
+            // Re-inserting an existing key keeps its original order slot;
+            // only first insertions enter the queue, so it never holds
+            // duplicate live keys.
+            inner.order.push_back(key);
+        }
+        inner.enforce_capacity();
     }
 
     /// Drops every entry naming `subject` (identity revocation). Returns
@@ -134,6 +265,9 @@ impl VerifyCache {
             .retain(|_, e| !e.subjects.iter().any(|s| s == subject));
         let dropped = before - inner.entries.len();
         inner.invalidations += dropped as u64;
+        if let Some(m) = &inner.metrics {
+            m.invalidations.add(dropped as u64);
+        }
         dropped
     }
 
@@ -147,6 +281,9 @@ impl VerifyCache {
             .retain(|_, e| e.group.as_deref() != Some(group));
         let dropped = before - inner.entries.len();
         inner.invalidations += dropped as u64;
+        if let Some(m) = &inner.metrics {
+            m.invalidations.add(dropped as u64);
+        }
         dropped
     }
 
@@ -155,7 +292,11 @@ impl VerifyCache {
         let mut inner = self.inner.lock();
         let dropped = inner.entries.len() as u64;
         inner.entries.clear();
+        inner.order.clear();
         inner.invalidations += dropped;
+        if let Some(m) = &inner.metrics {
+            m.invalidations.add(dropped);
+        }
     }
 
     /// Current counters.
@@ -166,6 +307,7 @@ impl VerifyCache {
             hits: inner.hits,
             misses: inner.misses,
             invalidations: inner.invalidations,
+            evictions: inner.evictions,
             entries: inner.entries.len(),
         }
     }
@@ -264,6 +406,80 @@ mod tests {
         assert_eq!(cache.invalidate_subject("U1"), 1);
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let cache = VerifyCache::with_capacity(Some(2));
+        cache.insert(key("a"), msg("a"), Time(100), vec![], None);
+        cache.insert(key("b"), msg("b"), Time(100), vec![], None);
+        cache.insert(key("c"), msg("c"), Time(100), vec![], None);
+        // "a" (oldest) was evicted; "b" and "c" survive.
+        assert_eq!(cache.lookup(&key("a"), Time(0)), None);
+        assert_eq!(cache.lookup(&key("b"), Time(0)), Some(msg("b")));
+        assert_eq!(cache.lookup(&key("c"), Time(0)), Some(msg("c")));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn reinsert_keeps_original_order_slot() {
+        let cache = VerifyCache::with_capacity(Some(2));
+        cache.insert(key("a"), msg("a"), Time(100), vec![], None);
+        cache.insert(key("b"), msg("b"), Time(100), vec![], None);
+        // Refreshing "a" does not make it newest: it keeps its original
+        // insertion slot, so it is still the first to go.
+        cache.insert(key("a"), msg("a2"), Time(100), vec![], None);
+        cache.insert(key("c"), msg("c"), Time(100), vec![], None);
+        assert_eq!(cache.lookup(&key("a"), Time(0)), None);
+        assert_eq!(cache.lookup(&key("b"), Time(0)), Some(msg("b")));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stale_order_keys_are_skipped_not_counted() {
+        let cache = VerifyCache::with_capacity(Some(2));
+        cache.insert(key("a"), msg("a"), Time(100), vec!["U".into()], None);
+        cache.insert(key("b"), msg("b"), Time(100), vec![], None);
+        // Invalidate "a" so its order-queue key goes stale.
+        assert_eq!(cache.invalidate_subject("U"), 1);
+        cache.insert(key("c"), msg("c"), Time(100), vec![], None);
+        cache.insert(key("d"), msg("d"), Time(100), vec![], None);
+        // The stale "a" key was skipped; "b" was the real eviction.
+        assert_eq!(cache.lookup(&key("b"), Time(0)), None);
+        assert_eq!(cache.lookup(&key("c"), Time(0)), Some(msg("c")));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_trims_immediately() {
+        let cache = VerifyCache::with_capacity(None);
+        for i in 0..10 {
+            cache.insert(key(&format!("k{i}")), msg("m"), Time(100), vec![], None);
+        }
+        assert_eq!(cache.stats().entries, 10);
+        cache.set_capacity(Some(3));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evictions, 7);
+        assert_eq!(cache.lookup(&key("k9"), Time(0)), Some(msg("m")));
+    }
+
+    #[test]
+    fn attached_registry_mirrors_counters() {
+        let registry = jaap_obs::MetricsRegistry::new();
+        let cache = VerifyCache::with_capacity(Some(1));
+        cache.set_metrics(Some(&registry));
+        cache.insert(key("a"), msg("a"), Time(100), vec![], None);
+        assert_eq!(cache.lookup(&key("a"), Time(0)), Some(msg("a")));
+        assert_eq!(cache.lookup(&key("zzz"), Time(0)), None);
+        cache.insert(key("b"), msg("b"), Time(100), vec![], None); // evicts "a"
+        assert_eq!(registry.counter_value("server.cache.hits"), Some(1));
+        assert_eq!(registry.counter_value("server.cache.misses"), Some(1));
+        assert_eq!(registry.counter_value("server.cache.evictions"), Some(1));
     }
 
     #[test]

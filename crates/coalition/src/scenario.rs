@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use jaap_crypto::session::SessionConfig;
 use jaap_crypto::CryptoError;
 use jaap_net::FaultPlan;
+use jaap_obs::MetricsRegistry;
 
 use crate::aa::{CoalitionAa, SigningMode};
 use crate::domain::{Domain, UserAgent};
@@ -191,6 +192,7 @@ impl CoalitionBuilder {
             read_ac,
             validity,
             key_bits: self.key_bits,
+            metrics: None,
             rng,
         })
     }
@@ -208,6 +210,7 @@ pub struct Coalition {
     pub(crate) read_ac: ThresholdAttributeCertificate,
     pub(crate) validity: Validity,
     pub(crate) key_bits: usize,
+    pub(crate) metrics: Option<MetricsRegistry>,
     pub(crate) rng: StdRng,
 }
 
@@ -283,6 +286,35 @@ impl Coalition {
         self.server.set_verification_cache(on);
     }
 
+    /// Turns observability on for the whole coalition: one shared
+    /// [`MetricsRegistry`] wired through the server's §4.3 pipeline
+    /// ([`CoalitionServer::set_metrics`]) and the AA's networked signing
+    /// sessions ([`CoalitionAa::set_metrics`]). Returns a handle to the
+    /// registry (cheap clone — snapshots and JSON export read live state).
+    pub fn enable_metrics(&mut self) -> MetricsRegistry {
+        let registry = self
+            .metrics
+            .get_or_insert_with(MetricsRegistry::new)
+            .clone();
+        self.server.set_metrics(Some(&registry));
+        self.aa.set_metrics(Some(registry.clone()));
+        registry
+    }
+
+    /// Turns observability back off; the request path returns to doing no
+    /// metrics work at all.
+    pub fn disable_metrics(&mut self) {
+        self.metrics = None;
+        self.server.set_metrics(None);
+        self.aa.set_metrics(None);
+    }
+
+    /// The coalition's metrics registry, when enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
     /// Replaces the server with a fresh one built from the coalition's
     /// existing trust material: a new trust store, an empty audit log,
     /// `Object O` back at version 0, and the clock preserved. No keys are
@@ -304,6 +336,9 @@ impl Coalition {
         acl.permit(GroupId::new("G_read"), "read");
         server.add_object(OBJECT_O, acl);
         server.advance_clock(now);
+        if let Some(registry) = &self.metrics {
+            server.set_metrics(Some(registry));
+        }
         self.server = server;
     }
 

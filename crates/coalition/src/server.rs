@@ -22,13 +22,16 @@
 //! decisions and audit entries record how many signature checks were served
 //! from the cache rather than verified cryptographically.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use jaap_core::engine::Engine;
 use jaap_core::protocol::{self, AccessRequest, Acl, Operation, SignedStatement};
 use jaap_core::syntax::Time;
 use jaap_core::Derivation;
 use jaap_crypto::rsa::RsaCiphertext;
+use jaap_obs::{Counter, Histogram, MetricsRegistry};
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
 use parking_lot::Mutex;
@@ -130,6 +133,51 @@ impl CryptoOutcome {
     }
 }
 
+/// Default bound on the replay-protection `seen` map: enough to absorb any
+/// realistic retry window while keeping a long-running server's memory flat
+/// on an unbounded request stream. Override with
+/// [`CoalitionServer::set_replay_protection_capacity`].
+pub const DEFAULT_REPLAY_CAPACITY: usize = 1024;
+
+/// Registry handles for the §4.3 pipeline, pre-resolved once when a
+/// registry is attached ([`CoalitionServer::set_metrics`]) so the per-request
+/// path touches atomics only. With no registry attached the server performs
+/// no metrics work at all — not even `Instant::now()` calls.
+#[derive(Debug, Clone)]
+struct ServerMetrics {
+    /// The registry the handles came from (re-used to wire the
+    /// verification cache when it is enabled later).
+    registry: MetricsRegistry,
+    recency_ns: Arc<Histogram>,
+    crypto_ns: Arc<Histogram>,
+    logic_ns: Arc<Histogram>,
+    acl_ns: Arc<Histogram>,
+    decision_ns: Arc<Histogram>,
+    decisions: Arc<Counter>,
+    granted: Arc<Counter>,
+    denied: Arc<Counter>,
+    replay_hits: Arc<Counter>,
+    replay_evictions: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        ServerMetrics {
+            recency_ns: registry.histogram("server.phase.recency_ns"),
+            crypto_ns: registry.histogram("server.phase.crypto_ns"),
+            logic_ns: registry.histogram("server.phase.logic_ns"),
+            acl_ns: registry.histogram("server.phase.acl_ns"),
+            decision_ns: registry.histogram("server.decision_ns"),
+            decisions: registry.counter("server.decisions"),
+            granted: registry.counter("server.granted"),
+            denied: registry.counter("server.denied"),
+            replay_hits: registry.counter("server.replay.hits"),
+            replay_evictions: registry.counter("server.replay.evictions"),
+            registry: registry.clone(),
+        }
+    }
+}
+
 /// The coalition server.
 #[derive(Debug)]
 pub struct CoalitionServer {
@@ -147,11 +195,20 @@ pub struct CoalitionServer {
     /// When on, duplicate deliveries of the same request (by canonical
     /// digest) return the original decision instead of being re-processed.
     replay_protection: bool,
-    /// Digest → decision cache backing replay protection.
+    /// Digest → decision cache backing replay protection, bounded at
+    /// `seen_capacity` (oldest decisions evicted by insertion order).
     seen: std::collections::HashMap<String, ServerDecision>,
+    /// Request digests in insertion order, for `seen` eviction.
+    seen_order: VecDeque<String>,
+    /// Bound on remembered decisions ([`DEFAULT_REPLAY_CAPACITY`] unless
+    /// overridden).
+    seen_capacity: usize,
     /// Optional certificate-verification memoization (off by default so
     /// benchmarks measure real verification work).
     verify_cache: Option<VerifyCache>,
+    /// Pre-resolved instrument handles; `None` keeps the request path free
+    /// of metrics work entirely.
+    metrics: Option<ServerMetrics>,
     rng: StdRng,
 }
 
@@ -173,7 +230,10 @@ impl CoalitionServer {
             last_crl: None,
             replay_protection: false,
             seen: std::collections::HashMap::new(),
+            seen_order: VecDeque::new(),
+            seen_capacity: DEFAULT_REPLAY_CAPACITY,
             verify_cache: None,
+            metrics: None,
             rng: StdRng::seed_from_u64(0x5EC5EC),
         }
     }
@@ -253,11 +313,43 @@ impl CoalitionServer {
     pub fn set_verification_cache(&mut self, on: bool) {
         if on {
             if self.verify_cache.is_none() {
-                self.verify_cache = Some(VerifyCache::new());
+                let cache = VerifyCache::new();
+                if let Some(m) = &self.metrics {
+                    cache.set_metrics(Some(&m.registry));
+                }
+                self.verify_cache = Some(cache);
             }
         } else {
             self.verify_cache = None;
         }
+    }
+
+    /// Attaches a metrics registry: per-phase decision latencies
+    /// (`server.phase.*_ns`, `server.decision_ns`), decision counters
+    /// (`server.{decisions,granted,denied}`), replay-dedup counters
+    /// (`server.replay.{hits,evictions}`) and — when the verification cache
+    /// is on — `server.cache.{hits,misses,invalidations,evictions}`.
+    /// Handles are resolved once here; pass `None` to detach, restoring a
+    /// request path with zero metrics work.
+    pub fn set_metrics(&mut self, registry: Option<&MetricsRegistry>) {
+        self.metrics = registry.map(ServerMetrics::resolve);
+        if let Some(cache) = &self.verify_cache {
+            cache.set_metrics(registry);
+        }
+    }
+
+    /// Re-bounds the replay-protection `seen` map (default
+    /// [`DEFAULT_REPLAY_CAPACITY`]), evicting oldest decisions immediately
+    /// if the new bound is already exceeded.
+    pub fn set_replay_protection_capacity(&mut self, capacity: usize) {
+        self.seen_capacity = capacity.max(1);
+        self.trim_seen();
+    }
+
+    /// Remembered replay decisions (for capacity tests).
+    #[must_use]
+    pub fn replay_entries(&self) -> usize {
+        self.seen.len()
     }
 
     /// The verification cache handle, when enabled (for stats inspection).
@@ -403,25 +495,45 @@ impl CoalitionServer {
 
     /// Handles a joint access request end to end.
     pub fn handle_request(&mut self, req: &JointAccessRequest) -> ServerDecision {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         if self.replay_protection {
             if let Some(cached) = self.seen.get(&req.digest()) {
                 // Duplicate delivery: same decision, no second audit entry,
                 // no second version increment.
+                if let Some(m) = &self.metrics {
+                    m.replay_hits.inc();
+                }
                 return cached.clone();
             }
         }
-        let outcome = match self.recency_error() {
+        let recency_started = started.map(|_| Instant::now());
+        let recency = self.recency_error();
+        if let (Some(m), Some(t)) = (&self.metrics, recency_started) {
+            m.recency_ns.record_duration(t.elapsed());
+        }
+        let outcome = match recency {
             // A stale-recency refusal short-circuits before any crypto
             // work, exactly as in the serial pipeline of record.
             Some(detail) => CryptoOutcome::failed(detail),
-            None => crypto_verify(
-                &self.store,
-                self.verify_cache.as_ref(),
-                self.engine.now(),
-                req,
-            ),
+            None => {
+                let crypto_started = started.map(|_| Instant::now());
+                let outcome = crypto_verify(
+                    &self.store,
+                    self.verify_cache.as_ref(),
+                    self.engine.now(),
+                    req,
+                );
+                if let (Some(m), Some(t)) = (&self.metrics, crypto_started) {
+                    m.crypto_ns.record_duration(t.elapsed());
+                }
+                outcome
+            }
         };
-        self.finish_decision(req, outcome)
+        let decision = self.finish_decision(req, outcome);
+        if let (Some(m), Some(t)) = (&self.metrics, started) {
+            m.decision_ns.record_duration(t.elapsed());
+        }
+        decision
     }
 
     /// Handles a batch of **independent** requests, fanning the crypto
@@ -439,7 +551,12 @@ impl CoalitionServer {
         workers: usize,
     ) -> Vec<ServerDecision> {
         let workers = workers.max(1).min(requests.len().max(1));
+        let recency_started = self.metrics.as_ref().map(|_| Instant::now());
         let recency_err = self.recency_error();
+        if let (Some(m), Some(t)) = (&self.metrics, recency_started) {
+            m.recency_ns.record_duration(t.elapsed());
+        }
+        let crypto_ns = self.metrics.as_ref().map(|m| Arc::clone(&m.crypto_ns));
         let now = self.engine.now();
         let mut outcomes: Vec<Option<CryptoOutcome>> = Vec::with_capacity(requests.len());
         outcomes.resize_with(requests.len(), || None);
@@ -450,12 +567,16 @@ impl CoalitionServer {
             }
         } else if workers == 1 {
             for (slot, req) in outcomes.iter_mut().zip(requests) {
+                let t = crypto_ns.as_ref().map(|_| Instant::now());
                 *slot = Some(crypto_verify(
                     &self.store,
                     self.verify_cache.as_ref(),
                     now,
                     req,
                 ));
+                if let (Some(h), Some(t)) = (&crypto_ns, t) {
+                    h.record_duration(t.elapsed());
+                }
             }
         } else {
             let store = &self.store;
@@ -475,10 +596,15 @@ impl CoalitionServer {
                     let job_rx = Arc::clone(&job_rx);
                     let res_tx = res_tx.clone();
                     let cache = shared_cache.clone();
+                    let crypto_ns = crypto_ns.clone();
                     scope.spawn(move || loop {
                         let job = job_rx.lock().try_recv();
                         let Ok(i) = job else { break };
+                        let t = crypto_ns.as_ref().map(|_| Instant::now());
                         let outcome = crypto_verify(store, cache.as_ref(), now, &requests[i]);
+                        if let (Some(h), Some(t)) = (&crypto_ns, t) {
+                            h.record_duration(t.elapsed());
+                        }
                         if res_tx.send((i, outcome)).is_err() {
                             break;
                         }
@@ -529,6 +655,9 @@ impl CoalitionServer {
         let digest = if self.replay_protection {
             let digest = req.digest();
             if let Some(cached) = self.seen.get(&digest) {
+                if let Some(m) = &self.metrics {
+                    m.replay_hits.inc();
+                }
                 return cached.clone();
             }
             Some(digest)
@@ -590,10 +719,38 @@ impl CoalitionServer {
             response,
             unavailable: false,
         };
+        if let Some(m) = &self.metrics {
+            m.decisions.inc();
+            if granted {
+                m.granted.inc();
+            } else {
+                m.denied.inc();
+            }
+        }
         if let Some(digest) = digest {
-            self.seen.insert(digest, decision.clone());
+            if self.seen.insert(digest.clone(), decision.clone()).is_none() {
+                self.seen_order.push_back(digest);
+            }
+            self.trim_seen();
         }
         decision
+    }
+
+    /// Evicts oldest remembered decisions past the replay capacity. A
+    /// dropped digest makes that request *re-processable* (it gets a fresh,
+    /// identical decision and a second audit line), never wrongly replayed
+    /// — the bound trades a little duplicate work for flat memory.
+    fn trim_seen(&mut self) {
+        while self.seen.len() > self.seen_capacity {
+            let Some(old) = self.seen_order.pop_front() else {
+                break;
+            };
+            if self.seen.remove(&old).is_some() {
+                if let Some(m) = &self.metrics {
+                    m.replay_evictions.inc();
+                }
+            }
+        }
     }
 
     /// ACL lookup plus the §4.3 logic phase (or the D3 crypto-only check)
@@ -603,10 +760,15 @@ impl CoalitionServer {
         req: &JointAccessRequest,
         verified: CryptoVerified,
     ) -> Result<(Option<Derivation>, usize), String> {
+        let acl_started = self.metrics.as_ref().map(|_| Instant::now());
         let acl = self
             .object(&req.operation.object)
             .map(|o| o.acl.clone())
-            .ok_or_else(|| format!("unknown object {}", req.operation.object))?;
+            .ok_or_else(|| format!("unknown object {}", req.operation.object));
+        if let (Some(m), Some(t)) = (&self.metrics, acl_started) {
+            m.acl_ns.record_duration(t.elapsed());
+        }
+        let acl = acl?;
 
         if !self.logic_checking {
             // D3 ablation: crypto-only monitor does a direct structural
@@ -623,7 +785,11 @@ impl CoalitionServer {
             operation: req.operation.clone(),
             at: req.at,
         };
+        let logic_started = self.metrics.as_ref().map(|_| Instant::now());
         let decision = protocol::authorize(&mut self.engine, &request, &acl);
+        if let (Some(m), Some(t)) = (&self.metrics, logic_started) {
+            m.logic_ns.record_duration(t.elapsed());
+        }
         if decision.granted {
             Ok((decision.derivation, decision.axiom_applications))
         } else {

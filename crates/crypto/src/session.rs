@@ -23,10 +23,12 @@
 //! for an audit log.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jaap_bigint::Nat;
 use jaap_net::{Endpoint, FaultPlan, NetError, Network, NetworkStats, PartyId};
+use jaap_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::joint::{self, SignatureShare};
 use crate::rsa::RsaSignature;
@@ -130,6 +132,39 @@ pub enum SessionMsg {
     Done,
 }
 
+/// Pre-resolved session instruments (see [`MetricsRegistry`]); resolving
+/// them once per session keeps the round loop at atomic operations only.
+struct SessionMetrics {
+    /// Latency of each request/collect round.
+    round_ns: Arc<Histogram>,
+    /// Rounds used per session (1 = no retries were needed).
+    rounds: Arc<Histogram>,
+    /// Retry rounds beyond the first.
+    retries: Arc<Counter>,
+    /// Backoff waits, as recorded durations.
+    backoff_ns: Arc<Histogram>,
+    /// Co-signer failovers to a standby domain.
+    failovers: Arc<Counter>,
+    /// Sessions that ended in [`CryptoError::QuorumUnreachable`].
+    quorum_failures: Arc<Counter>,
+    /// Sessions started.
+    sessions: Arc<Counter>,
+}
+
+impl SessionMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        SessionMetrics {
+            round_ns: registry.histogram("session.round_ns"),
+            rounds: registry.histogram("session.rounds"),
+            retries: registry.counter("session.retries"),
+            backoff_ns: registry.histogram("session.backoff_ns"),
+            failovers: registry.counter("session.failovers"),
+            quorum_failures: registry.counter("session.quorum_failures"),
+            sessions: registry.counter("session.sessions"),
+        }
+    }
+}
+
 /// Namespace for running resilient signing sessions; see the module docs.
 #[derive(Debug)]
 pub struct SigningSession;
@@ -175,6 +210,26 @@ impl SigningSession {
         SessionReport,
         NetworkStats,
     ) {
+        Self::run_compound_observed(public, shares, requestor, msg, faults, config, None)
+    }
+
+    /// Like [`SigningSession::run_compound`], but records session telemetry
+    /// — round latencies, retry/backoff waits, failovers, quorum failures —
+    /// and per-link network outcomes into `metrics` when one is supplied.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_compound_observed(
+        public: &SharedPublicKey,
+        shares: &[KeyShare],
+        requestor: usize,
+        msg: &[u8],
+        faults: FaultPlan,
+        config: &SessionConfig,
+        metrics: Option<&MetricsRegistry>,
+    ) -> (
+        Result<RsaSignature, CryptoError>,
+        SessionReport,
+        NetworkStats,
+    ) {
         let n = public.n_parties();
         if shares.len() != n {
             let err =
@@ -195,6 +250,7 @@ impl SigningSession {
             &key_id,
             faults,
             config,
+            metrics,
             &|index, body| joint::produce_share(&shares[index], body).map(|s| s.value),
             &|collected| {
                 let sig_shares: Vec<SignatureShare> = collected
@@ -248,6 +304,26 @@ impl SigningSession {
         SessionReport,
         NetworkStats,
     ) {
+        Self::run_threshold_observed(public, shares, requestor, msg, faults, config, None)
+    }
+
+    /// Like [`SigningSession::run_threshold`], but records session telemetry
+    /// — round latencies, retry/backoff waits, failovers, quorum failures —
+    /// and per-link network outcomes into `metrics` when one is supplied.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_threshold_observed(
+        public: &ThresholdPublic,
+        shares: &[ThresholdShare],
+        requestor: usize,
+        msg: &[u8],
+        faults: FaultPlan,
+        config: &SessionConfig,
+        metrics: Option<&MetricsRegistry>,
+    ) -> (
+        Result<RsaSignature, CryptoError>,
+        SessionReport,
+        NetworkStats,
+    ) {
         let n = public.parties();
         let m = public.threshold();
         if shares.len() != n {
@@ -269,6 +345,7 @@ impl SigningSession {
             &key_id,
             faults,
             config,
+            metrics,
             &|index, body| shares[index].sign_share(body).map(|s| s.value),
             &|collected| {
                 let sig_shares: Vec<ThresholdSigShare> = collected
@@ -291,6 +368,10 @@ type CombineFn<'a> = dyn Fn(&BTreeMap<usize, Nat>) -> Result<RsaSignature, Crypt
 
 /// Spawns all parties, runs the requestor driver and the co-signer loops,
 /// and reconciles the per-party results.
+///
+/// An invalid fault plan surfaces as [`CryptoError::InvalidParameters`]
+/// (via [`Network::try_mesh_with`]) rather than a panic, so library callers
+/// with caller-supplied fault plans get an error they can handle.
 #[allow(clippy::too_many_arguments)]
 fn run_session(
     n: usize,
@@ -300,6 +381,7 @@ fn run_session(
     key_id: &str,
     faults: FaultPlan,
     config: &SessionConfig,
+    metrics: Option<&MetricsRegistry>,
     make_share: &MakeShareFn<'_>,
     combine: &CombineFn<'_>,
 ) -> (
@@ -307,12 +389,36 @@ fn run_session(
     SessionReport,
     NetworkStats,
 ) {
-    let (endpoints, handle) = Network::<SessionMsg>::mesh_with(n, faults, false);
+    let mesh = match metrics {
+        Some(registry) => Network::<SessionMsg>::try_mesh_observed(n, faults, false, registry),
+        None => Network::<SessionMsg>::try_mesh_with(n, faults, false),
+    };
+    let (endpoints, handle) = match mesh {
+        Ok(mesh) => mesh,
+        Err(e) => {
+            return (
+                Err(CryptoError::InvalidParameters(format!("network: {e}"))),
+                SessionReport::default(),
+                NetworkStats::default(),
+            );
+        }
+    };
+    let session_metrics = metrics.map(SessionMetrics::resolve);
+    if let Some(m) = &session_metrics {
+        m.sessions.inc();
+    }
     let mut results = jaap_net::run_parties(endpoints, |mut ep| {
         let me = ep.id().0;
         if me == requestor {
             Ok(Some(drive(
-                &mut ep, needed, msg, key_id, config, make_share, combine,
+                &mut ep,
+                needed,
+                msg,
+                key_id,
+                config,
+                session_metrics.as_ref(),
+                make_share,
+                combine,
             )))
         } else {
             cosign(&mut ep, PartyId(requestor), key_id, me, config, make_share).map(|()| None)
@@ -347,12 +453,14 @@ fn run_session(
 /// final `Done` broadcast so co-signers exit promptly. The report is
 /// returned alongside the outcome so failed sessions still carry their
 /// retry trace and responsive-signer list to the audit log.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     ep: &mut Endpoint<SessionMsg>,
     needed: usize,
     msg: &[u8],
     key_id: &str,
     config: &SessionConfig,
+    metrics: Option<&SessionMetrics>,
     make_share: &MakeShareFn<'_>,
     combine: &CombineFn<'_>,
 ) -> (Result<RsaSignature, CryptoError>, SessionReport) {
@@ -364,12 +472,19 @@ fn drive(
         msg,
         key_id,
         config,
+        metrics,
         make_share,
         &mut report,
         &mut collected,
     );
     break_session(ep);
     report.responsive = collected.keys().copied().collect();
+    if let Some(m) = metrics {
+        m.rounds.record(u64::from(report.rounds));
+        if matches!(outcome, Err(CryptoError::QuorumUnreachable { .. })) {
+            m.quorum_failures.inc();
+        }
+    }
     let outcome = outcome.and_then(|()| combine(&collected));
     (outcome, report)
 }
@@ -383,6 +498,7 @@ fn collect_quorum(
     msg: &[u8],
     key_id: &str,
     config: &SessionConfig,
+    metrics: Option<&SessionMetrics>,
     make_share: &MakeShareFn<'_>,
     report: &mut SessionReport,
     collected: &mut BTreeMap<usize, Nat>,
@@ -406,7 +522,8 @@ fn collect_quorum(
 
     loop {
         report.rounds += 1;
-        let round_deadline = Instant::now() + config.round_timeout;
+        let round_started = Instant::now();
+        let round_deadline = round_started + config.round_timeout;
         // Drain shares until quorum or the round deadline.
         while collected.len() < needed {
             let Some(budget) = round_deadline
@@ -434,6 +551,9 @@ fn collect_quorum(
                 }
             }
         }
+        if let Some(m) = metrics {
+            m.round_ns.record_duration(round_started.elapsed());
+        }
         if collected.len() >= needed {
             return Ok(());
         }
@@ -450,9 +570,17 @@ fn collect_quorum(
             .copied()
             .filter(|p| !collected.contains_key(p))
             .collect();
-        std::thread::sleep(config.backoff_for(report.rounds));
+        let backoff = config.backoff_for(report.rounds);
+        if let Some(m) = metrics {
+            m.retries.inc();
+            m.backoff_ns.record_duration(backoff);
+        }
+        std::thread::sleep(backoff);
         for p in silent {
             if let Some(standby) = standbys.pop_front() {
+                if let Some(m) = metrics {
+                    m.failovers.inc();
+                }
                 report.reroutes.push((p, standby));
                 report.trace.push(format!(
                     "round {}: co-signer {p} unresponsive, failing over to standby {standby}",
@@ -682,6 +810,91 @@ mod tests {
         .expect("sign around the partition");
         assert!(public.verify(b"partitioned", &sig));
         assert_eq!(report.reroutes.first(), Some(&(1, 2)));
+    }
+
+    #[test]
+    fn observed_session_records_rounds_failovers_and_link_stats() {
+        let (public, shares) = dealt_threshold(2, 3, 4);
+        let registry = jaap_obs::MetricsRegistry::new();
+        // Party 1 (the initial cohort) is dead: one retry round fails over
+        // to standby 2 and the session still signs.
+        let faults = FaultPlan::reliable().with_crash(1, 0);
+        let (outcome, report, _stats) = SigningSession::run_threshold_observed(
+            &public,
+            &shares,
+            0,
+            b"observed",
+            faults,
+            &SessionConfig::fast(),
+            Some(&registry),
+        );
+        assert!(outcome.is_ok());
+        assert_eq!(report.reroutes, vec![(1, 2)]);
+        assert_eq!(registry.counter_value("session.sessions"), Some(1));
+        assert_eq!(registry.counter_value("session.failovers"), Some(1));
+        assert!(registry.counter_value("session.retries").expect("retries") >= 1);
+        assert_eq!(registry.counter_value("session.quorum_failures"), Some(0));
+        let rounds = registry
+            .histogram_snapshot("session.rounds")
+            .expect("rounds histogram");
+        assert_eq!(rounds.count, 1);
+        assert_eq!(rounds.max, u64::from(report.rounds));
+        let round_ns = registry
+            .histogram_snapshot("session.round_ns")
+            .expect("round latency histogram");
+        assert_eq!(round_ns.count, u64::from(report.rounds));
+        // The observed mesh recorded per-link outcomes: the requestor
+        // reached standby 2 at least twice (request + Done notice).
+        assert!(
+            registry
+                .counter_value("net.link.0->2.delivered")
+                .expect("link")
+                >= 2
+        );
+    }
+
+    #[test]
+    fn observed_session_counts_quorum_failures() {
+        let (public, shares) = dealt_compound(3, 3);
+        let registry = jaap_obs::MetricsRegistry::new();
+        let faults = FaultPlan::reliable().with_crash(2, 0);
+        let (outcome, _report, _stats) = SigningSession::run_compound_observed(
+            &public,
+            &shares,
+            0,
+            b"doomed",
+            faults,
+            &SessionConfig::fast(),
+            Some(&registry),
+        );
+        assert!(matches!(
+            outcome,
+            Err(CryptoError::QuorumUnreachable { .. })
+        ));
+        assert_eq!(registry.counter_value("session.quorum_failures"), Some(1));
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_an_error_not_a_panic() {
+        let (public, shares) = dealt_compound(3, 8);
+        let faults = FaultPlan {
+            drop_prob: 2.5,
+            ..FaultPlan::reliable()
+        };
+        let (outcome, report, stats) = SigningSession::run_compound(
+            &public,
+            &shares,
+            0,
+            b"bad plan",
+            faults,
+            &SessionConfig::fast(),
+        );
+        assert!(matches!(
+            outcome,
+            Err(CryptoError::InvalidParameters(ref m)) if m.contains("invalid FaultPlan")
+        ));
+        assert_eq!(report, SessionReport::default());
+        assert_eq!(stats, NetworkStats::default());
     }
 
     #[test]

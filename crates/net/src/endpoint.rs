@@ -63,6 +63,10 @@ pub enum NetError {
     Disconnected,
     /// `recv_timeout` expired with no message.
     Timeout,
+    /// A mesh construction was rejected: zero parties, an invalid
+    /// [`crate::FaultPlan`], or a fault entry naming a party outside the
+    /// mesh (returned by [`crate::Network::try_mesh_with`]).
+    InvalidMesh(String),
 }
 
 impl core::fmt::Display for NetError {
@@ -72,6 +76,7 @@ impl core::fmt::Display for NetError {
             NetError::SelfSend => write!(f, "a party cannot send to itself"),
             NetError::Disconnected => write!(f, "peer endpoint disconnected"),
             NetError::Timeout => write!(f, "receive timed out"),
+            NetError::InvalidMesh(why) => write!(f, "{why}"),
         }
     }
 }
@@ -137,6 +142,9 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
     /// Counts a suppressed message and tags the transcript accordingly.
     fn block(&self, seq: u64, to: PartyId, payload: &M, event: TranscriptEvent) {
         self.shared.stats.lock().messages_blocked += 1;
+        if let Some(link) = self.shared.link(self.id.0, to.0, self.n) {
+            link.blocked.inc();
+        }
         self.record(seq, to, payload, event);
     }
 
@@ -200,14 +208,21 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
             seq,
             payload,
         };
+        let link = self.shared.link(self.id.0, to.0, self.n);
         match fate {
             Fate::Drop => {
                 self.shared.stats.lock().messages_dropped += 1;
+                if let Some(link) = link {
+                    link.dropped.inc();
+                }
                 self.record(seq, to, &env.payload, TranscriptEvent::Dropped);
                 Ok(())
             }
             Fate::Deliver => {
                 self.shared.stats.lock().messages_delivered += 1;
+                if let Some(link) = link {
+                    link.delivered.inc();
+                }
                 self.record(seq, to, &env.payload, TranscriptEvent::Delivered);
                 sender
                     .send(Wire { env, due: None })
@@ -218,6 +233,10 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
                     let mut stats = self.shared.stats.lock();
                     stats.messages_duplicated += 1;
                     stats.messages_delivered += 2;
+                }
+                if let Some(link) = link {
+                    link.duplicated.inc();
+                    link.delivered.add(2);
                 }
                 self.record(seq, to, &env.payload, TranscriptEvent::Duplicated);
                 let wire = Wire { env, due: None };
@@ -231,6 +250,10 @@ impl<M: Clone + Debug + Send + 'static> Endpoint<M> {
                     let mut stats = self.shared.stats.lock();
                     stats.messages_delayed += 1;
                     stats.messages_delivered += 1;
+                }
+                if let Some(link) = link {
+                    link.delayed.inc();
+                    link.delivered.inc();
                 }
                 self.record(seq, to, &env.payload, TranscriptEvent::Delayed(d));
                 sender

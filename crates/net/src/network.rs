@@ -4,9 +4,10 @@ use std::fmt::Debug;
 use std::sync::Arc;
 
 use crossbeam_channel::unbounded;
+use jaap_obs::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 
-use crate::endpoint::{Endpoint, Wire};
+use crate::endpoint::{Endpoint, NetError, Wire};
 use crate::fault::{FaultPlan, FaultRng};
 use crate::transcript::TranscriptEntry;
 
@@ -29,6 +30,18 @@ pub struct NetworkStats {
     pub parties_crashed: u64,
 }
 
+/// Pre-resolved per-link counters for an observed mesh: one row per
+/// directed `(from, to)` pair, indexed `from * n + to`. Resolving them at
+/// mesh-construction time keeps the send path at atomic increments only.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkMetrics {
+    pub(crate) delivered: Arc<Counter>,
+    pub(crate) dropped: Arc<Counter>,
+    pub(crate) delayed: Arc<Counter>,
+    pub(crate) duplicated: Arc<Counter>,
+    pub(crate) blocked: Arc<Counter>,
+}
+
 pub(crate) struct Shared {
     pub(crate) seq: Mutex<u64>,
     pub(crate) stats: Mutex<NetworkStats>,
@@ -40,6 +53,15 @@ pub(crate) struct Shared {
     /// Which parties have already crash-stopped (so each is counted once).
     pub(crate) crashed: Mutex<Vec<bool>>,
     pub(crate) record_transcript: bool,
+    /// Per-link counters, present only on observed meshes.
+    pub(crate) links: Option<Vec<LinkMetrics>>,
+}
+
+impl Shared {
+    /// The metrics row for the `from → to` link, when observed.
+    pub(crate) fn link(&self, from: usize, to: usize, n: usize) -> Option<&LinkMetrics> {
+        self.links.as_ref().and_then(|rows| rows.get(from * n + to))
+    }
 }
 
 /// Constructor namespace for simulated networks; see [`Network::mesh`].
@@ -90,6 +112,11 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
 
     /// Builds a mesh with a fault plan and optional transcript recording.
     ///
+    /// This is the panicking convenience wrapper around
+    /// [`Network::try_mesh_with`]; library consumers that construct meshes
+    /// from caller-supplied fault plans should use the `try_` form and
+    /// handle the error instead.
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0`, if [`FaultPlan::validate`] rejects the plan
@@ -101,16 +128,92 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
         faults: FaultPlan,
         record_transcript: bool,
     ) -> (Vec<Endpoint<M>>, NetworkHandle) {
-        assert!(n > 0, "a network needs at least one party");
+        match Self::try_mesh_with(n, faults, record_transcript) {
+            Ok(mesh) => mesh,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a mesh with a fault plan and optional transcript recording,
+    /// rejecting invalid configurations with [`NetError::InvalidMesh`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidMesh`] when `n == 0`, when
+    /// [`FaultPlan::validate`] rejects the plan (e.g. a probability outside
+    /// `[0, 1]`), or when a crash or partition entry names a party outside
+    /// `0..n`.
+    pub fn try_mesh_with(
+        n: usize,
+        faults: FaultPlan,
+        record_transcript: bool,
+    ) -> Result<(Vec<Endpoint<M>>, NetworkHandle), NetError> {
+        Self::build_mesh(n, faults, record_transcript, None)
+    }
+
+    /// Like [`Network::try_mesh_with`], but additionally records per-link
+    /// delivery outcomes into `metrics`: for every directed pair the
+    /// counters `net.link.{from}->{to}.{delivered,dropped,delayed,
+    /// duplicated,blocked}` are resolved up front, so the send path only
+    /// performs atomic increments.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::try_mesh_with`].
+    pub fn try_mesh_observed(
+        n: usize,
+        faults: FaultPlan,
+        record_transcript: bool,
+        metrics: &MetricsRegistry,
+    ) -> Result<(Vec<Endpoint<M>>, NetworkHandle), NetError> {
+        Self::build_mesh(n, faults, record_transcript, Some(metrics))
+    }
+
+    fn build_mesh(
+        n: usize,
+        faults: FaultPlan,
+        record_transcript: bool,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<(Vec<Endpoint<M>>, NetworkHandle), NetError> {
+        if n == 0 {
+            return Err(NetError::InvalidMesh(
+                "a network needs at least one party".into(),
+            ));
+        }
         if let Err(why) = faults.validate() {
-            panic!("invalid FaultPlan: {why}");
+            return Err(NetError::InvalidMesh(format!("invalid FaultPlan: {why}")));
         }
         for c in &faults.crashes {
-            assert!(c.party < n, "crash entry names unknown party {}", c.party);
+            if c.party >= n {
+                return Err(NetError::InvalidMesh(format!(
+                    "crash entry names unknown party {}",
+                    c.party
+                )));
+            }
         }
         for &(a, b) in &faults.severed {
-            assert!(a < n && b < n, "partition names unknown party ({a}, {b})");
+            if a >= n || b >= n {
+                return Err(NetError::InvalidMesh(format!(
+                    "partition names unknown party ({a}, {b})"
+                )));
+            }
         }
+        let links = metrics.map(|registry| {
+            (0..n * n)
+                .map(|idx| {
+                    let (from, to) = (idx / n, idx % n);
+                    let name = |kind: &str| format!("net.link.{from}->{to}.{kind}");
+                    LinkMetrics {
+                        delivered: registry.counter(&name("delivered")),
+                        dropped: registry.counter(&name("dropped")),
+                        delayed: registry.counter(&name("delayed")),
+                        duplicated: registry.counter(&name("duplicated")),
+                        blocked: registry.counter(&name("blocked")),
+                    }
+                })
+                .collect()
+        });
         let shared = Arc::new(Shared {
             seq: Mutex::new(0),
             stats: Mutex::new(NetworkStats::default()),
@@ -120,6 +223,7 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
             sent_by: Mutex::new(vec![0; n]),
             crashed: Mutex::new(vec![false; n]),
             record_transcript,
+            links,
         });
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -133,7 +237,7 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
             .enumerate()
             .map(|(i, rx)| Endpoint::new(i, n, senders.clone(), rx, Arc::clone(&shared)))
             .collect();
-        (endpoints, NetworkHandle { shared })
+        Ok((endpoints, NetworkHandle { shared }))
     }
 }
 
@@ -343,6 +447,81 @@ mod tests {
             .filter(|e| e.event == TranscriptEvent::Partitioned)
             .count();
         assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn try_mesh_with_rejects_bad_configurations_without_panicking() {
+        let err = Network::<u8>::try_mesh_with(0, FaultPlan::reliable(), false).unwrap_err();
+        assert!(matches!(&err, NetError::InvalidMesh(m) if m.contains("at least one party")));
+
+        let plan = FaultPlan {
+            drop_prob: 1.7,
+            ..FaultPlan::reliable()
+        };
+        let err = Network::<u8>::try_mesh_with(2, plan, false).unwrap_err();
+        assert!(matches!(&err, NetError::InvalidMesh(m) if m.contains("invalid FaultPlan")));
+
+        let err = Network::<u8>::try_mesh_with(2, FaultPlan::reliable().with_crash(7, 0), false)
+            .unwrap_err();
+        assert!(matches!(&err, NetError::InvalidMesh(m) if m.contains("unknown party 7")));
+
+        let err = Network::<u8>::try_mesh_with(
+            2,
+            FaultPlan::reliable().with_partition(&[0], &[5]),
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(&err, NetError::InvalidMesh(m) if m.contains("unknown party (0, 5)")));
+    }
+
+    #[test]
+    fn try_mesh_with_accepts_valid_plans() {
+        let (eps, handle) =
+            Network::<u8>::try_mesh_with(3, FaultPlan::reliable(), false).expect("valid mesh");
+        assert_eq!(eps.len(), 3);
+        assert_eq!(handle.stats(), NetworkStats::default());
+    }
+
+    #[test]
+    fn observed_mesh_records_per_link_counters() {
+        let registry = jaap_obs::MetricsRegistry::new();
+        let plan = FaultPlan::seeded(1).with_drop(1.0);
+        let (eps, handle) =
+            Network::<u8>::try_mesh_observed(2, plan, false, &registry).expect("mesh");
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 1).expect("send");
+                ep.send(PartyId(1), 2).expect("send");
+            } else {
+                assert!(ep
+                    .recv_timeout(std::time::Duration::from_millis(50))
+                    .is_err());
+            }
+        });
+        assert_eq!(handle.stats().messages_dropped, 2);
+        assert_eq!(registry.counter_value("net.link.0->1.dropped"), Some(2));
+        assert_eq!(registry.counter_value("net.link.0->1.delivered"), Some(0));
+        assert_eq!(registry.counter_value("net.link.1->0.dropped"), Some(0));
+    }
+
+    #[test]
+    fn observed_mesh_counts_blocked_sends_per_link() {
+        let registry = jaap_obs::MetricsRegistry::new();
+        let plan = FaultPlan::reliable().with_partition(&[0], &[1]);
+        let (eps, _handle) =
+            Network::<u8>::try_mesh_observed(3, plan, false, &registry).expect("mesh");
+        let _ = run_parties(eps, |mut ep| match ep.id().0 {
+            0 => {
+                ep.send(PartyId(1), 1).expect("blocked send still ok");
+                ep.send(PartyId(2), 2).expect("send");
+            }
+            2 => {
+                let _ = ep.recv().expect("recv");
+            }
+            _ => {}
+        });
+        assert_eq!(registry.counter_value("net.link.0->1.blocked"), Some(1));
+        assert_eq!(registry.counter_value("net.link.0->2.delivered"), Some(1));
     }
 
     #[test]
