@@ -1,0 +1,243 @@
+//! Experiment E16: logic-phase throughput with the hash-consed arena and
+//! derivation memo.
+//!
+//! The E14 batch scenario (pre-signed write/read requests through
+//! `CoalitionServer::verify_batch`) is replayed against two engine
+//! configurations: the reference path (memo off — every decision re-runs
+//! the §4.3 four-step derivation) and the memoized path (memo on — a
+//! repeated request at the same belief epoch replays its cached proof).
+//! The verification cache is on in every cell so the crypto phase is
+//! identical across configurations and the *logic* phase is what varies.
+//!
+//! Reported per cell: cold (first-pass) and warm (repeat-pass) logic-phase
+//! latency per decision — read from the `server.phase.logic_ns` histogram,
+//! the same instrument E15 validated — plus warm wall-clock decisions/sec
+//! for the whole batch pipeline.
+//!
+//! The headline ratio `warm_logic_speedup` (memo-off warm latency over
+//! memo-on warm latency) is asserted to be ≥ 2×.
+//!
+//! Set `E16_PROFILE=smoke` for a seconds-scale run (CI).
+//!
+//! Machine-readable record: one line, grep `"^E16_JSON "`.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::table_header;
+use jaap_coalition::request::JointAccessRequest;
+use jaap_coalition::scenario::{Coalition, CoalitionBuilder};
+use jaap_core::protocol::Operation;
+use jaap_core::syntax::Time;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("E16_PROFILE").is_ok_and(|v| v == "smoke")
+}
+
+/// One measured configuration cell.
+struct Cell {
+    memo: bool,
+    requests: usize,
+    warm_passes: usize,
+    cold_logic_us: f64,
+    warm_logic_us: f64,
+    warm_throughput: f64,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+/// Delta of the logic-phase histogram across a closure, in (sum_ns, count).
+fn logic_delta(registry: &jaap_obs::MetricsRegistry, mut run: impl FnMut()) -> (u64, u64) {
+    let before = registry
+        .histogram_snapshot("server.phase.logic_ns")
+        .map_or((0, 0), |s| (s.sum, s.count));
+    run();
+    let after = registry
+        .histogram_snapshot("server.phase.logic_ns")
+        .map_or((0, 0), |s| (s.sum, s.count));
+    (after.0 - before.0, after.1 - before.1)
+}
+
+/// Builds the E14 batch: writes signed by rotating 2-of-3 signer pairs and
+/// reads by single signers, all replayable (no nonces, fixed timestamps).
+fn build_batch(c: &Coalition, n: usize) -> Vec<JointAccessRequest> {
+    let users = ["User_D1", "User_D2", "User_D3"];
+    (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                c.build_request(&[users[i % 3]], Operation::new("read", "Object O"))
+            } else {
+                c.build_request(
+                    &[users[i % 3], users[(i + 1) % 3]],
+                    Operation::new("write", "Object O"),
+                )
+            }
+            .expect("request")
+        })
+        .collect()
+}
+
+fn measure_cell(
+    c: &mut Coalition,
+    requests: &[JointAccessRequest],
+    memo: bool,
+    warm_passes: usize,
+    workers: usize,
+) -> Cell {
+    c.reset_server();
+    c.set_verification_cache(true);
+    c.set_derivation_memo(memo);
+    let registry = c.enable_metrics();
+
+    // Cold pass: every decision derives (and, with the memo on, stores).
+    let (cold_ns, cold_n) = logic_delta(&registry, || {
+        let decisions = c.server_mut().verify_batch(requests, workers);
+        assert!(decisions.iter().all(|d| d.granted), "batch must grant");
+    });
+
+    // Warm passes: identical requests at the same belief epoch.
+    let started = Instant::now();
+    let (warm_ns, warm_n) = logic_delta(&registry, || {
+        for _ in 0..warm_passes {
+            let decisions = c.server_mut().verify_batch(requests, workers);
+            assert!(decisions.iter().all(|d| d.granted), "warm batch must grant");
+        }
+    });
+    let warm_elapsed = started.elapsed();
+
+    let stats = c.server().derivation_memo_stats().unwrap_or_default();
+    Cell {
+        memo,
+        requests: requests.len(),
+        warm_passes,
+        cold_logic_us: cold_ns as f64 / 1e3 / cold_n.max(1) as f64,
+        warm_logic_us: warm_ns as f64 / 1e3 / warm_n.max(1) as f64,
+        warm_throughput: (requests.len() * warm_passes) as f64 / warm_elapsed.as_secs_f64(),
+        memo_hits: stats.hits,
+        memo_misses: stats.misses,
+    }
+}
+
+fn print_sweep() {
+    let smoke = smoke();
+    let (bits, n_requests, warm_passes, workers): (usize, usize, usize, usize) = if smoke {
+        (96, 6, 3, 2)
+    } else {
+        (512, 32, 5, 2)
+    };
+
+    let mut c: Coalition = CoalitionBuilder::new()
+        .key_bits(bits)
+        .seed(0xE16)
+        .build()
+        .expect("coalition");
+    c.advance_time(Time(20));
+    let requests = build_batch(&c, n_requests);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "(host parallelism: {cores} core{})",
+        if cores == 1 { "" } else { "s" }
+    );
+    table_header(
+        "E16: logic-phase latency and warm batch throughput — memo off vs on",
+        &[
+            "memo",
+            "requests",
+            "cold logic us",
+            "warm logic us",
+            "warm req/s",
+            "hits",
+            "misses",
+        ],
+    );
+    let mut cells = Vec::new();
+    for memo in [false, true] {
+        let cell = measure_cell(&mut c, &requests, memo, warm_passes, workers);
+        println!(
+            "{} | {} | {:.2} | {:.2} | {:.1} | {} | {}",
+            cell.memo,
+            cell.requests,
+            cell.cold_logic_us,
+            cell.warm_logic_us,
+            cell.warm_throughput,
+            cell.memo_hits,
+            cell.memo_misses
+        );
+        cells.push(cell);
+    }
+
+    let reference = &cells[0];
+    let memoized = &cells[1];
+    assert!(
+        memoized.memo_hits as usize >= n_requests * warm_passes,
+        "warm passes must hit the memo (hits = {})",
+        memoized.memo_hits
+    );
+    let warm_logic_speedup = reference.warm_logic_us / memoized.warm_logic_us.max(1e-3);
+    println!("\nwarm logic-phase speedup (memo off / memo on): {warm_logic_speedup:.1}x");
+    assert!(
+        warm_logic_speedup >= 2.0,
+        "memoized warm logic phase must be at least 2x faster (got {warm_logic_speedup:.2}x)"
+    );
+
+    let cell_json: Vec<String> = cells
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"memo\":{},\"requests\":{},\"warm_passes\":{},\"cold_logic_us\":{:.3},\"warm_logic_us\":{:.3},\"warm_throughput\":{:.1},\"memo_hits\":{},\"memo_misses\":{}}}",
+                p.memo,
+                p.requests,
+                p.warm_passes,
+                p.cold_logic_us,
+                p.warm_logic_us,
+                p.warm_throughput,
+                p.memo_hits,
+                p.memo_misses
+            )
+        })
+        .collect();
+    println!(
+        "E16_JSON {{\"experiment\":\"e16_logic_throughput\",\"profile\":\"{}\",\"cores\":{},\"bits\":{},\"cells\":[{}],\"warm_logic_speedup\":{:.2}}}",
+        if smoke { "smoke" } else { "full" },
+        cores,
+        bits,
+        cell_json.join(","),
+        warm_logic_speedup
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut coalition: Coalition = CoalitionBuilder::new()
+        .key_bits(96)
+        .seed(0xE16)
+        .build()
+        .expect("coalition");
+    coalition.advance_time(Time(20));
+    coalition.set_verification_cache(true);
+    let req = coalition
+        .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
+        .expect("request");
+
+    let mut group = c.benchmark_group("e16_logic_throughput");
+    coalition.set_derivation_memo(false);
+    coalition.server_mut().handle_request(&req);
+    group.bench_function("warm_decision_rederived", |b| {
+        b.iter(|| coalition.server_mut().handle_request(&req));
+    });
+    coalition.set_derivation_memo(true);
+    coalition.server_mut().handle_request(&req);
+    group.bench_function("warm_decision_memoized", |b| {
+        b.iter(|| coalition.server_mut().handle_request(&req));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_sweep();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -286,6 +286,12 @@ impl Coalition {
         self.server.set_verification_cache(on);
     }
 
+    /// Enables/disables the engine's derivation memo (delegates to
+    /// [`CoalitionServer::set_derivation_memo`]; off by default).
+    pub fn set_derivation_memo(&mut self, on: bool) {
+        self.server.set_derivation_memo(on);
+    }
+
     /// Turns observability on for the whole coalition: one shared
     /// [`MetricsRegistry`] wired through the server's §4.3 pipeline
     /// ([`CoalitionServer::set_metrics`]) and the AA's networked signing

@@ -29,9 +29,9 @@ use std::time::Instant;
 use jaap_core::engine::Engine;
 use jaap_core::protocol::{self, AccessRequest, Acl, Operation, SignedStatement};
 use jaap_core::syntax::Time;
-use jaap_core::Derivation;
+use jaap_core::{Derivation, MemoStats};
 use jaap_crypto::rsa::RsaCiphertext;
-use jaap_obs::{Counter, Histogram, MetricsRegistry};
+use jaap_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
 use parking_lot::Mutex;
@@ -86,8 +86,9 @@ pub struct ServerDecision {
     pub granted: bool,
     /// Denial detail when refused.
     pub detail: Option<String>,
-    /// The logical proof (present iff granted with logic checking on).
-    pub derivation: Option<Derivation>,
+    /// The logical proof (present iff granted with logic checking on),
+    /// shared via [`Arc`] so cloning a decision never copies the tree.
+    pub derivation: Option<Arc<Derivation>>,
     /// Axiom applications spent (0 with logic checking off).
     pub axiom_applications: usize,
     /// Number of RSA signature verifications actually performed.
@@ -158,6 +159,15 @@ struct ServerMetrics {
     denied: Arc<Counter>,
     replay_hits: Arc<Counter>,
     replay_evictions: Arc<Counter>,
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    memo_evictions: Arc<Counter>,
+    memo_invalidations: Arc<Counter>,
+    memo_entries: Arc<Gauge>,
+    interner_symbols: Arc<Gauge>,
+    interner_subjects: Arc<Gauge>,
+    interner_messages: Arc<Gauge>,
+    interner_formulas: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -173,6 +183,15 @@ impl ServerMetrics {
             denied: registry.counter("server.denied"),
             replay_hits: registry.counter("server.replay.hits"),
             replay_evictions: registry.counter("server.replay.evictions"),
+            memo_hits: registry.counter("server.memo.hits"),
+            memo_misses: registry.counter("server.memo.misses"),
+            memo_evictions: registry.counter("server.memo.evictions"),
+            memo_invalidations: registry.counter("server.memo.invalidations"),
+            memo_entries: registry.gauge("server.memo.entries"),
+            interner_symbols: registry.gauge("server.interner.symbols"),
+            interner_subjects: registry.gauge("server.interner.subjects"),
+            interner_messages: registry.gauge("server.interner.messages"),
+            interner_formulas: registry.gauge("server.interner.formulas"),
             registry: registry.clone(),
         }
     }
@@ -209,6 +228,9 @@ pub struct CoalitionServer {
     /// Pre-resolved instrument handles; `None` keeps the request path free
     /// of metrics work entirely.
     metrics: Option<ServerMetrics>,
+    /// Memo statistics already mirrored into the registry; counters are
+    /// monotone, so each mirror pushes only the delta since this snapshot.
+    memo_mirrored: MemoStats,
     rng: StdRng,
 }
 
@@ -234,6 +256,7 @@ impl CoalitionServer {
             seen_capacity: DEFAULT_REPLAY_CAPACITY,
             verify_cache: None,
             metrics: None,
+            memo_mirrored: MemoStats::default(),
             rng: StdRng::seed_from_u64(0x5EC5EC),
         }
     }
@@ -327,15 +350,46 @@ impl CoalitionServer {
     /// Attaches a metrics registry: per-phase decision latencies
     /// (`server.phase.*_ns`, `server.decision_ns`), decision counters
     /// (`server.{decisions,granted,denied}`), replay-dedup counters
-    /// (`server.replay.{hits,evictions}`) and — when the verification cache
-    /// is on — `server.cache.{hits,misses,invalidations,evictions}`.
+    /// (`server.replay.{hits,evictions}`), derivation-memo counters and
+    /// size (`server.memo.{hits,misses,evictions,invalidations,entries}`),
+    /// interner table sizes (`server.interner.*`) and — when the
+    /// verification cache is on —
+    /// `server.cache.{hits,misses,invalidations,evictions}`.
     /// Handles are resolved once here; pass `None` to detach, restoring a
     /// request path with zero metrics work.
     pub fn set_metrics(&mut self, registry: Option<&MetricsRegistry>) {
         self.metrics = registry.map(ServerMetrics::resolve);
+        // Counters in a fresh registry start at zero; mirror only activity
+        // from this point on.
+        self.memo_mirrored = self.engine.derivation_memo_stats().unwrap_or_default();
         if let Some(cache) = &self.verify_cache {
             cache.set_metrics(registry);
         }
+    }
+
+    /// Turns the engine's derivation memo on or off (off by default, which
+    /// preserves the fully re-derived logic path). See
+    /// [`Engine::set_derivation_memo`].
+    pub fn set_derivation_memo(&mut self, on: bool) {
+        self.engine.set_derivation_memo(on);
+        self.memo_mirrored = MemoStats::default();
+    }
+
+    /// Bounds the derivation memo (`None` = unbounded); no-op when off.
+    pub fn set_derivation_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.engine.set_derivation_memo_capacity(capacity);
+    }
+
+    /// Derivation-memo statistics, `None` when the memo is off.
+    #[must_use]
+    pub fn derivation_memo_stats(&self) -> Option<MemoStats> {
+        self.engine.derivation_memo_stats()
+    }
+
+    /// Sizes of the engine's hash-consing arena tables.
+    #[must_use]
+    pub fn interner_stats(&self) -> jaap_core::syntax::InternStats {
+        self.engine.interner_stats()
     }
 
     /// Re-bounds the replay-protection `seen` map (default
@@ -727,6 +781,7 @@ impl CoalitionServer {
                 m.denied.inc();
             }
         }
+        self.mirror_logic_instruments();
         if let Some(digest) = digest {
             if self.seen.insert(digest.clone(), decision.clone()).is_none() {
                 self.seen_order.push_back(digest);
@@ -734,6 +789,33 @@ impl CoalitionServer {
             self.trim_seen();
         }
         decision
+    }
+
+    /// Mirrors the engine-owned derivation-memo and interner statistics
+    /// into the attached registry: counters get the delta since the last
+    /// mirror (they are monotone in the engine), gauges are set absolutely.
+    /// No-op without a registry; the memo gauges stay untouched with the
+    /// memo off.
+    fn mirror_logic_instruments(&mut self) {
+        let Some(m) = &self.metrics else { return };
+        if let Some(stats) = self.engine.derivation_memo_stats() {
+            let prev = self.memo_mirrored;
+            m.memo_hits.add(stats.hits.saturating_sub(prev.hits));
+            m.memo_misses.add(stats.misses.saturating_sub(prev.misses));
+            m.memo_evictions
+                .add(stats.evictions.saturating_sub(prev.evictions));
+            m.memo_invalidations
+                .add(stats.invalidations.saturating_sub(prev.invalidations));
+            m.memo_entries
+                .set(i64::try_from(stats.entries).unwrap_or(i64::MAX));
+            self.memo_mirrored = stats;
+        }
+        let interner = self.engine.interner_stats();
+        let as_i64 = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
+        m.interner_symbols.set(as_i64(interner.symbols));
+        m.interner_subjects.set(as_i64(interner.subjects));
+        m.interner_messages.set(as_i64(interner.messages));
+        m.interner_formulas.set(as_i64(interner.formulas));
     }
 
     /// Evicts oldest remembered decisions past the replay capacity. A
@@ -759,7 +841,7 @@ impl CoalitionServer {
         &mut self,
         req: &JointAccessRequest,
         verified: CryptoVerified,
-    ) -> Result<(Option<Derivation>, usize), String> {
+    ) -> Result<(Option<Arc<Derivation>>, usize), String> {
         let acl_started = self.metrics.as_ref().map(|_| Instant::now());
         let acl = self
             .object(&req.operation.object)

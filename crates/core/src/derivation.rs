@@ -5,6 +5,7 @@
 //! and the rule that justified it, with premises as children.
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::axioms::Axiom;
 use crate::syntax::Formula;
@@ -37,6 +38,11 @@ impl fmt::Display for Rule {
 }
 
 /// A proof tree: conclusion, justification, premises.
+///
+/// Premises are shared via [`Arc`]: the engine reuses the same belief
+/// sub-proofs across many conclusions, so a premise is a reference-count
+/// bump rather than a subtree copy. Rendering and traversal are unchanged
+/// (an `Arc<Derivation>` dereferences like a `Derivation`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Derivation {
@@ -45,7 +51,7 @@ pub struct Derivation {
     /// How it was concluded.
     pub rule: Rule,
     /// Sub-derivations for the premises.
-    pub premises: Vec<Derivation>,
+    pub premises: Vec<Arc<Derivation>>,
 }
 
 impl Derivation {
@@ -61,7 +67,7 @@ impl Derivation {
 
     /// An axiom application over premises.
     #[must_use]
-    pub fn by_axiom(conclusion: Formula, axiom: Axiom, premises: Vec<Derivation>) -> Self {
+    pub fn by_axiom(conclusion: Formula, axiom: Axiom, premises: Vec<Arc<Derivation>>) -> Self {
         Derivation {
             conclusion,
             rule: Rule::Axiom(axiom),
@@ -69,10 +75,16 @@ impl Derivation {
         }
     }
 
+    /// Wraps this derivation for sharing as a premise.
+    #[must_use]
+    pub fn share(self) -> Arc<Derivation> {
+        Arc::new(self)
+    }
+
     /// Total number of nodes in the tree.
     #[must_use]
     pub fn size(&self) -> usize {
-        1 + self.premises.iter().map(Derivation::size).sum::<usize>()
+        1 + self.premises.iter().map(|p| p.size()).sum::<usize>()
     }
 
     /// Number of axiom applications in the tree (experiment E8's cost
@@ -83,7 +95,7 @@ impl Derivation {
         own + self
             .premises
             .iter()
-            .map(Derivation::axiom_applications)
+            .map(|p| p.axiom_applications())
             .sum::<usize>()
     }
 
@@ -186,9 +198,9 @@ mod tests {
     }
 
     fn sample() -> Derivation {
-        let leaf1 = Derivation::leaf(prop("a"), Rule::InitialBelief("Statement 1".into()));
-        let leaf2 = Derivation::leaf(prop("b"), Rule::Received("Message 1-1".into()));
-        let mid = Derivation::by_axiom(prop("c"), Axiom::A10, vec![leaf1, leaf2]);
+        let leaf1 = Derivation::leaf(prop("a"), Rule::InitialBelief("Statement 1".into())).share();
+        let leaf2 = Derivation::leaf(prop("b"), Rule::Received("Message 1-1".into())).share();
+        let mid = Derivation::by_axiom(prop("c"), Axiom::A10, vec![leaf1, leaf2]).share();
         Derivation::by_axiom(prop("d"), Axiom::A22, vec![mid])
     }
 

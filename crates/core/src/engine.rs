@@ -22,12 +22,18 @@
 //!   may speak revocations on behalf of an authority — via
 //!   [`TrustAssumptions::revocation_authority`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::axioms::Axiom;
 use crate::certs::CertView;
 use crate::derivation::{Derivation, Rule};
-use crate::syntax::{Formula, GroupId, KeyId, Message, PrincipalId, Subject, Time, TimeRef};
+use crate::memo::{DerivationMemo, MemoKey, MemoStats};
+use crate::protocol::{AccessDecision, AccessRequest, Acl};
+use crate::syntax::{
+    Formula, FormulaId, GroupId, InternStats, Interner, KeyId, Message, PrincipalId, Subject, Time,
+    TimeRef,
+};
 use crate::LogicError;
 
 /// The verifier's initial beliefs, as assumption schemas.
@@ -111,12 +117,15 @@ impl TrustAssumptions {
 }
 
 /// A belief held by the engine, with the proof that established it.
+///
+/// The derivation is shared ([`Arc`]): it is reused as a premise of every
+/// proof built on this belief, so cloning a belief is cheap.
 #[derive(Debug, Clone)]
 pub struct Belief {
     /// The believed formula (the body, without the `P believes` wrapper).
     pub formula: Formula,
     /// The derivation that established it.
-    pub derivation: Derivation,
+    pub derivation: Arc<Derivation>,
 }
 
 /// The derivation engine (server `P`'s reasoning state).
@@ -137,6 +146,18 @@ pub struct Engine {
     freshness_window: i64,
     /// Count of axiom applications performed (experiment E8 metric).
     axiom_count: usize,
+    /// The hash-consing arena for formulas/messages/subjects.
+    interner: Interner,
+    /// Belief epoch: bumped whenever the belief state changes (new
+    /// certificate body admitted, revocation/CRL entry, freshness-window
+    /// move). Part of every memo key, and any bump clears the memo.
+    epoch: u64,
+    /// Interned bodies of every admitted certificate/revocation, so
+    /// re-admitting the same certificate neither duplicates belief entries
+    /// nor bumps the epoch.
+    admitted_bodies: HashSet<FormulaId>,
+    /// The derivation memo (None = off, the default).
+    memo: Option<DerivationMemo>,
 }
 
 impl Engine {
@@ -154,13 +175,102 @@ impl Engine {
             revoked_keys: Vec::new(),
             freshness_window: i64::MAX,
             axiom_count: 0,
+            interner: Interner::new(),
+            epoch: 0,
+            admitted_bodies: HashSet::new(),
+            memo: None,
         }
     }
 
     /// Sets the freshness acceptance window for certificate timestamps
     /// (how far in the past `t_CA` may lie; axiom A21 side condition).
+    ///
+    /// Changes admission outcomes, so it bumps the belief epoch (clearing
+    /// any memoized decisions).
     pub fn set_freshness_window(&mut self, window: i64) {
         self.freshness_window = window;
+        self.bump_epoch();
+    }
+
+    /// The current belief epoch (see the `epoch` field).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Turns the derivation memo on or off. Off (the default) preserves the
+    /// fully re-derived reference path; on, [`crate::protocol::authorize`]
+    /// replays decisions for repeated requests at the same belief epoch.
+    pub fn set_derivation_memo(&mut self, on: bool) {
+        self.memo = on.then(DerivationMemo::new);
+    }
+
+    /// Bounds the derivation memo (`None` = unbounded). No-op when off.
+    pub fn set_derivation_memo_capacity(&mut self, capacity: Option<usize>) {
+        if let Some(memo) = &mut self.memo {
+            memo.set_capacity(capacity);
+        }
+    }
+
+    /// Memo hit/miss/eviction statistics, `None` when the memo is off.
+    #[must_use]
+    pub fn derivation_memo_stats(&self) -> Option<MemoStats> {
+        self.memo.as_ref().map(DerivationMemo::stats)
+    }
+
+    /// Sizes of the hash-consing arena's tables.
+    #[must_use]
+    pub fn interner_stats(&self) -> InternStats {
+        self.interner.stats()
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        if let Some(memo) = &mut self.memo {
+            memo.invalidate_all();
+        }
+    }
+
+    /// Records an admitted certificate body. Returns `true` — bumping the
+    /// belief epoch — only the first time this exact body is seen, so a
+    /// re-admission (every repeated request re-presents its certificates)
+    /// leaves the belief state and the epoch untouched.
+    fn remember_admission(&mut self, body: &Formula) -> bool {
+        let id = self.interner.intern_formula(body);
+        let new = self.admitted_bodies.insert(id);
+        if new {
+            self.bump_epoch();
+        }
+        new
+    }
+
+    pub(crate) fn memo_enabled(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    pub(crate) fn memo_key(&mut self, request: &AccessRequest, acl: &Acl) -> MemoKey {
+        MemoKey::build(&mut self.interner, self.epoch, self.now, request, acl)
+    }
+
+    pub(crate) fn memo_lookup(&mut self, key: &MemoKey) -> Option<AccessDecision> {
+        self.memo.as_mut().and_then(|memo| memo.lookup(key))
+    }
+
+    pub(crate) fn memo_store(
+        &mut self,
+        request: &AccessRequest,
+        acl: &Acl,
+        decision: AccessDecision,
+    ) {
+        if self.memo.is_none() {
+            return;
+        }
+        // Key under the *current* (post-run) epoch: admitting this
+        // request's certificates may have bumped it mid-run.
+        let key = MemoKey::build(&mut self.interner, self.epoch, self.now, request, acl);
+        if let Some(memo) = &mut self.memo {
+            memo.store(key, decision);
+        }
     }
 
     /// The observer's current local time.
@@ -211,7 +321,7 @@ impl Engine {
     ///   signing key or the issuer.
     /// * [`LogicError::Stale`] if the timestamp is outside the acceptance
     ///   window.
-    pub fn admit_certificate(&mut self, msg: &Message) -> Result<Derivation, LogicError> {
+    pub fn admit_certificate(&mut self, msg: &Message) -> Result<Arc<Derivation>, LogicError> {
         let view = CertView::parse(msg)
             .ok_or_else(|| LogicError::MalformedMessage("not an idealized certificate".into()))?;
         match view {
@@ -264,10 +374,10 @@ impl Engine {
         signing_key: &KeyId,
         issued_at: Time,
         label: &str,
-    ) -> Result<(Formula, Derivation), LogicError> {
+    ) -> Result<(Formula, Arc<Derivation>), LogicError> {
         // Premise: P received the signed message now.
         let received = Formula::received(self.observer(), self.now, msg.clone());
-        let received_node = Derivation::leaf(received, Rule::Received(label.to_string()));
+        let received_node = Derivation::leaf(received, Rule::Received(label.to_string())).share();
 
         // Statement-1-style premise: who owns the signing key?
         let owners = self.assumptions.owners_of(signing_key);
@@ -290,13 +400,15 @@ impl Engine {
         let ownership_node = Derivation::leaf(
             ownership,
             Rule::InitialBelief(format!("key ownership of {signing_key}")),
-        );
+        )
+        .share();
 
         // A10: originator identification.
         let payload = msg.as_signed().expect("certificate is signed").0.clone();
         let said = Formula::said(owner.clone(), self.now, payload);
         self.count_axiom();
-        let said_node = Derivation::by_axiom(said, Axiom::A10, vec![ownership_node, received_node]);
+        let said_node =
+            Derivation::by_axiom(said, Axiom::A10, vec![ownership_node, received_node]).share();
 
         // A21 side condition: the timestamp must be recent.
         if issued_at > self.now {
@@ -319,7 +431,8 @@ impl Engine {
         let fresh_node = Derivation::leaf(
             fresh,
             Rule::SideCondition(format!("freshness of timestamp {issued_at} (A21)")),
-        );
+        )
+        .share();
 
         // Timestamp jurisdiction: the issuer controls the recency of its own
         // statements after t*. A23 when the issuer's key is held by a
@@ -341,7 +454,8 @@ impl Engine {
         let ts_node = Derivation::leaf(
             ts_jurisdiction,
             Rule::InitialBelief(format!("timestamp jurisdiction of {issuer}")),
-        );
+        )
+        .share();
         let jurisdiction_axiom =
             if matches!(owner, Subject::Compound(_) | Subject::Threshold { .. }) {
                 Axiom::A23
@@ -358,10 +472,11 @@ impl Engine {
             at_says,
             jurisdiction_axiom,
             vec![said_node, ts_node, fresh_node],
-        );
+        )
+        .share();
         // A9 reduction removes the at-wrapper.
         self.count_axiom();
-        let says_node = Derivation::by_axiom(body_says.clone(), Axiom::A9, vec![at_node]);
+        let says_node = Derivation::by_axiom(body_says.clone(), Axiom::A9, vec![at_node]).share();
         Ok((body_says, says_node))
     }
 
@@ -376,7 +491,7 @@ impl Engine {
         subject: Subject,
         when: TimeRef,
         negated: bool,
-    ) -> Result<Derivation, LogicError> {
+    ) -> Result<Arc<Derivation>, LogicError> {
         if !self.assumptions.is_identity_authority(issuer) {
             return Err(LogicError::NoJurisdiction(format!(
                 "{issuer} has no identity jurisdiction"
@@ -402,23 +517,30 @@ impl Engine {
         let cj_node = Derivation::leaf(
             content_jurisdiction,
             Rule::InitialBelief(format!("identity jurisdiction of {issuer}")),
-        );
+        )
+        .share();
         self.count_axiom(); // A22
         self.count_axiom(); // A9
-        let belief_node = Derivation::by_axiom(body.clone(), Axiom::A22, vec![says_node, cj_node]);
-        let final_node = Derivation::by_axiom(body.clone(), Axiom::A9, vec![belief_node]);
+        let belief_node =
+            Derivation::by_axiom(body.clone(), Axiom::A22, vec![says_node, cj_node]).share();
+        let final_node = Derivation::by_axiom(body.clone(), Axiom::A9, vec![belief_node]).share();
 
+        // Dedup: re-admitting the same certificate re-derives the same proof
+        // (identical axiom counts) but only the first admission records the
+        // belief/revocation entry and bumps the epoch.
         if negated {
             let (from, _) = when.bounds();
-            self.revoked_keys.push((subject_key, subject, from));
-        } else {
+            if self.remember_admission(&body) {
+                self.revoked_keys.push((subject_key, subject, from));
+            }
+        } else if self.remember_admission(&body) {
             self.key_beliefs.push((
                 subject_key,
                 subject,
                 when,
                 Belief {
                     formula: body,
-                    derivation: final_node.clone(),
+                    derivation: Arc::clone(&final_node),
                 },
             ));
         }
@@ -436,7 +558,7 @@ impl Engine {
         group: GroupId,
         when: TimeRef,
         negated: bool,
-    ) -> Result<Derivation, LogicError> {
+    ) -> Result<Arc<Derivation>, LogicError> {
         if !self.assumptions.is_group_authority(issuer) {
             return Err(LogicError::NoJurisdiction(format!(
                 "{issuer} has no group-membership jurisdiction"
@@ -460,7 +582,8 @@ impl Engine {
         let cj_node = Derivation::leaf(
             content_jurisdiction,
             Rule::InitialBelief(format!("group-membership jurisdiction of {issuer}")),
-        );
+        )
+        .share();
         // Group-membership jurisdiction axiom, selected by subject shape
         // (A24–A28; the paper's walkthrough cites A25 for its CP′₂,₃
         // example, we label with the exact schema A28 for thresholds).
@@ -475,20 +598,23 @@ impl Engine {
         };
         self.count_axiom(); // membership jurisdiction
         self.count_axiom(); // A9
-        let belief_node = Derivation::by_axiom(body.clone(), axiom, vec![says_node, cj_node]);
-        let final_node = Derivation::by_axiom(body.clone(), Axiom::A9, vec![belief_node]);
+        let belief_node =
+            Derivation::by_axiom(body.clone(), axiom, vec![says_node, cj_node]).share();
+        let final_node = Derivation::by_axiom(body.clone(), Axiom::A9, vec![belief_node]).share();
 
         if negated {
             let (from, _) = when.bounds();
-            self.revoked_memberships.push((subject, group, from));
-        } else {
+            if self.remember_admission(&body) {
+                self.revoked_memberships.push((subject, group, from));
+            }
+        } else if self.remember_admission(&body) {
             self.membership_beliefs.push((
                 subject,
                 group,
                 when,
                 Belief {
                     formula: body,
-                    derivation: final_node.clone(),
+                    derivation: Arc::clone(&final_node),
                 },
             ));
         }
@@ -553,8 +679,8 @@ impl Engine {
         group: &GroupId,
         t: Time,
         payload: &Message,
-        signers: Vec<(PrincipalId, KeyId, Derivation)>,
-    ) -> Result<Derivation, LogicError> {
+        signers: Vec<(PrincipalId, KeyId, Arc<Derivation>)>,
+    ) -> Result<Arc<Derivation>, LogicError> {
         let Subject::Threshold { members, m } = subject else {
             return Err(LogicError::NotDerivable(
                 "A38 needs a threshold compound subject".into(),
@@ -585,11 +711,11 @@ impl Engine {
             }
             matched.push(member);
         }
-        let mut premises = vec![membership.derivation.clone()];
+        let mut premises = vec![Arc::clone(&membership.derivation)];
         premises.extend(signers.into_iter().map(|(_, _, d)| d));
         let conclusion = Formula::group_says(group.clone(), t, payload.clone());
         self.count_axiom();
-        Ok(Derivation::by_axiom(conclusion, Axiom::A38, premises))
+        Ok(Derivation::by_axiom(conclusion, Axiom::A38, premises).share())
     }
 
     /// Applies A36/A37 to conclude `G says_t X` from a believed compound
@@ -612,9 +738,9 @@ impl Engine {
         group: &GroupId,
         t: Time,
         payload: &Message,
-        joint_statement: &Derivation,
+        joint_statement: &Arc<Derivation>,
         statement_key: Option<&KeyId>,
-    ) -> Result<Derivation, LogicError> {
+    ) -> Result<Arc<Derivation>, LogicError> {
         let axiom = match subject {
             Subject::Compound(_) => Axiom::A36,
             Subject::Bound(inner, bound_key) if matches!(**inner, Subject::Compound(_)) => {
@@ -638,8 +764,12 @@ impl Engine {
         Ok(Derivation::by_axiom(
             conclusion,
             axiom,
-            vec![membership.derivation.clone(), joint_statement.clone()],
-        ))
+            vec![
+                Arc::clone(&membership.derivation),
+                Arc::clone(joint_statement),
+            ],
+        )
+        .share())
     }
 
     /// Authenticates a statement *jointly signed under a shared key* whose
@@ -654,7 +784,7 @@ impl Engine {
         &mut self,
         signed: &Message,
         t: Time,
-    ) -> Result<(Subject, KeyId, Derivation), LogicError> {
+    ) -> Result<(Subject, KeyId, Arc<Derivation>), LogicError> {
         let (_payload, key) = signed
             .as_signed()
             .ok_or_else(|| LogicError::MalformedMessage("statement not signed".into()))?;
@@ -676,13 +806,15 @@ impl Engine {
         let ownership_node = Derivation::leaf(
             ownership,
             Rule::InitialBelief(format!("key ownership of {key}")),
-        );
+        )
+        .share();
         let received = Formula::received(self.observer(), self.now, signed.clone());
         let received_node =
-            Derivation::leaf(received, Rule::Received("joint signed request".into()));
+            Derivation::leaf(received, Rule::Received("joint signed request".into())).share();
         let says = Formula::says(owner.clone(), t, signed.clone());
         self.count_axiom();
-        let node = Derivation::by_axiom(says, Axiom::A10, vec![ownership_node, received_node]);
+        let node =
+            Derivation::by_axiom(says, Axiom::A10, vec![ownership_node, received_node]).share();
         Ok((owner, key, node))
     }
 
@@ -699,7 +831,7 @@ impl Engine {
         &mut self,
         signed: &Message,
         t: Time,
-    ) -> Result<(PrincipalId, KeyId, Derivation), LogicError> {
+    ) -> Result<(PrincipalId, KeyId, Arc<Derivation>), LogicError> {
         let (_payload, key) = signed
             .as_signed()
             .ok_or_else(|| LogicError::MalformedMessage("request component not signed".into()))?;
@@ -716,11 +848,13 @@ impl Engine {
             LogicError::NoJurisdiction(format!("key {key} is not bound to a single principal"))
         })?;
         let received = Formula::received(self.observer(), self.now, signed.clone());
-        let received_node = Derivation::leaf(received, Rule::Received("signed request".into()));
+        let received_node =
+            Derivation::leaf(received, Rule::Received("signed request".into())).share();
         let says = Formula::says(owner.clone(), t, signed.clone());
         self.count_axiom();
         let node =
-            Derivation::by_axiom(says, Axiom::A10, vec![key_belief.derivation, received_node]);
+            Derivation::by_axiom(says, Axiom::A10, vec![key_belief.derivation, received_node])
+                .share();
         Ok((principal, key, node))
     }
 }
@@ -957,7 +1091,8 @@ mod tests {
         let d1 = Derivation::leaf(
             Formula::says(Subject::principal("User_D1"), Time(10), payload.clone()),
             Rule::Received("sig".into()),
-        );
+        )
+        .share();
         let err = e.apply_a38(
             &belief,
             &subject,
@@ -972,7 +1107,8 @@ mod tests {
         let d2 = Derivation::leaf(
             Formula::says(Subject::principal("User_D2"), Time(10), payload.clone()),
             Rule::Received("sig".into()),
-        );
+        )
+        .share();
         let ok = e
             .apply_a38(
                 &belief,
@@ -1150,7 +1286,8 @@ mod tests {
         e.admit_certificate(&id_cert()).expect("admit");
         let belief = Belief {
             formula: Formula::Prop("x".into()),
-            derivation: Derivation::leaf(Formula::Prop("x".into()), Rule::Received("x".into())),
+            derivation: Derivation::leaf(Formula::Prop("x".into()), Rule::Received("x".into()))
+                .share(),
         };
         let err = e.apply_a36_a37(
             &belief,

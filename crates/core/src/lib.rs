@@ -56,6 +56,7 @@
 pub mod axioms;
 pub mod certs;
 pub mod engine;
+pub mod memo;
 pub mod protocol;
 pub mod semantics;
 pub mod syntax;
@@ -65,6 +66,7 @@ mod error;
 
 pub use derivation::{Derivation, Rule};
 pub use error::LogicError;
+pub use memo::{MemoStats, DEFAULT_MEMO_CAPACITY};
 
 /// Convenient glob-import surface for downstream crates and examples.
 pub mod prelude {

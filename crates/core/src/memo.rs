@@ -1,0 +1,296 @@
+//! The derivation memo cache: replaying proofs for repeated requests.
+//!
+//! [`protocol::authorize`](crate::protocol::authorize) re-runs the
+//! Appendix E four-step derivation from scratch for every request. When
+//! the same parties present the same certificates for the same operation
+//! under the same trust state, that search re-derives the identical proof
+//! tree. The memo keys a finished [`AccessDecision`] on everything the
+//! derivation depends on:
+//!
+//! - the engine's **belief epoch** — a counter bumped whenever the belief
+//!   state changes (a new certificate admitted, a revocation or CRL entry
+//!   landing, the freshness window moving). Any epoch bump eagerly clears
+//!   the memo, the same eager-invalidation discipline as the coalition
+//!   `VerifyCache`, so a memoized proof can never outlive a revocation;
+//! - the engine's **clock** and the request's claimed time — freshness
+//!   and validity-interval side conditions read both;
+//! - the **interned certificate-view set and statement set** of the
+//!   request ([`MsgId`]s / [`Sym`]s from the hash-consing arena, so key
+//!   comparison is id-tuple comparison, not tree comparison);
+//! - the **ACL rows** for the object.
+//!
+//! A hit replays the cached decision (sharing its proof tree via `Arc`)
+//! without re-running axiom search. The map is bounded with
+//! insertion-order eviction, mirroring the server's replay window and
+//! `VerifyCache` (`tests/bounded_caches.rs` documents that discipline).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::protocol::{AccessDecision, AccessRequest, Acl};
+use crate::syntax::{Interner, MsgId, Sym, Time};
+
+/// Default bound on memoized decisions.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1024;
+
+/// Everything a derivation's outcome depends on, as interned ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct MemoKey {
+    epoch: u64,
+    now: Time,
+    at: Time,
+    identity_certs: Vec<MsgId>,
+    attribute_certs: Vec<MsgId>,
+    /// Per signed statement: (principal, signing key, claimed time, payload).
+    statements: Vec<(Sym, Sym, Time, MsgId)>,
+    operation: (Sym, Sym),
+    acl: Vec<(Sym, Sym)>,
+}
+
+impl MemoKey {
+    pub(crate) fn build(
+        interner: &mut Interner,
+        epoch: u64,
+        now: Time,
+        request: &AccessRequest,
+        acl: &Acl,
+    ) -> MemoKey {
+        MemoKey {
+            epoch,
+            now,
+            at: request.at,
+            identity_certs: request
+                .identity_certs
+                .iter()
+                .map(|m| interner.intern_message(m))
+                .collect(),
+            attribute_certs: request
+                .attribute_certs
+                .iter()
+                .map(|m| interner.intern_message(m))
+                .collect(),
+            statements: request
+                .signed_statements
+                .iter()
+                .map(|s| {
+                    (
+                        interner.intern_str(s.principal.as_str()),
+                        interner.intern_str(s.key.as_str()),
+                        s.at,
+                        interner.intern_message(&s.message),
+                    )
+                })
+                .collect(),
+            operation: (
+                interner.intern_str(&request.operation.action),
+                interner.intern_str(&request.operation.object),
+            ),
+            acl: acl
+                .entries()
+                .iter()
+                .map(|e| {
+                    (
+                        interner.intern_str(e.group.as_str()),
+                        interner.intern_str(&e.action),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Hit/miss/eviction counters and the live entry count, in the same shape
+/// as the coalition `CacheStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Decisions replayed from the memo.
+    pub hits: u64,
+    /// Lookups that fell through to a full derivation.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries dropped by an epoch change (certificate admission,
+    /// revocation/CRL, freshness-window change).
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+/// A bounded map from [`MemoKey`] to a finished decision.
+///
+/// Plain struct, no interior locking: the logic phase runs serially
+/// behind `&mut Engine` (even under `verify_batch`, which only fans out
+/// the crypto phase).
+#[derive(Debug)]
+pub(crate) struct DerivationMemo {
+    entries: HashMap<MemoKey, AccessDecision>,
+    order: VecDeque<MemoKey>,
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl Default for DerivationMemo {
+    fn default() -> Self {
+        DerivationMemo {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: Some(DEFAULT_MEMO_CAPACITY),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+}
+
+impl DerivationMemo {
+    pub(crate) fn new() -> Self {
+        DerivationMemo::default()
+    }
+
+    /// Sets the bound (`None` = unbounded), evicting down to it.
+    pub(crate) fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        self.trim();
+    }
+
+    pub(crate) fn lookup(&mut self, key: &MemoKey) -> Option<AccessDecision> {
+        match self.entries.get(key) {
+            Some(decision) => {
+                self.hits += 1;
+                Some(decision.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn store(&mut self, key: MemoKey, decision: AccessDecision) {
+        if self.capacity == Some(0) {
+            return;
+        }
+        if self.entries.insert(key.clone(), decision).is_none() {
+            self.order.push_back(key);
+            self.trim();
+        }
+    }
+
+    /// Drops every entry (the belief state changed under it).
+    pub(crate) fn invalidate_all(&mut self) {
+        self.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    fn trim(&mut self) {
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                if self.entries.remove(&oldest).is_some() {
+                    self.evictions += 1;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AccessDecision, Operation};
+
+    fn key(interner: &mut Interner, epoch: u64, t: i64) -> MemoKey {
+        let request = AccessRequest {
+            identity_certs: vec![],
+            attribute_certs: vec![],
+            signed_statements: vec![],
+            operation: Operation::new("write", "Object O"),
+            at: Time(t),
+        };
+        MemoKey::build(interner, epoch, Time(t), &request, &Acl::new())
+    }
+
+    fn grant() -> AccessDecision {
+        AccessDecision {
+            granted: true,
+            reason: None,
+            derivation: None,
+            group: None,
+            axiom_applications: 0,
+        }
+    }
+
+    #[test]
+    fn lookup_after_store_hits() {
+        let mut interner = Interner::new();
+        let mut memo = DerivationMemo::new();
+        let k = key(&mut interner, 0, 5);
+        assert!(memo.lookup(&k).is_none());
+        memo.store(k.clone(), grant());
+        assert!(memo.lookup(&k).expect("hit").granted);
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let mut interner = Interner::new();
+        let mut memo = DerivationMemo::new();
+        memo.store(key(&mut interner, 0, 5), grant());
+        assert!(memo.lookup(&key(&mut interner, 1, 5)).is_none());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_in_insertion_order() {
+        let mut interner = Interner::new();
+        let mut memo = DerivationMemo::new();
+        memo.set_capacity(Some(2));
+        for t in 0..5 {
+            memo.store(key(&mut interner, 0, t), grant());
+        }
+        let s = memo.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 3);
+        // The two newest survive; the oldest three are gone.
+        assert!(memo.lookup(&key(&mut interner, 0, 0)).is_none());
+        assert!(memo.lookup(&key(&mut interner, 0, 4)).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_counts_and_clears() {
+        let mut interner = Interner::new();
+        let mut memo = DerivationMemo::new();
+        memo.store(key(&mut interner, 0, 1), grant());
+        memo.store(key(&mut interner, 0, 2), grant());
+        memo.invalidate_all();
+        let s = memo.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.invalidations, 2);
+        assert!(memo.lookup(&key(&mut interner, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut interner = Interner::new();
+        let mut memo = DerivationMemo::new();
+        memo.set_capacity(Some(0));
+        memo.store(key(&mut interner, 0, 1), grant());
+        assert_eq!(memo.stats().entries, 0);
+    }
+}

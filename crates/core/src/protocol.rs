@@ -16,6 +16,7 @@
 //!    `(G, op) ∈ ACL_O`, access is approved.
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::axioms::Axiom;
 use crate::derivation::{Derivation, Rule};
@@ -188,8 +189,9 @@ pub struct AccessDecision {
     pub granted: bool,
     /// The denial reason when `granted` is false.
     pub reason: Option<DenialReason>,
-    /// The full proof tree when granted.
-    pub derivation: Option<Derivation>,
+    /// The full proof tree when granted (shared, so cloning a decision —
+    /// e.g. replaying it from the derivation memo — is cheap).
+    pub derivation: Option<Arc<Derivation>>,
     /// The authorizing group when granted.
     pub group: Option<GroupId>,
     /// Axiom applications spent on this request (E8 cost metric).
@@ -252,8 +254,41 @@ impl AccessDecision {
 /// Certificates are admitted into `engine` (idempotently re-deriving
 /// beliefs); the decision reflects the engine's beliefs *including any
 /// previously admitted revocations* (believe-until-revoked).
+///
+/// When the engine's derivation memo is on
+/// ([`Engine::set_derivation_memo`]), a request whose interned
+/// certificate/statement set, operation, ACL, clock and belief epoch all
+/// match a previous run replays that decision without re-running axiom
+/// search. Any belief change (certificate admission, revocation/CRL,
+/// freshness-window move) bumps the epoch and clears the memo first, so a
+/// replayed decision is always one the current belief state would
+/// re-derive verbatim.
 #[must_use]
 pub fn authorize(engine: &mut Engine, request: &AccessRequest, acl: &Acl) -> AccessDecision {
+    if !engine.memo_enabled() {
+        return authorize_uncached(engine, request, acl);
+    }
+    let key = engine.memo_key(request, acl);
+    if let Some(hit) = engine.memo_lookup(&key) {
+        return hit;
+    }
+    let decision = authorize_uncached(engine, request, acl);
+    // Store under the *post-run* epoch: the first run of a request admits
+    // its certificates, which bumps the epoch (clearing the memo); once
+    // the beliefs are in, re-running the same request is a no-op on the
+    // belief state and the key is stable.
+    engine.memo_store(request, acl, decision.clone());
+    decision
+}
+
+/// The un-memoized four-step protocol (the reference path; `authorize`
+/// delegates here on a memo miss or when the memo is off).
+#[must_use]
+pub fn authorize_uncached(
+    engine: &mut Engine,
+    request: &AccessRequest,
+    acl: &Acl,
+) -> AccessDecision {
     let cost_before = engine.axiom_applications();
 
     // Step 1: verify the signing keys (admit identity certificates).
@@ -340,7 +375,7 @@ pub fn authorize(engine: &mut Engine, request: &AccessRequest, acl: &Acl) -> Acc
                 return AccessDecision {
                     granted: true,
                     reason: None,
-                    derivation: Some(acl_node),
+                    derivation: Some(Arc::new(acl_node)),
                     group: Some(group.clone()),
                     axiom_applications: engine.axiom_applications() - cost_before,
                 };
@@ -361,8 +396,8 @@ fn conclude_group_says(
     subject: &Subject,
     group: &GroupId,
     request: &AccessRequest,
-    signers: Vec<(PrincipalId, KeyId, Derivation)>,
-) -> Result<Derivation, LogicError> {
+    signers: Vec<(PrincipalId, KeyId, Arc<Derivation>)>,
+) -> Result<Arc<Derivation>, LogicError> {
     let payload = request.operation.payload();
     let membership = engine
         .membership_belief_at(group, request.at)
@@ -390,7 +425,8 @@ fn conclude_group_says(
                 conclusion,
                 Axiom::A35,
                 vec![membership.derivation, signer.2],
-            ))
+            )
+            .share())
         }
         Subject::Principal(principal) => {
             // A34: Q ⇒ G ∧ Q says X ⊃ G says X.
@@ -405,7 +441,8 @@ fn conclude_group_says(
                 conclusion,
                 Axiom::A34,
                 vec![membership.derivation, signer.2],
-            ))
+            )
+            .share())
         }
         Subject::Compound(_) => Err(LogicError::NotDerivable(
             "plain compound memberships need a joint signature under the compound's shared key \

@@ -7,28 +7,33 @@
 //! schemas (see crate docs).
 
 use core::fmt;
+use std::sync::Arc;
 
 use super::{GroupId, KeyId, Message, PrincipalId, Subject, Time, TimeRef};
 
 /// A formula of the logic.
+///
+/// Subterms are held behind [`Arc`] so that cloning a formula — which the
+/// engine does constantly when assembling [`Derivation`](crate::Derivation)
+/// proof steps — is a shallow reference-count bump, never a deep tree copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Formula {
     /// F1: a primitive proposition.
     Prop(String),
     /// F2: negation.
-    Not(Box<Formula>),
+    Not(Arc<Formula>),
     /// F2: conjunction.
-    And(Box<Formula>, Box<Formula>),
+    And(Arc<Formula>, Arc<Formula>),
     /// Material implication (definable from F2; primitive here because the
     /// axioms are implications and modus ponens needs them first-class).
-    Implies(Box<Formula>, Box<Formula>),
+    Implies(Arc<Formula>, Arc<Formula>),
     /// F3: time comparison `t1 <= t2`.
     TimeLe(Time, Time),
     /// F4/F5: `S believes_T φ`.
-    Believes(Subject, TimeRef, Box<Formula>),
+    Believes(Subject, TimeRef, Arc<Formula>),
     /// F4/F5: `S controls_T φ`.
-    Controls(Subject, TimeRef, Box<Formula>),
+    Controls(Subject, TimeRef, Arc<Formula>),
     /// F6/F7: `S says_T X`.
     Says(Subject, TimeRef, Message),
     /// F6/F7: `S said_T X`.
@@ -75,7 +80,7 @@ pub enum Formula {
     },
     /// F19/F20: `φ at_S T` — presence of `φ` at subject `S` at time `T` on
     /// `S`'s clock.
-    At(Box<Formula>, Subject, TimeRef),
+    At(Arc<Formula>, Subject, TimeRef),
 }
 
 impl Formula {
@@ -83,31 +88,31 @@ impl Formula {
     #[must_use]
     #[allow(clippy::should_implement_trait)] // constructor, not an operator
     pub fn not(f: Formula) -> Formula {
-        Formula::Not(Box::new(f))
+        Formula::Not(Arc::new(f))
     }
 
     /// `φ ∧ ψ`.
     #[must_use]
     pub fn and(a: Formula, b: Formula) -> Formula {
-        Formula::And(Box::new(a), Box::new(b))
+        Formula::And(Arc::new(a), Arc::new(b))
     }
 
     /// `φ ⊃ ψ`.
     #[must_use]
     pub fn implies(a: Formula, b: Formula) -> Formula {
-        Formula::Implies(Box::new(a), Box::new(b))
+        Formula::Implies(Arc::new(a), Arc::new(b))
     }
 
     /// `S believes_T φ`.
     #[must_use]
     pub fn believes(s: Subject, when: impl Into<TimeRef>, f: Formula) -> Formula {
-        Formula::Believes(s, when.into(), Box::new(f))
+        Formula::Believes(s, when.into(), Arc::new(f))
     }
 
     /// `S controls_T φ`.
     #[must_use]
     pub fn controls(s: Subject, when: impl Into<TimeRef>, f: Formula) -> Formula {
-        Formula::Controls(s, when.into(), Box::new(f))
+        Formula::Controls(s, when.into(), Arc::new(f))
     }
 
     /// `S says_T X`.
@@ -191,7 +196,7 @@ impl Formula {
     /// `φ at_S T`.
     #[must_use]
     pub fn at(f: Formula, place: Subject, when: impl Into<TimeRef>) -> Formula {
-        Formula::At(Box::new(f), place, when.into())
+        Formula::At(Arc::new(f), place, when.into())
     }
 
     /// Strips any number of outer `at_S T` wrappers (the reduction axiom A9

@@ -1,0 +1,523 @@
+//! A hash-consed term arena for subjects, messages and formulas.
+//!
+//! The interner maps each structurally distinct term to a small copyable
+//! id ([`Sym`], [`SubjectId`], [`MsgId`], [`FormulaId`]). Interning the
+//! same term twice returns the same id, so id equality *is* structural
+//! equality and ids hash in O(1) — which is what makes the derivation
+//! memo key in [`crate::memo`] cheap to build and compare. Strings
+//! (principal, key and group names, data constants, propositions) are
+//! symbol-interned underneath, so every distinct name is stored once.
+//!
+//! Resolution is the inverse direction: [`Interner::resolve_formula`]
+//! (and friends) rebuild the owned [`Formula`]/[`Message`]/[`Subject`]
+//! trees on demand, e.g. for pretty-printing or proof export. The
+//! round-trip law `resolve(intern(t)) == t` is property-tested in
+//! `crates/core/tests/intern_roundtrip.rs`.
+//!
+//! The arena only grows (hash-consing tables are append-only); its size is
+//! bounded by the vocabulary of distinct terms seen, which for a coalition
+//! server is the certificate/request vocabulary, not the request count.
+//! [`Interner::stats`] surfaces the table sizes so `jaap-obs` gauges can
+//! watch them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::{Formula, GroupId, KeyId, Message, PrincipalId, Subject, Time, TimeRef};
+
+/// An interned string (principal/key/group name, data constant, prop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+/// An interned [`Subject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubjectId(u32);
+
+/// An interned [`Message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(u32);
+
+/// An interned [`Formula`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FormulaId(u32);
+
+/// Flattened [`Subject`] with interned children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SubjectNode {
+    Principal(Sym),
+    Compound(Vec<SubjectId>),
+    Threshold { members: Vec<SubjectId>, m: usize },
+    Bound(SubjectId, Sym),
+}
+
+/// Flattened [`Message`] with interned children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MsgNode {
+    Formula(FormulaId),
+    Data(Sym),
+    Name(Sym),
+    TimeVal(Time),
+    Nonce(u64),
+    Tuple(Vec<MsgId>),
+    Signed(MsgId, Sym),
+    Encrypted(MsgId, Sym),
+}
+
+/// Flattened [`Formula`] with interned children. `Time`/`TimeRef` are
+/// `Copy` and stay inline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FormulaNode {
+    Prop(Sym),
+    Not(FormulaId),
+    And(FormulaId, FormulaId),
+    Implies(FormulaId, FormulaId),
+    TimeLe(Time, Time),
+    Believes(SubjectId, TimeRef, FormulaId),
+    Controls(SubjectId, TimeRef, FormulaId),
+    Says(SubjectId, TimeRef, MsgId),
+    Said(SubjectId, TimeRef, MsgId),
+    Received(SubjectId, TimeRef, MsgId),
+    KeySpeaksFor {
+        key: Sym,
+        when: TimeRef,
+        relative_to: Option<Sym>,
+        subject: SubjectId,
+    },
+    Has(SubjectId, TimeRef, Sym),
+    MemberOf {
+        subject: SubjectId,
+        when: TimeRef,
+        relative_to: Option<Sym>,
+        group: Sym,
+    },
+    GroupSays(Sym, TimeRef, MsgId),
+    Fresh {
+        observer: SubjectId,
+        when: TimeRef,
+        msg: MsgId,
+    },
+    At(FormulaId, SubjectId, TimeRef),
+}
+
+/// One hash-consed table: id → node, node → id.
+#[derive(Debug)]
+struct Table<N> {
+    nodes: Vec<N>,
+    ids: HashMap<N, u32>,
+}
+
+impl<N> Default for Table<N> {
+    fn default() -> Self {
+        Table {
+            nodes: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+}
+
+impl<N: Clone + Eq + std::hash::Hash> Table<N> {
+    fn intern(&mut self, node: N) -> u32 {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("interner table overflow");
+        self.nodes.push(node.clone());
+        self.ids.insert(node, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &N {
+        &self.nodes[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Sizes of the interner's tables (for gauges and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InternStats {
+    /// Distinct interned strings.
+    pub symbols: usize,
+    /// Distinct interned subjects.
+    pub subjects: usize,
+    /// Distinct interned messages.
+    pub messages: usize,
+    /// Distinct interned formulas.
+    pub formulas: usize,
+}
+
+/// The hash-consing arena.
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Table<Arc<str>>,
+    subjects: Table<SubjectNode>,
+    messages: Table<MsgNode>,
+    formulas: Table<FormulaNode>,
+}
+
+impl Interner {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a string.
+    pub fn intern_str(&mut self, s: &str) -> Sym {
+        if let Some(&id) = self.strings.ids.get(s) {
+            return Sym(id);
+        }
+        Sym(self.strings.intern(Arc::from(s)))
+    }
+
+    /// The string behind a [`Sym`].
+    #[must_use]
+    pub fn resolve_str(&self, sym: Sym) -> &str {
+        self.strings.get(sym.0)
+    }
+
+    /// Interns a subject (recursively interning members and keys).
+    pub fn intern_subject(&mut self, s: &Subject) -> SubjectId {
+        let node = match s {
+            Subject::Principal(p) => SubjectNode::Principal(self.intern_str(p.as_str())),
+            Subject::Compound(ms) => {
+                SubjectNode::Compound(ms.iter().map(|m| self.intern_subject(m)).collect())
+            }
+            Subject::Threshold { members, m } => SubjectNode::Threshold {
+                members: members.iter().map(|s| self.intern_subject(s)).collect(),
+                m: *m,
+            },
+            Subject::Bound(inner, k) => {
+                let inner = self.intern_subject(inner);
+                SubjectNode::Bound(inner, self.intern_str(k.as_str()))
+            }
+        };
+        SubjectId(self.subjects.intern(node))
+    }
+
+    /// Rebuilds the owned [`Subject`] behind an id.
+    #[must_use]
+    pub fn resolve_subject(&self, id: SubjectId) -> Subject {
+        match self.subjects.get(id.0).clone() {
+            SubjectNode::Principal(p) => Subject::Principal(PrincipalId::new(self.resolve_str(p))),
+            SubjectNode::Compound(ms) => {
+                Subject::Compound(ms.iter().map(|&m| self.resolve_subject(m)).collect())
+            }
+            SubjectNode::Threshold { members, m } => Subject::Threshold {
+                members: members.iter().map(|&s| self.resolve_subject(s)).collect(),
+                m,
+            },
+            SubjectNode::Bound(inner, k) => Subject::Bound(
+                Arc::new(self.resolve_subject(inner)),
+                KeyId::new(self.resolve_str(k)),
+            ),
+        }
+    }
+
+    /// Interns a message (recursively interning submessages).
+    pub fn intern_message(&mut self, m: &Message) -> MsgId {
+        let node = match m {
+            Message::Formula(f) => MsgNode::Formula(self.intern_formula(f)),
+            Message::Data(s) => MsgNode::Data(self.intern_str(s)),
+            Message::Name(p) => MsgNode::Name(self.intern_str(p.as_str())),
+            Message::TimeVal(t) => MsgNode::TimeVal(*t),
+            Message::Nonce(n) => MsgNode::Nonce(*n),
+            Message::Tuple(parts) => {
+                MsgNode::Tuple(parts.iter().map(|p| self.intern_message(p)).collect())
+            }
+            Message::Signed(inner, k) => {
+                let inner = self.intern_message(inner);
+                MsgNode::Signed(inner, self.intern_str(k.as_str()))
+            }
+            Message::Encrypted(inner, k) => {
+                let inner = self.intern_message(inner);
+                MsgNode::Encrypted(inner, self.intern_str(k.as_str()))
+            }
+        };
+        MsgId(self.messages.intern(node))
+    }
+
+    /// Rebuilds the owned [`Message`] behind an id.
+    #[must_use]
+    pub fn resolve_message(&self, id: MsgId) -> Message {
+        match self.messages.get(id.0).clone() {
+            MsgNode::Formula(f) => Message::Formula(Arc::new(self.resolve_formula(f))),
+            MsgNode::Data(s) => Message::Data(self.resolve_str(s).to_string()),
+            MsgNode::Name(p) => Message::Name(PrincipalId::new(self.resolve_str(p))),
+            MsgNode::TimeVal(t) => Message::TimeVal(t),
+            MsgNode::Nonce(n) => Message::Nonce(n),
+            MsgNode::Tuple(parts) => {
+                Message::Tuple(parts.iter().map(|&p| self.resolve_message(p)).collect())
+            }
+            MsgNode::Signed(inner, k) => Message::Signed(
+                Arc::new(self.resolve_message(inner)),
+                KeyId::new(self.resolve_str(k)),
+            ),
+            MsgNode::Encrypted(inner, k) => Message::Encrypted(
+                Arc::new(self.resolve_message(inner)),
+                KeyId::new(self.resolve_str(k)),
+            ),
+        }
+    }
+
+    /// Interns a formula (recursively interning subformulas).
+    pub fn intern_formula(&mut self, f: &Formula) -> FormulaId {
+        let node = match f {
+            Formula::Prop(p) => FormulaNode::Prop(self.intern_str(p)),
+            Formula::Not(a) => FormulaNode::Not(self.intern_formula(a)),
+            Formula::And(a, b) => {
+                let a = self.intern_formula(a);
+                FormulaNode::And(a, self.intern_formula(b))
+            }
+            Formula::Implies(a, b) => {
+                let a = self.intern_formula(a);
+                FormulaNode::Implies(a, self.intern_formula(b))
+            }
+            Formula::TimeLe(a, b) => FormulaNode::TimeLe(*a, *b),
+            Formula::Believes(s, t, a) => {
+                let s = self.intern_subject(s);
+                FormulaNode::Believes(s, *t, self.intern_formula(a))
+            }
+            Formula::Controls(s, t, a) => {
+                let s = self.intern_subject(s);
+                FormulaNode::Controls(s, *t, self.intern_formula(a))
+            }
+            Formula::Says(s, t, m) => {
+                let s = self.intern_subject(s);
+                FormulaNode::Says(s, *t, self.intern_message(m))
+            }
+            Formula::Said(s, t, m) => {
+                let s = self.intern_subject(s);
+                FormulaNode::Said(s, *t, self.intern_message(m))
+            }
+            Formula::Received(s, t, m) => {
+                let s = self.intern_subject(s);
+                FormulaNode::Received(s, *t, self.intern_message(m))
+            }
+            Formula::KeySpeaksFor {
+                key,
+                when,
+                relative_to,
+                subject,
+            } => FormulaNode::KeySpeaksFor {
+                key: self.intern_str(key.as_str()),
+                when: *when,
+                relative_to: relative_to.as_ref().map(|r| self.intern_str(r.as_str())),
+                subject: self.intern_subject(subject),
+            },
+            Formula::Has(s, t, k) => {
+                let s = self.intern_subject(s);
+                FormulaNode::Has(s, *t, self.intern_str(k.as_str()))
+            }
+            Formula::MemberOf {
+                subject,
+                when,
+                relative_to,
+                group,
+            } => FormulaNode::MemberOf {
+                subject: self.intern_subject(subject),
+                when: *when,
+                relative_to: relative_to.as_ref().map(|r| self.intern_str(r.as_str())),
+                group: self.intern_str(group.as_str()),
+            },
+            Formula::GroupSays(g, t, m) => {
+                let g = self.intern_str(g.as_str());
+                FormulaNode::GroupSays(g, *t, self.intern_message(m))
+            }
+            Formula::Fresh {
+                observer,
+                when,
+                msg,
+            } => FormulaNode::Fresh {
+                observer: self.intern_subject(observer),
+                when: *when,
+                msg: self.intern_message(msg),
+            },
+            Formula::At(a, place, when) => {
+                let a = self.intern_formula(a);
+                FormulaNode::At(a, self.intern_subject(place), *when)
+            }
+        };
+        FormulaId(self.formulas.intern(node))
+    }
+
+    /// Rebuilds the owned [`Formula`] behind an id.
+    #[must_use]
+    pub fn resolve_formula(&self, id: FormulaId) -> Formula {
+        match self.formulas.get(id.0).clone() {
+            FormulaNode::Prop(p) => Formula::Prop(self.resolve_str(p).to_string()),
+            FormulaNode::Not(a) => Formula::Not(Arc::new(self.resolve_formula(a))),
+            FormulaNode::And(a, b) => Formula::And(
+                Arc::new(self.resolve_formula(a)),
+                Arc::new(self.resolve_formula(b)),
+            ),
+            FormulaNode::Implies(a, b) => Formula::Implies(
+                Arc::new(self.resolve_formula(a)),
+                Arc::new(self.resolve_formula(b)),
+            ),
+            FormulaNode::TimeLe(a, b) => Formula::TimeLe(a, b),
+            FormulaNode::Believes(s, t, a) => Formula::Believes(
+                self.resolve_subject(s),
+                t,
+                Arc::new(self.resolve_formula(a)),
+            ),
+            FormulaNode::Controls(s, t, a) => Formula::Controls(
+                self.resolve_subject(s),
+                t,
+                Arc::new(self.resolve_formula(a)),
+            ),
+            FormulaNode::Says(s, t, m) => {
+                Formula::Says(self.resolve_subject(s), t, self.resolve_message(m))
+            }
+            FormulaNode::Said(s, t, m) => {
+                Formula::Said(self.resolve_subject(s), t, self.resolve_message(m))
+            }
+            FormulaNode::Received(s, t, m) => {
+                Formula::Received(self.resolve_subject(s), t, self.resolve_message(m))
+            }
+            FormulaNode::KeySpeaksFor {
+                key,
+                when,
+                relative_to,
+                subject,
+            } => Formula::KeySpeaksFor {
+                key: KeyId::new(self.resolve_str(key)),
+                when,
+                relative_to: relative_to.map(|r| PrincipalId::new(self.resolve_str(r))),
+                subject: self.resolve_subject(subject),
+            },
+            FormulaNode::Has(s, t, k) => {
+                Formula::Has(self.resolve_subject(s), t, KeyId::new(self.resolve_str(k)))
+            }
+            FormulaNode::MemberOf {
+                subject,
+                when,
+                relative_to,
+                group,
+            } => Formula::MemberOf {
+                subject: self.resolve_subject(subject),
+                when,
+                relative_to: relative_to.map(|r| PrincipalId::new(self.resolve_str(r))),
+                group: GroupId::new(self.resolve_str(group)),
+            },
+            FormulaNode::GroupSays(g, t, m) => Formula::GroupSays(
+                GroupId::new(self.resolve_str(g)),
+                t,
+                self.resolve_message(m),
+            ),
+            FormulaNode::Fresh {
+                observer,
+                when,
+                msg,
+            } => Formula::Fresh {
+                observer: self.resolve_subject(observer),
+                when,
+                msg: self.resolve_message(msg),
+            },
+            FormulaNode::At(a, place, when) => Formula::At(
+                Arc::new(self.resolve_formula(a)),
+                self.resolve_subject(place),
+                when,
+            ),
+        }
+    }
+
+    /// Current table sizes.
+    #[must_use]
+    pub fn stats(&self) -> InternStats {
+        InternStats {
+            symbols: self.strings.len(),
+            subjects: self.subjects.len(),
+            messages: self.messages.len(),
+            formulas: self.formulas.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_formula() -> Formula {
+        Formula::believes(
+            Subject::principal("P"),
+            Time(6),
+            Formula::group_says(
+                GroupId::new("G_write"),
+                Time(6),
+                Message::Tuple(vec![
+                    Message::data("write O"),
+                    Message::Nonce(7),
+                    Message::data("x").signed(KeyId::new("K1")),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut arena = Interner::new();
+        let f = sample_formula();
+        let a = arena.intern_formula(&f);
+        let b = arena.intern_formula(&f);
+        assert_eq!(a, b, "same structure must intern to the same id");
+        let stats = arena.stats();
+        // A second interning adds nothing.
+        assert_eq!(arena.stats(), stats);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut arena = Interner::new();
+        let a = arena.intern_formula(&Formula::Prop("a".into()));
+        let b = arena.intern_formula(&Formula::Prop("b".into()));
+        assert_ne!(a, b);
+        assert_ne!(arena.intern_str("a"), arena.intern_str("b"));
+    }
+
+    #[test]
+    fn resolve_inverts_intern() {
+        let mut arena = Interner::new();
+        let f = sample_formula();
+        let id = arena.intern_formula(&f);
+        assert_eq!(arena.resolve_formula(id), f);
+
+        let s = Subject::threshold(
+            vec![
+                Subject::principal("U1").bound(KeyId::new("K1")),
+                Subject::principal("U2").bound(KeyId::new("K2")),
+            ],
+            2,
+        );
+        let sid = arena.intern_subject(&s);
+        assert_eq!(arena.resolve_subject(sid), s);
+
+        let m = Message::formula(f).encrypted(KeyId::new("K_srv"));
+        let mid = arena.intern_message(&m);
+        assert_eq!(arena.resolve_message(mid), m);
+    }
+
+    #[test]
+    fn shared_subterms_are_stored_once() {
+        let mut arena = Interner::new();
+        let shared = Formula::Prop("p".into());
+        let _ = arena.intern_formula(&Formula::and(shared.clone(), shared.clone()));
+        let stats = arena.stats();
+        // "p" and the conjunction: two formula nodes, one symbol.
+        assert_eq!(stats.formulas, 2);
+        assert_eq!(stats.symbols, 1);
+    }
+
+    #[test]
+    fn stats_track_all_tables() {
+        let mut arena = Interner::new();
+        assert_eq!(arena.stats(), InternStats::default());
+        let _ = arena.intern_message(&Message::Name(PrincipalId::new("A")));
+        let s = arena.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.symbols, 1);
+        assert_eq!(s.formulas, 0);
+    }
+}

@@ -6,15 +6,18 @@
 //! messages (M3).
 
 use core::fmt;
+use std::sync::Arc;
 
 use super::{Formula, KeyId, PrincipalId, Time};
 
 /// A message of the logic.
+///
+/// Like [`Formula`], submessages sit behind [`Arc`] so clones are shallow.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Message {
     /// M1: a formula used as a message (e.g. the body of a certificate).
-    Formula(Box<Formula>),
+    Formula(Arc<Formula>),
     /// M2: an opaque data constant (e.g. `"write" O`).
     Data(String),
     /// M2: a principal name.
@@ -27,9 +30,9 @@ pub enum Message {
     Tuple(Vec<Message>),
     /// M3: a digital signature `⟨X⟩_{K⁻¹}` (message signed with the private
     /// key corresponding to `K`).
-    Signed(Box<Message>, KeyId),
+    Signed(Arc<Message>, KeyId),
     /// M3: an encryption `{X}_K`.
-    Encrypted(Box<Message>, KeyId),
+    Encrypted(Arc<Message>, KeyId),
 }
 
 impl Message {
@@ -42,19 +45,19 @@ impl Message {
     /// Wraps a formula as a message.
     #[must_use]
     pub fn formula(f: Formula) -> Message {
-        Message::Formula(Box::new(f))
+        Message::Formula(Arc::new(f))
     }
 
     /// Signs this message with (the private counterpart of) `key`.
     #[must_use]
     pub fn signed(self, key: KeyId) -> Message {
-        Message::Signed(Box::new(self), key)
+        Message::Signed(Arc::new(self), key)
     }
 
     /// Encrypts this message under `key`.
     #[must_use]
     pub fn encrypted(self, key: KeyId) -> Message {
-        Message::Encrypted(Box::new(self), key)
+        Message::Encrypted(Arc::new(self), key)
     }
 
     /// If this is a signed message, its payload and signing key.

@@ -487,7 +487,7 @@ impl<'a> Cursor<'a> {
                 self.expect(" ")?;
                 let when = self.time_ref()?;
                 self.expect(")")?;
-                return Ok(Formula::At(Box::new(a), place, when));
+                return Ok(Formula::At(std::sync::Arc::new(a), place, when));
             }
             return Err(self.err("expected ∧, ⊃ or at_ inside parentheses"));
         }
@@ -526,12 +526,12 @@ impl<'a> Cursor<'a> {
             if self.eat(" believes_") {
                 let when = self.time_ref()?;
                 self.expect(" ")?;
-                return Ok(Formula::Believes(subject, when, Box::new(self.formula()?)));
+                return Ok(Formula::believes(subject, when, self.formula()?));
             }
             if self.eat(" controls_") {
                 let when = self.time_ref()?;
                 self.expect(" ")?;
-                return Ok(Formula::Controls(subject, when, Box::new(self.formula()?)));
+                return Ok(Formula::controls(subject, when, self.formula()?));
             }
             if self.eat(" says_") {
                 let when = self.time_ref()?;

@@ -146,7 +146,7 @@ pub enum Subject {
         m: usize,
     },
     /// A subject cryptographically bound to a public key (`S|K`).
-    Bound(Box<Subject>, KeyId),
+    Bound(Arc<Subject>, KeyId),
 }
 
 impl Subject {
@@ -184,7 +184,7 @@ impl Subject {
     /// Binds this subject to a key: `S|K` (consuming builder).
     #[must_use]
     pub fn bound(self, key: KeyId) -> Subject {
-        Subject::Bound(Box::new(self), key)
+        Subject::Bound(Arc::new(self), key)
     }
 
     /// The principal name if this is a plain or key-bound single principal.
