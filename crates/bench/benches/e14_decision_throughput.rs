@@ -171,7 +171,7 @@ fn run_batch_sweep(
         .expect("coalition");
     let mut requests = Vec::with_capacity(n_requests);
     for i in 0..n_requests {
-        c.advance_time(Time(20 + i as i64));
+        c.advance_time(Time(20 + i as i64)).expect("clock");
         requests.push(
             c.build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
                 .expect("request"),

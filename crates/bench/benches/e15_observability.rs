@@ -65,7 +65,7 @@ fn measure_overhead(bits: usize, workers: usize, n_requests: usize, rounds: u32)
     let mut c = standard_coalition(bits, 0xE15);
     let mut requests = Vec::with_capacity(n_requests);
     for i in 0..n_requests {
-        c.advance_time(Time(20 + i as i64));
+        c.advance_time(Time(20 + i as i64)).expect("clock");
         requests.push(
             c.build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
                 .expect("request"),
@@ -101,7 +101,7 @@ fn observed_scenario(bits: usize) -> String {
     // literal duplicate hits the replay window, and the tiny window evicts.
     let mut first = None;
     for i in 0..6 {
-        c.advance_time(Time(20 + i));
+        c.advance_time(Time(20 + i)).expect("clock");
         let req = c
             .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
             .expect("request");
@@ -124,7 +124,7 @@ fn observed_scenario(bits: usize) -> String {
         .set_signing_mode(jaap_coalition::aa::SigningMode::Networked);
     c.set_fault_plan(FaultPlan::seeded(0xE15).with_drop(0.25));
     c.set_session_config(SessionConfig::fast());
-    c.advance_time(Time(40));
+    c.advance_time(Time(40)).expect("clock");
     let networked = c
         .request_write(&["User_D1", "User_D2"])
         .expect("networked write");

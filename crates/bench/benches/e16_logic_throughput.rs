@@ -130,7 +130,7 @@ fn print_sweep() {
         .seed(0xE16)
         .build()
         .expect("coalition");
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     let requests = build_batch(&c, n_requests);
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -212,7 +212,7 @@ fn bench(c: &mut Criterion) {
         .seed(0xE16)
         .build()
         .expect("coalition");
-    coalition.advance_time(Time(20));
+    coalition.advance_time(Time(20)).expect("clock");
     coalition.set_verification_cache(true);
     let req = coalition
         .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))

@@ -44,9 +44,9 @@ fn print_tables() {
         "before revocation | {}",
         if d.granted { "GRANT" } else { "DENY" }
     );
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     let d = c.request_write(&["User_D1", "User_D2"]).expect("req");
     println!(
         "after revocation | {}",

@@ -148,9 +148,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "| before revocation | {} |",
         if before.granted { "GRANT" } else { "DENY" }
     )?;
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20))?;
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     let after = c.request_write(&["User_D1", "User_D2"])?;
     writeln!(
         out,

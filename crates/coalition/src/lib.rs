@@ -45,6 +45,7 @@ pub mod availability;
 pub mod cache;
 pub mod domain;
 pub mod dynamics;
+pub mod journal;
 pub mod liability;
 pub mod request;
 pub mod scenario;
@@ -62,6 +63,8 @@ pub enum CoalitionError {
     Pki(PkiError),
     /// Coalition-level misconfiguration (unknown user, missing domain, ...).
     Config(String),
+    /// The durable journal failed (storage error, undecodable record).
+    Journal(String),
 }
 
 impl core::fmt::Display for CoalitionError {
@@ -70,6 +73,7 @@ impl core::fmt::Display for CoalitionError {
             CoalitionError::Crypto(e) => write!(f, "crypto: {e}"),
             CoalitionError::Pki(e) => write!(f, "pki: {e}"),
             CoalitionError::Config(m) => write!(f, "configuration: {m}"),
+            CoalitionError::Journal(m) => write!(f, "journal: {m}"),
         }
     }
 }
@@ -85,6 +89,12 @@ impl From<CryptoError> for CoalitionError {
 impl From<PkiError> for CoalitionError {
     fn from(e: PkiError) -> Self {
         CoalitionError::Pki(e)
+    }
+}
+
+impl From<jaap_wal::WalError> for CoalitionError {
+    fn from(e: jaap_wal::WalError) -> Self {
+        CoalitionError::Journal(e.to_string())
     }
 }
 

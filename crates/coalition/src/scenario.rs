@@ -157,7 +157,9 @@ impl CoalitionBuilder {
         acl.permit(GroupId::new("G_write"), "write");
         acl.permit(GroupId::new("G_read"), "read");
         server.add_object(OBJECT_O, acl);
-        server.advance_clock(Time(10));
+        server
+            .advance_clock(Time(10))
+            .expect("fresh server clock starts at zero");
 
         // Threshold attribute certificates (Figure 2(a)/(c)).
         let members: Vec<(String, jaap_crypto::rsa::RsaPublicKey)> = domains
@@ -276,8 +278,12 @@ impl Coalition {
     }
 
     /// Advances the server clock.
-    pub fn advance_time(&mut self, to: Time) {
-        self.server.advance_clock(to);
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] if `to` is before the current time.
+    pub fn advance_time(&mut self, to: Time) -> Result<(), CoalitionError> {
+        self.server.advance_clock(to)
     }
 
     /// Enables/disables the server's certificate-verification cache
@@ -321,6 +327,22 @@ impl Coalition {
         self.metrics.as_ref()
     }
 
+    /// A fresh trust store carrying the coalition's current trust anchors
+    /// (domain CAs, the AA, the RA) — exactly what a rebuilt or recovered
+    /// server must be configured with, since trust anchors are
+    /// configuration rather than journaled state.
+    #[must_use]
+    pub fn trust_store(&self) -> TrustStore {
+        let mut store = TrustStore::new(Time(0));
+        for d in &self.domains {
+            store.trust_ca(d.ca().name(), d.ca().public().clone());
+        }
+        let names: Vec<String> = self.domains.iter().map(|d| d.name().to_string()).collect();
+        store.trust_aa("AA", self.aa.public().clone(), names);
+        store.trust_ra("RA", "AA", self.ra.public().clone());
+        store
+    }
+
     /// Replaces the server with a fresh one built from the coalition's
     /// existing trust material: a new trust store, an empty audit log,
     /// `Object O` back at version 0, and the clock preserved. No keys are
@@ -329,19 +351,14 @@ impl Coalition {
     /// certificates and requests.
     pub fn reset_server(&mut self) {
         let now = self.server.now();
-        let mut store = TrustStore::new(Time(0));
-        for d in &self.domains {
-            store.trust_ca(d.ca().name(), d.ca().public().clone());
-        }
-        let names: Vec<String> = self.domains.iter().map(|d| d.name().to_string()).collect();
-        store.trust_aa("AA", self.aa.public().clone(), names);
-        store.trust_ra("RA", "AA", self.ra.public().clone());
-        let mut server = CoalitionServer::new("P", store);
+        let mut server = CoalitionServer::new("P", self.trust_store());
         let mut acl = Acl::new();
         acl.permit(GroupId::new("G_write"), "write");
         acl.permit(GroupId::new("G_read"), "read");
         server.add_object(OBJECT_O, acl);
-        server.advance_clock(now);
+        server
+            .advance_clock(now)
+            .expect("fresh server clock starts at zero");
         if let Some(registry) = &self.metrics {
             server.set_metrics(Some(registry));
         }
@@ -595,8 +612,12 @@ impl Coalition {
     ///
     /// Propagates refresh failures.
     pub fn refresh_aa_shares(&mut self, seed: u64) -> Result<(), CoalitionError> {
-        let (refreshed, _stats) =
-            jaap_crypto::refresh::refresh_over_network(self.aa.shares(), seed)?;
+        let (refreshed, _stats) = jaap_crypto::refresh::refresh_over_network_observed(
+            self.aa.shares(),
+            seed,
+            FaultPlan::reliable(),
+            self.metrics.as_ref(),
+        )?;
         for (slot, new) in self.aa.shares_mut().iter_mut().zip(refreshed) {
             *slot = new;
         }
@@ -697,9 +718,9 @@ mod tests {
             .build()
             .expect("build");
         assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
-        c.advance_time(Time(20));
+        c.advance_time(Time(20)).expect("clock");
         c.revoke_write_ac(Time(20)).expect("revoke");
-        c.advance_time(Time(21));
+        c.advance_time(Time(21)).expect("clock");
         assert!(
             !c.request_write(&["User_D1", "User_D2"])
                 .expect("w2")

@@ -39,6 +39,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cache::{self, VerifyCache};
+use crate::journal::{ConfigKind, DecisionRecord, JournalRecord, ReplayRecord, ServerJournal};
 use crate::request::{statement_bytes, JointAccessRequest};
 use crate::CoalitionError;
 
@@ -57,7 +58,7 @@ pub struct CoalitionObject {
 }
 
 /// One audit-log line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
     /// Server time of the decision.
     pub at: Time,
@@ -140,6 +141,12 @@ impl CryptoOutcome {
 /// [`CoalitionServer::set_replay_protection_capacity`].
 pub const DEFAULT_REPLAY_CAPACITY: usize = 1024;
 
+/// Default bound on the audit log: old entries rotate out oldest-first once
+/// the log exceeds this many lines, so an unbounded request stream cannot
+/// grow the server's memory without bound. Override with
+/// [`CoalitionServer::set_audit_capacity`].
+pub const DEFAULT_AUDIT_CAPACITY: usize = 8192;
+
 /// Registry handles for the §4.3 pipeline, pre-resolved once when a
 /// registry is attached ([`CoalitionServer::set_metrics`]) so the per-request
 /// path touches atomics only. With no registry attached the server performs
@@ -168,6 +175,11 @@ struct ServerMetrics {
     interner_subjects: Arc<Gauge>,
     interner_messages: Arc<Gauge>,
     interner_formulas: Arc<Gauge>,
+    journal_appends: Arc<Counter>,
+    journal_bytes: Arc<Counter>,
+    journal_snapshots: Arc<Counter>,
+    journal_append_ns: Arc<Histogram>,
+    audit_evictions: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -192,6 +204,11 @@ impl ServerMetrics {
             interner_subjects: registry.gauge("server.interner.subjects"),
             interner_messages: registry.gauge("server.interner.messages"),
             interner_formulas: registry.gauge("server.interner.formulas"),
+            journal_appends: registry.counter("server.journal.appends"),
+            journal_bytes: registry.counter("server.journal.bytes"),
+            journal_snapshots: registry.counter("server.journal.snapshots"),
+            journal_append_ns: registry.histogram("server.journal.append_ns"),
+            audit_evictions: registry.counter("server.audit.evictions"),
             registry: registry.clone(),
         }
     }
@@ -204,7 +221,14 @@ pub struct CoalitionServer {
     store: TrustStore,
     engine: Engine,
     objects: Vec<CoalitionObject>,
-    audit: Vec<AuditEntry>,
+    /// The audit log, bounded at `audit_capacity` (oldest lines rotate out
+    /// first).
+    audit: VecDeque<AuditEntry>,
+    /// Bound on retained audit lines ([`DEFAULT_AUDIT_CAPACITY`] unless
+    /// overridden).
+    audit_capacity: usize,
+    /// Audit lines rotated out so far.
+    audit_evicted: u64,
     logic_checking: bool,
     /// Recency policy for revocation information (Stubblebine–Wright):
     /// when set, requests are refused unless a CRL no older than the window
@@ -231,7 +255,35 @@ pub struct CoalitionServer {
     /// Memo statistics already mirrored into the registry; counters are
     /// monotone, so each mirror pushes only the delta since this snapshot.
     memo_mirrored: MemoStats,
+    /// The write-ahead journal, when durability is on
+    /// ([`CoalitionServer::attach_journal`] /
+    /// [`CoalitionServer::recover`]). `None` during recovery replay, so
+    /// replayed mutations are not re-journaled.
+    journal: Option<ServerJournal>,
+    /// Auto-snapshot threshold: when set, any journaled record that pushes
+    /// the log past this many bytes triggers a snapshot rewrite.
+    snapshot_threshold: Option<u64>,
+    /// A threshold crossing was observed but the crossing record's
+    /// in-memory effects were not yet applied; the snapshot runs right
+    /// before the *next* append, when the state is consistent again.
+    snapshot_pending: bool,
+    /// The derivation-memo capacity last configured (engine has no getter;
+    /// snapshots re-emit it).
+    memo_capacity: Option<usize>,
     rng: StdRng,
+}
+
+/// What [`CoalitionServer::recover`] found in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records decoded and replayed.
+    pub records_replayed: usize,
+    /// Total journal bytes scanned.
+    pub bytes_scanned: u64,
+    /// Why (and where) the tail was truncated, `None` for a clean log.
+    pub truncation: Option<String>,
+    /// Unreplayable tail bytes dropped (torn/corrupt writes).
+    pub truncated_bytes: u64,
 }
 
 impl CoalitionServer {
@@ -246,7 +298,9 @@ impl CoalitionServer {
             store,
             engine,
             objects: Vec::new(),
-            audit: Vec::new(),
+            audit: VecDeque::new(),
+            audit_capacity: DEFAULT_AUDIT_CAPACITY,
+            audit_evicted: 0,
             logic_checking: true,
             revocation_recency: None,
             last_crl: None,
@@ -257,6 +311,10 @@ impl CoalitionServer {
             verify_cache: None,
             metrics: None,
             memo_mirrored: MemoStats::default(),
+            journal: None,
+            snapshot_threshold: None,
+            snapshot_pending: false,
+            memo_capacity: None,
             rng: StdRng::seed_from_u64(0x5EC5EC),
         }
     }
@@ -269,8 +327,16 @@ impl CoalitionServer {
 
     /// Registers a jointly owned object with its ACL.
     pub fn add_object(&mut self, name: impl Into<String>, acl: Acl) -> &mut Self {
+        let name = name.into();
+        // Builder-style signature can't propagate a journal error; a failed
+        // append only loses durability for this record, never correctness
+        // of the in-memory server.
+        let _ = self.journal_append(&JournalRecord::ObjectAdded {
+            name: name.clone(),
+            acl: acl.clone(),
+        });
         self.objects.push(CoalitionObject {
-            name: name.into(),
+            name,
             acl,
             version: 0,
             content: Vec::new(),
@@ -291,11 +357,18 @@ impl CoalitionServer {
     ///
     /// [`CoalitionError::Config`] for an unknown object.
     pub fn set_acl(&mut self, name: &str, acl: Acl) -> Result<(), CoalitionError> {
+        if !self.objects.iter().any(|o| o.name == name) {
+            return Err(CoalitionError::Config(format!("unknown object {name}")));
+        }
+        self.journal_append(&JournalRecord::AclSet {
+            name: name.into(),
+            acl: acl.clone(),
+        })?;
         let obj = self
             .objects
             .iter_mut()
             .find(|o| o.name == name)
-            .ok_or_else(|| CoalitionError::Config(format!("unknown object {name}")))?;
+            .expect("presence checked above");
         obj.acl = acl;
         Ok(())
     }
@@ -306,18 +379,43 @@ impl CoalitionServer {
     ///
     /// [`CoalitionError::Config`] for an unknown object.
     pub fn set_content(&mut self, name: &str, content: Vec<u8>) -> Result<(), CoalitionError> {
+        if !self.objects.iter().any(|o| o.name == name) {
+            return Err(CoalitionError::Config(format!("unknown object {name}")));
+        }
+        self.journal_append(&JournalRecord::ContentSet {
+            name: name.into(),
+            content: content.clone(),
+        })?;
         let obj = self
             .objects
             .iter_mut()
             .find(|o| o.name == name)
-            .ok_or_else(|| CoalitionError::Config(format!("unknown object {name}")))?;
+            .expect("presence checked above");
         obj.content = content;
         Ok(())
     }
 
-    /// Advances the server clock.
-    pub fn advance_clock(&mut self, to: Time) {
-        self.engine.advance_clock(to);
+    /// Advances the server clock. A no-op advance (`to == now`) is not
+    /// journaled.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] on a clock regression (`to < now`);
+    /// [`CoalitionError::Journal`] if the journal append fails.
+    pub fn advance_clock(&mut self, to: Time) -> Result<(), CoalitionError> {
+        if to == self.engine.now() {
+            return Ok(());
+        }
+        if to < self.engine.now() {
+            return Err(CoalitionError::Config(format!(
+                "clock regression: cannot move from {:?} back to {to:?}",
+                self.engine.now()
+            )));
+        }
+        self.journal_append(&JournalRecord::ClockAdvance(to))?;
+        self.engine
+            .advance_clock(to)
+            .map_err(|e| CoalitionError::Config(e.to_string()))
     }
 
     /// The server's current time.
@@ -328,12 +426,20 @@ impl CoalitionServer {
 
     /// Enables/disables the logic layer (D3 ablation).
     pub fn set_logic_checking(&mut self, on: bool) {
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::LogicChecking,
+            i64::from(on),
+        ));
         self.logic_checking = on;
     }
 
     /// Enables/disables the certificate-verification cache. Turning it off
     /// drops all memoized entries.
     pub fn set_verification_cache(&mut self, on: bool) {
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::VerifyCache,
+            i64::from(on),
+        ));
         if on {
             if self.verify_cache.is_none() {
                 let cache = VerifyCache::new();
@@ -371,12 +477,22 @@ impl CoalitionServer {
     /// preserves the fully re-derived logic path). See
     /// [`Engine::set_derivation_memo`].
     pub fn set_derivation_memo(&mut self, on: bool) {
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::DerivationMemo,
+            i64::from(on),
+        ));
         self.engine.set_derivation_memo(on);
         self.memo_mirrored = MemoStats::default();
     }
 
     /// Bounds the derivation memo (`None` = unbounded); no-op when off.
     pub fn set_derivation_memo_capacity(&mut self, capacity: Option<usize>) {
+        let encoded = capacity.and_then(|c| i64::try_from(c).ok()).unwrap_or(-1);
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::DerivationMemoCapacity,
+            encoded,
+        ));
+        self.memo_capacity = capacity;
         self.engine.set_derivation_memo_capacity(capacity);
     }
 
@@ -396,8 +512,31 @@ impl CoalitionServer {
     /// [`DEFAULT_REPLAY_CAPACITY`]), evicting oldest decisions immediately
     /// if the new bound is already exceeded.
     pub fn set_replay_protection_capacity(&mut self, capacity: usize) {
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::ReplayCapacity,
+            i64::try_from(capacity).unwrap_or(i64::MAX),
+        ));
         self.seen_capacity = capacity.max(1);
         self.trim_seen();
+    }
+
+    /// Re-bounds the audit log (default [`DEFAULT_AUDIT_CAPACITY`]),
+    /// rotating out oldest lines immediately if the new bound is already
+    /// exceeded.
+    pub fn set_audit_capacity(&mut self, capacity: usize) {
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::AuditCapacity,
+            i64::try_from(capacity).unwrap_or(i64::MAX),
+        ));
+        self.audit_capacity = capacity.max(1);
+        self.trim_audit();
+    }
+
+    /// Audit lines rotated out so far (the log is bounded; see
+    /// [`CoalitionServer::set_audit_capacity`]).
+    #[must_use]
+    pub fn audit_evictions(&self) -> u64 {
+        self.audit_evicted
     }
 
     /// Remembered replay decisions (for capacity tests).
@@ -418,6 +557,10 @@ impl CoalitionServer {
     /// a second audit entry or version increment. Off by default so
     /// benchmarks measure real verification work.
     pub fn set_replay_protection(&mut self, on: bool) {
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::ReplayProtection,
+            i64::from(on),
+        ));
         self.replay_protection = on;
     }
 
@@ -426,6 +569,7 @@ impl CoalitionServer {
     /// verify the most recent available revocation information before
     /// granting access."
     pub fn set_revocation_recency(&mut self, window: i64) {
+        let _ = self.journal_append(&JournalRecord::Config(ConfigKind::RecencyWindow, window));
         self.revocation_recency = Some(window);
     }
 
@@ -447,6 +591,10 @@ impl CoalitionServer {
             }
         }
         let messages = self.store.idealize_crl(crl)?;
+        // Write-ahead: the CRL is durable before any entry takes effect, so
+        // recovery replays exactly this admission loop — including a
+        // partial admission when an entry fails mid-list.
+        self.journal_append(&JournalRecord::Crl(crl.clone()))?;
         for msg in &messages {
             self.engine
                 .admit_certificate(msg)
@@ -461,9 +609,9 @@ impl CoalitionServer {
         Ok(())
     }
 
-    /// The audit log.
+    /// The audit log (most recent entries; bounded, oldest rotate out).
     #[must_use]
-    pub fn audit_log(&self) -> &[AuditEntry] {
+    pub fn audit_log(&self) -> &VecDeque<AuditEntry> {
         &self.audit
     }
 
@@ -485,6 +633,7 @@ impl CoalitionServer {
         rev: &AttributeRevocation,
     ) -> Result<(), CoalitionError> {
         let msg = self.store.idealize_attribute_revocation(rev)?;
+        self.journal_append(&JournalRecord::AttributeRevocation(rev.clone()))?;
         self.engine
             .admit_certificate(&msg)
             .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
@@ -505,6 +654,7 @@ impl CoalitionServer {
         rev: &IdentityRevocation,
     ) -> Result<(), CoalitionError> {
         let msg = self.store.idealize_identity_revocation(rev)?;
+        self.journal_append(&JournalRecord::IdentityRevocation(rev.clone()))?;
         self.engine
             .admit_certificate(&msg)
             .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
@@ -526,7 +676,21 @@ impl CoalitionServer {
         retry_trace: Option<String>,
     ) -> ServerDecision {
         let detail = detail.into();
-        self.audit.push(AuditEntry {
+        let _ = self.journal_append(&JournalRecord::Decision(DecisionRecord {
+            at: self.engine.now(),
+            principals: principals.clone(),
+            operation: operation.clone(),
+            granted: false,
+            detail: detail.clone(),
+            cached_checks: 0,
+            retry_trace: retry_trace.clone(),
+            axioms: 0,
+            signature_checks: 0,
+            unavailable: true,
+            version_bump: false,
+            replay_digest: None,
+        }));
+        self.push_audit(AuditEntry {
             at: self.engine.now(),
             principals,
             operation,
@@ -723,12 +887,42 @@ impl CoalitionServer {
             cached_signature_checks,
             result,
         } = outcome;
+        let epoch_before = self.engine.epoch();
         let verdict = result.and_then(|verified| self.authorize_verified(req, verified));
         let (granted, detail, derivation, axioms) = match verdict {
             Ok((derivation, axioms)) => (true, None, derivation, axioms),
             Err(msg) => (false, Some(msg), None, 0),
         };
-        if granted && req.operation.action == "write" {
+        // An epoch change means the logic phase admitted at least one new
+        // certificate body — a belief change that must be durable. The raw
+        // signed certificates go to the journal so recovery re-verifies
+        // and re-admits them in this exact order (re-admissions of known
+        // bodies are deduplicated by the engine, so repeats are free).
+        if self.engine.epoch() != epoch_before {
+            let _ = self.journal_append(&JournalRecord::RequestCerts {
+                identity: req.identity_certs.clone(),
+                threshold: req.threshold_certs.clone(),
+                attribute: req.attribute_certs.clone(),
+            });
+        }
+        let version_bump = granted
+            && req.operation.action == "write"
+            && self.objects.iter().any(|o| o.name == req.operation.object);
+        let _ = self.journal_append(&JournalRecord::Decision(DecisionRecord {
+            at: self.engine.now(),
+            principals: req.statements.iter().map(|s| s.principal.clone()).collect(),
+            operation: req.operation.clone(),
+            granted,
+            detail: detail.clone().unwrap_or_default(),
+            cached_checks: cached_signature_checks,
+            retry_trace: None,
+            axioms,
+            signature_checks,
+            unavailable: false,
+            version_bump,
+            replay_digest: digest.clone(),
+        }));
+        if version_bump {
             if let Some(obj) = self
                 .objects
                 .iter_mut()
@@ -754,7 +948,7 @@ impl CoalitionServer {
                 response = key.encrypt(&mut self.rng, &obj.content).ok();
             }
         }
-        self.audit.push(AuditEntry {
+        self.push_audit(AuditEntry {
             at: self.engine.now(),
             principals: req.statements.iter().map(|s| s.principal.clone()).collect(),
             operation: req.operation.clone(),
@@ -833,6 +1027,459 @@ impl CoalitionServer {
                 }
             }
         }
+    }
+
+    /// Remembers a replay-protection decision under its digest, evicting
+    /// past capacity.
+    fn insert_seen(&mut self, digest: String, decision: ServerDecision) {
+        if self.seen.insert(digest.clone(), decision).is_none() {
+            self.seen_order.push_back(digest);
+        }
+        self.trim_seen();
+    }
+
+    /// Appends an audit line, rotating out the oldest past capacity.
+    fn push_audit(&mut self, entry: AuditEntry) {
+        self.audit.push_back(entry);
+        self.trim_audit();
+    }
+
+    /// Rotates out oldest audit lines past the capacity bound.
+    fn trim_audit(&mut self) {
+        while self.audit.len() > self.audit_capacity {
+            self.audit.pop_front();
+            self.audit_evicted += 1;
+            if let Some(m) = &self.metrics {
+                m.audit_evictions.inc();
+            }
+        }
+    }
+
+    /// The write-ahead step of every belief-changing mutation: encodes and
+    /// appends `record` before the mutation takes effect in memory. No-op
+    /// without an attached journal. Triggers an auto-snapshot when the log
+    /// grows past the configured threshold.
+    fn journal_append(&mut self, record: &JournalRecord) -> Result<(), CoalitionError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        // A snapshot folds the log into current *in-memory* state, so it
+        // must not run between a record's append and its effects. Deferred
+        // crossings run here, just before the next record — every prior
+        // record's effects are complete by then.
+        if self.snapshot_pending {
+            self.snapshot_journal()?;
+        }
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let at = self.engine.now();
+        let len = self
+            .journal
+            .as_mut()
+            .expect("journal presence checked above")
+            .append(at, record)?;
+        if let Some(m) = &self.metrics {
+            m.journal_appends.inc();
+            m.journal_bytes.add(len as u64);
+            if let Some(t) = started {
+                m.journal_append_ns.record_duration(t.elapsed());
+            }
+        }
+        if let Some(threshold) = self.snapshot_threshold {
+            let over = self
+                .journal
+                .as_ref()
+                .expect("journal presence checked above")
+                .len_bytes()?
+                > threshold;
+            if over {
+                self.snapshot_pending = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches a write-ahead journal to this server. The store must be
+    /// empty (recovering an existing log is [`CoalitionServer::recover`]'s
+    /// job); a bootstrap snapshot of the current configuration, objects,
+    /// audit log, and replay window is written immediately so the log
+    /// alone reconstructs the server.
+    ///
+    /// Certificates admitted *before* the journal is attached are not
+    /// captured — attach the journal before serving requests.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Journal`] if the store is non-empty or fails.
+    pub fn attach_journal(
+        &mut self,
+        store: Box<dyn jaap_wal::JournalStore>,
+    ) -> Result<(), CoalitionError> {
+        if !store.is_empty()? {
+            return Err(CoalitionError::Journal(
+                "journal store is not empty; use CoalitionServer::recover".into(),
+            ));
+        }
+        self.journal = Some(ServerJournal::new(store));
+        self.snapshot_journal()
+    }
+
+    /// True when a journal is attached.
+    #[must_use]
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Framing-layer journal counters, when a journal is attached.
+    #[must_use]
+    pub fn journal_stats(&self) -> Option<jaap_wal::JournalStats> {
+        self.journal.as_ref().map(ServerJournal::stats)
+    }
+
+    /// Current journal length in bytes, when a journal is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Journal`] if the store fails.
+    pub fn journal_len_bytes(&self) -> Result<Option<u64>, CoalitionError> {
+        self.journal
+            .as_ref()
+            .map(ServerJournal::len_bytes)
+            .transpose()
+    }
+
+    /// Sets (or clears) the auto-snapshot threshold: after any append that
+    /// pushes the journal past `bytes`, the log is compacted into a
+    /// snapshot.
+    pub fn set_snapshot_threshold(&mut self, bytes: Option<u64>) {
+        self.snapshot_threshold = bytes;
+    }
+
+    /// Compacts the journal into a snapshot: current configuration, every
+    /// retained admission (at its original clock, so recovery re-derives
+    /// the same beliefs), final clock, object states, audit lines, and the
+    /// replay window. Decision history is folded into its effects.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] without a journal;
+    /// [`CoalitionError::Journal`] if the store fails.
+    pub fn snapshot_journal(&mut self) -> Result<(), CoalitionError> {
+        let Some(journal) = &self.journal else {
+            return Err(CoalitionError::Config("no journal attached".into()));
+        };
+        self.snapshot_pending = false;
+        let memo_on = self.engine.derivation_memo_stats().is_some();
+        let mut records = vec![
+            JournalRecord::Config(ConfigKind::LogicChecking, i64::from(self.logic_checking)),
+            JournalRecord::Config(
+                ConfigKind::ReplayProtection,
+                i64::from(self.replay_protection),
+            ),
+            JournalRecord::Config(
+                ConfigKind::ReplayCapacity,
+                i64::try_from(self.seen_capacity).unwrap_or(i64::MAX),
+            ),
+            JournalRecord::Config(
+                ConfigKind::AuditCapacity,
+                i64::try_from(self.audit_capacity).unwrap_or(i64::MAX),
+            ),
+            JournalRecord::Config(
+                ConfigKind::VerifyCache,
+                i64::from(self.verify_cache.is_some()),
+            ),
+            JournalRecord::Config(ConfigKind::DerivationMemo, i64::from(memo_on)),
+        ];
+        if memo_on {
+            records.push(JournalRecord::Config(
+                ConfigKind::DerivationMemoCapacity,
+                self.memo_capacity
+                    .and_then(|c| i64::try_from(c).ok())
+                    .unwrap_or(-1),
+            ));
+        }
+        if let Some(window) = self.revocation_recency {
+            records.push(JournalRecord::Config(ConfigKind::RecencyWindow, window));
+        }
+        // Admissions replay at their original clocks: belief derivations
+        // depend on the observer's time, so the snapshot interleaves the
+        // clock with the signed artifacts it retains verbatim.
+        for (at, record) in journal.admissions() {
+            records.push(JournalRecord::ClockAdvance(*at));
+            records.push(record.clone());
+        }
+        records.push(JournalRecord::ClockAdvance(self.engine.now()));
+        for obj in &self.objects {
+            records.push(JournalRecord::ObjectState {
+                name: obj.name.clone(),
+                acl: obj.acl.clone(),
+                version: obj.version,
+                content: obj.content.clone(),
+            });
+        }
+        // Audit lines survive as effect-free decision rows (the version
+        // bumps they caused are already folded into the object states).
+        for entry in &self.audit {
+            records.push(JournalRecord::Decision(DecisionRecord {
+                at: entry.at,
+                principals: entry.principals.clone(),
+                operation: entry.operation.clone(),
+                granted: entry.granted,
+                detail: entry.detail.clone(),
+                cached_checks: entry.cached_checks,
+                retry_trace: entry.retry_trace.clone(),
+                axioms: 0,
+                signature_checks: 0,
+                unavailable: false,
+                version_bump: false,
+                replay_digest: None,
+            }));
+        }
+        for digest in &self.seen_order {
+            if let Some(d) = self.seen.get(digest) {
+                records.push(JournalRecord::ReplaySeen(ReplayRecord {
+                    digest: digest.clone(),
+                    granted: d.granted,
+                    detail: d.detail.clone(),
+                    axioms: d.axiom_applications,
+                    signature_checks: d.signature_checks,
+                    cached_signature_checks: d.cached_signature_checks,
+                    unavailable: d.unavailable,
+                }));
+            }
+        }
+        self.journal
+            .as_mut()
+            .expect("journal presence checked above")
+            .rewrite(&records)?;
+        if let Some(m) = &self.metrics {
+            m.journal_snapshots.inc();
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a server from a journal left behind by a crashed one.
+    ///
+    /// `store` must be the same trust store the crashed server ran with
+    /// (trust anchors are configuration, not journaled state): every
+    /// journaled certificate is **re-verified** against it during replay
+    /// rather than trusted from disk. A torn or corrupt journal tail is
+    /// truncated, never replayed; the report says how much was dropped.
+    ///
+    /// The recovered server is decision-for-decision identical to one that
+    /// never crashed, with two deliberate exceptions: the derivation-memo
+    /// epoch is bumped and the verification cache restarts empty — derived
+    /// state never survives a crash, it is always re-derived.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Journal`] if the store fails or a checksummed
+    /// record is undecodable or no longer verifies.
+    pub fn recover(
+        name: impl Into<String>,
+        store: TrustStore,
+        journal_store: Box<dyn jaap_wal::JournalStore>,
+    ) -> Result<(Self, RecoveryReport), CoalitionError> {
+        let mut journal = ServerJournal::new(journal_store);
+        let (records, replay) = journal.replay()?;
+        let mut server = CoalitionServer::new(name, store);
+        let records_replayed = records.len();
+        let mut admissions = Vec::new();
+        for record in records {
+            if record.is_admission() {
+                // The admission's original clock: ClockAdvance records
+                // precede it in the log, so the engine is already there.
+                admissions.push((server.engine.now(), record.clone()));
+            }
+            server.apply_record(record)?;
+        }
+        // Derived state never survives a crash: bump the belief epoch
+        // (clears the derivation memo and retires any epoch-tagged state
+        // of the pre-crash process) and restart the verify cache empty.
+        server.engine.invalidate_derived_state();
+        if server.verify_cache.is_some() {
+            let cache = VerifyCache::new();
+            if let Some(m) = &server.metrics {
+                cache.set_metrics(Some(&m.registry));
+            }
+            server.verify_cache = Some(cache);
+        }
+        journal.set_admissions(admissions);
+        server.journal = Some(journal);
+        Ok((
+            server,
+            RecoveryReport {
+                records_replayed,
+                bytes_scanned: replay.bytes_scanned,
+                truncation: replay.truncation,
+                truncated_bytes: replay.truncated_bytes,
+            },
+        ))
+    }
+
+    /// Applies one replayed record. The journal field is still `None`
+    /// while this runs (recovery attaches it last), so the public
+    /// mutators called here do not re-journal what they replay.
+    fn apply_record(&mut self, record: JournalRecord) -> Result<(), CoalitionError> {
+        match record {
+            JournalRecord::ClockAdvance(to) => self.advance_clock(to)?,
+            JournalRecord::Config(kind, value) => self.apply_config(kind, value),
+            JournalRecord::ObjectAdded { name, acl } => {
+                self.add_object(name, acl);
+            }
+            JournalRecord::AclSet { name, acl } => self.set_acl(&name, acl)?,
+            JournalRecord::ContentSet { name, content } => self.set_content(&name, content)?,
+            // Admission errors are ignored on replay: the record was
+            // journaled before the original admission ran, so the original
+            // server saw the identical error and kept running — replay
+            // must reproduce the same partial effect, not halt.
+            JournalRecord::IdentityRevocation(rev) => {
+                let _ = self.admit_identity_revocation(&rev);
+            }
+            JournalRecord::AttributeRevocation(rev) => {
+                let _ = self.admit_attribute_revocation(&rev);
+            }
+            JournalRecord::Crl(crl) => {
+                let _ = self.admit_crl(&crl);
+            }
+            JournalRecord::RequestCerts {
+                identity,
+                threshold,
+                attribute,
+            } => self.replay_request_certs(&identity, &threshold, &attribute)?,
+            JournalRecord::Decision(d) => self.replay_decision(d),
+            JournalRecord::ObjectState {
+                name,
+                acl,
+                version,
+                content,
+            } => {
+                if let Some(obj) = self.objects.iter_mut().find(|o| o.name == name) {
+                    obj.acl = acl;
+                    obj.version = version;
+                    obj.content = content;
+                } else {
+                    self.objects.push(CoalitionObject {
+                        name,
+                        acl,
+                        version,
+                        content,
+                    });
+                }
+            }
+            JournalRecord::ReplaySeen(r) => {
+                let decision = ServerDecision {
+                    granted: r.granted,
+                    detail: r.detail,
+                    derivation: None,
+                    axiom_applications: r.axioms,
+                    signature_checks: r.signature_checks,
+                    cached_signature_checks: r.cached_signature_checks,
+                    response: None,
+                    unavailable: r.unavailable,
+                };
+                self.insert_seen(r.digest, decision);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a replayed configuration record via the public setters
+    /// (which do not re-journal: no journal is attached during replay).
+    fn apply_config(&mut self, kind: ConfigKind, value: i64) {
+        let as_capacity = || usize::try_from(value).unwrap_or(usize::MAX);
+        match kind {
+            ConfigKind::LogicChecking => self.set_logic_checking(value != 0),
+            ConfigKind::ReplayProtection => self.set_replay_protection(value != 0),
+            ConfigKind::ReplayCapacity => self.set_replay_protection_capacity(as_capacity()),
+            ConfigKind::AuditCapacity => self.set_audit_capacity(as_capacity()),
+            ConfigKind::VerifyCache => self.set_verification_cache(value != 0),
+            ConfigKind::DerivationMemo => self.set_derivation_memo(value != 0),
+            ConfigKind::RecencyWindow => self.set_revocation_recency(value),
+            ConfigKind::DerivationMemoCapacity => {
+                let capacity = (value >= 0).then(|| usize::try_from(value).unwrap_or(usize::MAX));
+                self.set_derivation_memo_capacity(capacity);
+            }
+        }
+    }
+
+    /// Re-verifies and re-admits a journaled request's certificates in the
+    /// exact order the original authorization did: identity certificates
+    /// first (stopping at the first admission error, as step 1 of §4.3
+    /// does), then threshold + single-subject attribute certificates
+    /// (stopping likewise, as step 2 does). Re-admissions of
+    /// already-known bodies are deduplicated by the engine.
+    fn replay_request_certs(
+        &mut self,
+        identity: &[jaap_pki::IdentityCertificate],
+        threshold: &[jaap_pki::ThresholdAttributeCertificate],
+        attribute: &[jaap_pki::AttributeCertificate],
+    ) -> Result<(), CoalitionError> {
+        let reverify = |e: jaap_pki::PkiError| {
+            CoalitionError::Journal(format!("journaled certificate no longer verifies: {e}"))
+        };
+        let mut identity_msgs = Vec::with_capacity(identity.len());
+        for cert in identity {
+            identity_msgs.push(self.store.idealize_identity(cert).map_err(reverify)?);
+        }
+        let mut attribute_msgs = Vec::with_capacity(threshold.len() + attribute.len());
+        for cert in threshold {
+            attribute_msgs.push(
+                self.store
+                    .idealize_threshold_attribute(cert)
+                    .map_err(reverify)?,
+            );
+        }
+        for cert in attribute {
+            attribute_msgs.push(self.store.idealize_attribute(cert).map_err(reverify)?);
+        }
+        for msg in &identity_msgs {
+            if self.engine.admit_certificate(msg).is_err() {
+                return Ok(());
+            }
+        }
+        for msg in &attribute_msgs {
+            if self.engine.admit_certificate(msg).is_err() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays a decision record: audit line, version bump, replay-window
+    /// entry. No cryptography or logic re-runs — the decision's effects
+    /// are applied verbatim.
+    fn replay_decision(&mut self, d: DecisionRecord) {
+        if d.version_bump {
+            if let Some(obj) = self
+                .objects
+                .iter_mut()
+                .find(|o| o.name == d.operation.object)
+            {
+                obj.version += 1;
+            }
+        }
+        if let Some(digest) = d.replay_digest.clone() {
+            let decision = ServerDecision {
+                granted: d.granted,
+                detail: (!d.granted).then(|| d.detail.clone()),
+                derivation: None,
+                axiom_applications: d.axioms,
+                signature_checks: d.signature_checks,
+                cached_signature_checks: d.cached_checks,
+                response: None,
+                unavailable: d.unavailable,
+            };
+            self.insert_seen(digest, decision);
+        }
+        self.push_audit(AuditEntry {
+            at: d.at,
+            principals: d.principals,
+            operation: d.operation,
+            granted: d.granted,
+            detail: d.detail,
+            cached_checks: d.cached_checks,
+            retry_trace: d.retry_trace,
+        });
     }
 
     /// ACL lookup plus the §4.3 logic phase (or the D3 crypto-only check)
@@ -1143,7 +1790,7 @@ mod tests {
         let first = c.request_write(&["User_D1", "User_D2"]).expect("first");
         assert!(first.granted);
         assert_eq!(first.cached_signature_checks, 0);
-        c.advance_time(Time(12));
+        c.advance_time(Time(12)).expect("clock");
         let second = c.request_write(&["User_D1", "User_D2"]).expect("second");
         assert!(second.granted);
         // 2 identity certs + 1 threshold AC come from the cache; the two
@@ -1173,8 +1820,8 @@ mod tests {
             (22, vec!["User_D2", "User_D3"]),
             (23, vec!["User_D1"]),
         ] {
-            serial.advance_time(Time(t));
-            batch.advance_time(Time(t));
+            serial.advance_time(Time(t)).expect("clock");
+            batch.advance_time(Time(t)).expect("clock");
             requests.push(
                 batch
                     .build_request(&signers, Operation::new("write", "Object O"))

@@ -281,12 +281,33 @@ impl Engine {
 
     /// Advances the observer's clock.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on clock regression (runs are monotone, Appendix C).
-    pub fn advance_clock(&mut self, to: Time) {
-        assert!(to >= self.now, "clocks are monotone");
+    /// [`LogicError::ClockRegression`] when `to` is earlier than the
+    /// current time — runs are monotone (Appendix C), and a server
+    /// recovering from a durable log must be able to reject a stale clock
+    /// without tearing down the process.
+    pub fn advance_clock(&mut self, to: Time) -> Result<(), LogicError> {
+        if to < self.now {
+            return Err(LogicError::ClockRegression(format!(
+                "cannot move clock from {:?} back to {to:?}",
+                self.now
+            )));
+        }
         self.now = to;
+        Ok(())
+    }
+
+    /// Discards every piece of derived (non-belief) state: bumps the
+    /// belief epoch, which also clears the derivation memo.
+    ///
+    /// Belief replay after a crash reconstructs admitted formulas exactly,
+    /// but memoized decisions and epoch-tagged caches from the pre-crash
+    /// process must not survive into the recovered one; recovery calls
+    /// this once replay finishes so every later decision is re-derived
+    /// against the rebuilt belief set.
+    pub fn invalidate_derived_state(&mut self) {
+        self.bump_epoch();
     }
 
     /// Total axiom applications so far.
@@ -896,7 +917,7 @@ mod tests {
 
     fn engine_at(t: i64) -> Engine {
         let mut e = Engine::new("P", assumptions());
-        e.advance_clock(Time(t));
+        e.advance_clock(Time(t)).expect("clock");
         e
     }
 
@@ -1038,9 +1059,9 @@ mod tests {
         let mut a2 = assumptions();
         a2.own_key(KeyId::new("K_RA"), Subject::principal("RA"));
         let mut e = Engine::new("P", a2);
-        e.advance_clock(Time(10));
+        e.advance_clock(Time(10)).expect("clock");
         e.admit_certificate(&threshold_ac()).expect("admit");
-        e.advance_clock(Time(12));
+        e.advance_clock(Time(12)).expect("clock");
         e.admit_certificate(&rev).expect("revocation");
         // Believe-until-revoked: valid before t12, gone from t12 on.
         assert!(e
@@ -1059,7 +1080,7 @@ mod tests {
         let mut a = assumptions();
         a.revocation_authority("CA1", "CA1"); // CA revokes its own certs
         let mut e = Engine::new("P", a);
-        e.advance_clock(Time(10));
+        e.advance_clock(Time(10)).expect("clock");
         e.admit_certificate(&id_cert()).expect("admit");
         let rev = Certs::identity_revocation(
             "CA1",
@@ -1069,7 +1090,7 @@ mod tests {
             Time(15),
             Time(15),
         );
-        e.advance_clock(Time(15));
+        e.advance_clock(Time(15)).expect("clock");
         e.admit_certificate(&rev).expect("revocation");
         assert!(e.key_belief_at(&KeyId::new("K_u1"), Time(14)).is_some());
         assert!(e.key_belief_at(&KeyId::new("K_u1"), Time(15)).is_none());
@@ -1192,7 +1213,7 @@ mod tests {
         let mut a = assumptions();
         a.own_key(k_cp.clone(), cp.clone());
         let mut e = Engine::new("P", a);
-        e.advance_clock(Time(10));
+        e.advance_clock(Time(10)).expect("clock");
 
         let bound = cp.clone().bound(k_cp.clone());
         let ac = Certs::attribute(
@@ -1254,7 +1275,7 @@ mod tests {
         let mut a = assumptions();
         a.own_key(k_cp.clone(), cp.clone());
         let mut e = Engine::new("P", a);
-        e.advance_clock(Time(10));
+        e.advance_clock(Time(10)).expect("clock");
         let ac = Certs::attribute(
             "AA",
             aa_key(),
@@ -1310,9 +1331,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "monotone")]
-    fn clock_regression_panics() {
+    fn clock_regression_is_rejected() {
         let mut e = engine_at(10);
-        e.advance_clock(Time(5));
+        let err = e.advance_clock(Time(5));
+        assert!(matches!(err, Err(LogicError::ClockRegression(_))));
+        assert_eq!(e.now(), Time(10), "a rejected advance leaves time alone");
+        e.advance_clock(Time(10)).expect("equal time is allowed");
+        e.advance_clock(Time(11)).expect("forward is allowed");
+    }
+
+    #[test]
+    fn invalidate_derived_state_bumps_epoch() {
+        let mut e = engine_at(10);
+        let before = e.epoch();
+        e.invalidate_derived_state();
+        assert!(e.epoch() > before);
     }
 }

@@ -14,6 +14,9 @@ pub enum LogicError {
     Stale(String),
     /// The goal could not be derived from the current beliefs.
     NotDerivable(String),
+    /// A clock advance tried to move the observer's local time backwards
+    /// (runs are monotone, Appendix C).
+    ClockRegression(String),
 }
 
 impl fmt::Display for LogicError {
@@ -23,6 +26,7 @@ impl fmt::Display for LogicError {
             LogicError::NoJurisdiction(m) => write!(f, "no jurisdiction: {m}"),
             LogicError::Stale(m) => write!(f, "stale message: {m}"),
             LogicError::NotDerivable(m) => write!(f, "not derivable: {m}"),
+            LogicError::ClockRegression(m) => write!(f, "clock regression: {m}"),
         }
     }
 }

@@ -227,7 +227,7 @@ impl AccessDecision {
 /// );
 /// assumptions.group_authority("AA");
 /// let mut engine = Engine::new("P", assumptions);
-/// engine.advance_clock(Time(10));
+/// engine.advance_clock(Time(10)).expect("clock");
 ///
 /// // A read request: identity cert + 1-of-3 threshold AC + one signature.
 /// let op = Operation::new("read", "Object O");
@@ -496,7 +496,7 @@ mod tests {
         a.own_key(k("K_RA"), Subject::principal("RA"));
         a.revocation_authority("RA", "AA");
         let mut e = Engine::new("P", a);
-        e.advance_clock(Time(10));
+        e.advance_clock(Time(10)).expect("clock");
         let mut acl = Acl::new();
         acl.permit(GroupId::new("G_write"), "write");
         acl.permit(GroupId::new("G_read"), "read");
@@ -621,7 +621,7 @@ mod tests {
         let decision = authorize(&mut e, &write_request(&[1, 2]), &acl);
         assert!(decision.granted);
         // RA revokes the threshold AC at t12.
-        e.advance_clock(Time(12));
+        e.advance_clock(Time(12)).expect("clock");
         let rev = Certs::attribute_revocation(
             "RA",
             k("K_RA"),
@@ -641,7 +641,7 @@ mod tests {
                 SignedStatement::new(s.principal.clone(), s.key.clone(), &req.operation, Time(13))
             })
             .collect();
-        e.advance_clock(Time(13));
+        e.advance_clock(Time(13)).expect("clock");
         let decision = authorize(&mut e, &req, &acl);
         assert!(!decision.granted);
     }
@@ -658,7 +658,7 @@ mod tests {
             Time(6),
             Validity::new(Time(0), Time(15)),
         );
-        e.advance_clock(Time(20));
+        e.advance_clock(Time(20)).expect("clock");
         let op = Operation::new("write", "Object O");
         let request = AccessRequest {
             identity_certs: vec![id_cert(1), id_cert(2)],

@@ -87,7 +87,7 @@ fn the_request() -> AccessRequest {
 #[test]
 fn statements_12_through_25_in_order() {
     let mut engine = Engine::new("P", initial_beliefs());
-    engine.advance_clock(Time(10));
+    engine.advance_clock(Time(10)).expect("clock");
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
 
@@ -131,7 +131,7 @@ fn statements_12_through_25_in_order() {
 #[test]
 fn the_revocation_coda_message_2() {
     let mut engine = Engine::new("P", initial_beliefs());
-    engine.advance_clock(Time(10));
+    engine.advance_clock(Time(10)).expect("clock");
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
 
@@ -139,7 +139,7 @@ fn the_revocation_coda_message_2() {
     assert!(authorize(&mut engine, &the_request(), &acl).granted);
 
     // Message 2: RA says ¬(CP′₂,₃ ⇒_t′ G_write), signed K_RA⁻¹, at t7.
-    engine.advance_clock(Time(20));
+    engine.advance_clock(Time(20)).expect("clock");
     let message_2 = Certs::attribute_revocation(
         "RA",
         k("K_RA"),
@@ -152,7 +152,7 @@ fn the_revocation_coda_message_2() {
 
     // "We will be unable to obtain this belief for t4 ≥ t8": the same
     // request, re-evaluated after the revocation, is refused.
-    engine.advance_clock(Time(21));
+    engine.advance_clock(Time(21)).expect("clock");
     let mut replay = the_request();
     replay.at = Time(21);
     replay.signed_statements = vec![
@@ -166,7 +166,7 @@ fn the_revocation_coda_message_2() {
 #[test]
 fn numbered_rendering_reads_like_the_paper() {
     let mut engine = Engine::new("P", initial_beliefs());
-    engine.advance_clock(Time(10));
+    engine.advance_clock(Time(10)).expect("clock");
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
     let proof = authorize(&mut engine, &the_request(), &acl)

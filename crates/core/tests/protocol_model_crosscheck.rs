@@ -50,7 +50,7 @@ fn every_checkable_conclusion_is_true_in_the_model() {
         assumptions.identity_authority(format!("CA{i}"));
     }
     let mut engine = Engine::new("P", assumptions);
-    engine.advance_clock(Time(10));
+    engine.advance_clock(Time(10)).expect("clock");
     let validity = Validity::new(Time(0), Time(100));
     let op = Operation::new("write", "Object O");
 

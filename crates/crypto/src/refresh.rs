@@ -10,7 +10,8 @@
 //! unchanged, but any previously exfiltrated share becomes useless.
 
 use jaap_bigint::{random_nat, Int};
-use jaap_net::{Network, NetworkStats, PartyId};
+use jaap_net::{FaultPlan, Network, NetworkStats, PartyId};
+use jaap_obs::MetricsRegistry;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -58,10 +59,36 @@ pub fn refresh_over_network(
     shares: &[KeyShare],
     seed: u64,
 ) -> Result<(Vec<KeyShare>, NetworkStats), CryptoError> {
+    refresh_over_network_observed(shares, seed, FaultPlan::reliable(), None)
+}
+
+/// Like [`refresh_over_network`], but runs on a mesh with the given fault
+/// plan and, when a metrics registry is supplied, records per-link delivery
+/// outcomes (`net.link.*` counters) plus a `refresh.refreshes` run counter —
+/// the same observability a [`crate::session::SigningSession`] round gets.
+///
+/// # Errors
+///
+/// [`CryptoError::InvalidParameters`] on an invalid share set or fault
+/// plan; [`CryptoError::Protocol`] on network failure.
+pub fn refresh_over_network_observed(
+    shares: &[KeyShare],
+    seed: u64,
+    faults: FaultPlan,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<(Vec<KeyShare>, NetworkStats), CryptoError> {
     validate(shares)?;
     let n = shares.len();
     let delta_bits = shares[0].public().modulus().bit_len() + DELTA_BITS_MARGIN;
-    let (endpoints, handle) = Network::<Int>::mesh(n);
+    let mesh = match metrics {
+        Some(registry) => {
+            registry.counter("refresh.refreshes").inc();
+            Network::<Int>::try_mesh_observed(n, faults, false, registry)
+        }
+        None => Network::<Int>::try_mesh_with(n, faults, false),
+    };
+    let (endpoints, handle) =
+        mesh.map_err(|e| CryptoError::InvalidParameters(format!("network: {e}")))?;
     let results = jaap_net::run_parties(endpoints, |mut ep| {
         let me = ep.id().0;
         let mut rng = StdRng::seed_from_u64(seed ^ (me as u64 + 1).wrapping_mul(0x9E37_79B9));
@@ -183,6 +210,35 @@ mod tests {
             let sig = joint::sign_locally(&public, &shares, msg.as_bytes()).expect("sign");
             assert!(public.verify(msg.as_bytes(), &sig));
         }
+    }
+
+    #[test]
+    fn observed_refresh_records_delivery_outcomes() {
+        let (public, shares) = dealt(3, 11);
+        let registry = MetricsRegistry::new();
+        let (refreshed, stats) =
+            refresh_over_network_observed(&shares, 12, FaultPlan::reliable(), Some(&registry))
+                .expect("refresh");
+        assert_eq!(registry.counter_value("refresh.refreshes"), Some(1));
+        let delivered: u64 = (0..3)
+            .flat_map(|a| (0..3).filter(move |&b| b != a).map(move |b| (a, b)))
+            .map(|(a, b)| {
+                registry
+                    .counter_value(&format!("net.link.{a}->{b}.delivered"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(delivered, stats.messages_delivered);
+        let sig = joint::sign_locally(&public, &refreshed, b"observed").expect("sign");
+        assert!(public.verify(b"observed", &sig));
+    }
+
+    #[test]
+    fn observed_refresh_rejects_invalid_fault_plan() {
+        let (_public, shares) = dealt(2, 13);
+        let mut plan = FaultPlan::reliable();
+        plan.drop_prob = 2.0;
+        assert!(refresh_over_network_observed(&shares, 14, plan, None).is_err());
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! scheme is the canonical form. Every field is written as
 //! `tag(1) || len(4, big-endian) || value`, so distinct field sequences can
 //! never collide.
+//!
+//! The [`Decoder`] reads the same format back. Certificate *verification*
+//! never needs it (bodies are re-encoded from parsed fields and compared
+//! under the signature), but durable storage does: the coalition journal
+//! serializes whole certificates — signature included — as TLV and decodes
+//! them on crash recovery.
+
+use crate::PkiError;
 
 /// Field tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +87,129 @@ impl Encoder {
     }
 }
 
+/// Canonical decoder: reads fields back in the order — and with the tags —
+/// they were written. Any mismatch (wrong tag, short buffer, bad UTF-8) is
+/// a [`PkiError::Malformed`]; the caller treats the whole buffer as
+/// corrupt.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding a buffer produced by [`Encoder::new`] with the same
+    /// domain-separation label.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::Malformed`] if the leading domain field is absent or
+    /// differs.
+    pub fn new(buf: &'a [u8], domain: &str) -> Result<Self, PkiError> {
+        let mut d = Decoder { buf, pos: 0 };
+        let got = d.take_str()?;
+        if got != domain {
+            return Err(PkiError::Malformed(format!(
+                "domain mismatch: expected {domain:?}, found {got:?}"
+            )));
+        }
+        Ok(d)
+    }
+
+    /// Reads a string field.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::Malformed`] on tag/length/UTF-8 mismatch.
+    pub fn take_str(&mut self) -> Result<String, PkiError> {
+        let raw = self.take(Tag::Str)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| PkiError::Malformed("string field is not UTF-8".into()))
+    }
+
+    /// Reads a `u64` field.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::Malformed`] on tag/length mismatch.
+    pub fn take_u64(&mut self) -> Result<u64, PkiError> {
+        let raw = self.take(Tag::U64)?;
+        let arr: [u8; 8] = raw
+            .try_into()
+            .map_err(|_| PkiError::Malformed("u64 field is not 8 bytes".into()))?;
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    /// Reads an `i64` field.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::Malformed`] on tag/length mismatch.
+    pub fn take_i64(&mut self) -> Result<i64, PkiError> {
+        let raw = self.take(Tag::I64)?;
+        let arr: [u8; 8] = raw
+            .try_into()
+            .map_err(|_| PkiError::Malformed("i64 field is not 8 bytes".into()))?;
+        Ok(i64::from_be_bytes(arr))
+    }
+
+    /// Reads a raw-bytes field.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::Malformed`] on tag/length mismatch.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, PkiError> {
+        Ok(self.take(Tag::Bytes)?.to_vec())
+    }
+
+    /// Reads a list header, returning the element count.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::Malformed`] on tag/length mismatch or a count that
+    /// cannot fit in `usize`.
+    pub fn take_list(&mut self) -> Result<usize, PkiError> {
+        let raw = self.take(Tag::List)?;
+        let arr: [u8; 8] = raw
+            .try_into()
+            .map_err(|_| PkiError::Malformed("list header is not 8 bytes".into()))?;
+        usize::try_from(u64::from_be_bytes(arr))
+            .map_err(|_| PkiError::Malformed("list count overflows usize".into()))
+    }
+
+    /// `true` when every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, want: Tag) -> Result<&'a [u8], PkiError> {
+        let header_end = self.pos.checked_add(5).filter(|&e| e <= self.buf.len());
+        let Some(header_end) = header_end else {
+            return Err(PkiError::Malformed("truncated field header".into()));
+        };
+        let tag = self.buf[self.pos];
+        if tag != want as u8 {
+            return Err(PkiError::Malformed(format!(
+                "expected tag {want:?} ({}), found {tag}",
+                want as u8
+            )));
+        }
+        let len = u32::from_be_bytes(
+            self.buf[self.pos + 1..header_end]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        let value_end = header_end.checked_add(len).filter(|&e| e <= self.buf.len());
+        let Some(value_end) = value_end else {
+            return Err(PkiError::Malformed("truncated field value".into()));
+        };
+        let value = &self.buf[header_end..value_end];
+        self.pos = value_end;
+        Ok(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +276,59 @@ mod tests {
         b.put_list(1).put_str("x");
         b.put_str("y");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn decoder_roundtrips_every_field_type() {
+        let mut e = Encoder::new("round");
+        e.put_str("alice")
+            .put_u64(42)
+            .put_i64(-7)
+            .put_bytes(&[1, 2, 3])
+            .put_list(2)
+            .put_str("x")
+            .put_str("y");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes, "round").expect("domain");
+        assert_eq!(d.take_str().expect("str"), "alice");
+        assert_eq!(d.take_u64().expect("u64"), 42);
+        assert_eq!(d.take_i64().expect("i64"), -7);
+        assert_eq!(d.take_bytes().expect("bytes"), vec![1, 2, 3]);
+        assert_eq!(d.take_list().expect("list"), 2);
+        assert_eq!(d.take_str().expect("x"), "x");
+        assert_eq!(d.take_str().expect("y"), "y");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn decoder_rejects_wrong_domain() {
+        let bytes = Encoder::new("a").finish();
+        assert!(Decoder::new(&bytes, "b").is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_wrong_tag() {
+        let mut e = Encoder::new("t");
+        e.put_u64(5);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes, "t").expect("domain");
+        assert!(d.take_str().is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_truncation_at_every_cut() {
+        let mut e = Encoder::new("t");
+        e.put_str("hello").put_u64(9);
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            let decoded = Decoder::new(prefix, "t")
+                .and_then(|mut d| {
+                    d.take_str()?;
+                    d.take_u64()
+                })
+                .is_ok();
+            assert!(!decoded, "truncation at {cut} must not decode cleanly");
+        }
     }
 }

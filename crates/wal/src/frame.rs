@@ -1,0 +1,204 @@
+//! Record framing: `magic(2) || len(4, big-endian) || checksum(8,
+//! big-endian FNV-1a over the payload) || payload`.
+//!
+//! The parser walks the log front to back and stops at the first record
+//! that is short (torn write), has a bad magic, an implausible length, or
+//! a checksum mismatch (bit rot). Everything before the bad record is
+//! replayable; everything from it on is reported as a truncated tail —
+//! recovery must drop it, never replay it.
+
+/// Marks the start of every record ("JW").
+pub const MAGIC: [u8; 2] = [0x4A, 0x57];
+
+/// Bytes of framing before the payload.
+pub const HEADER_LEN: usize = 2 + 4 + 8;
+
+/// Upper bound on a single record's payload; a length field above this is
+/// treated as corruption rather than an instruction to wait for 4 GiB.
+pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+/// 64-bit FNV-1a over `bytes`. Not cryptographic — it detects torn writes
+/// and bit rot, not adversaries (the payloads themselves carry signatures
+/// where authenticity matters).
+#[must_use]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Frames one payload into `magic || len || checksum || payload`.
+#[must_use]
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("record too long")
+            .to_be_bytes(),
+    );
+    out.extend_from_slice(&checksum64(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// How the log ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tail {
+    /// The log ends exactly at a record boundary.
+    Clean,
+    /// The log ends in a torn or corrupt record starting at `offset`.
+    Truncated {
+        /// Byte offset of the first unreplayable record.
+        offset: usize,
+        /// Human-readable reason (short read, bad magic, checksum, ...).
+        reason: String,
+    },
+}
+
+/// A parsed log: the valid payloads, the end offset of each valid record
+/// (so crash harnesses can cut the log at every record boundary), and how
+/// the tail ended.
+#[derive(Debug, Clone)]
+pub struct ParsedLog {
+    /// Valid record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// `boundaries[i]` is the byte offset just past record `i`.
+    pub boundaries: Vec<usize>,
+    /// Tail status.
+    pub tail: Tail,
+}
+
+impl ParsedLog {
+    /// Bytes of unreplayable tail, 0 when clean.
+    #[must_use]
+    pub fn truncated_bytes(&self, total_len: usize) -> usize {
+        match &self.tail {
+            Tail::Clean => 0,
+            Tail::Truncated { offset, .. } => total_len.saturating_sub(*offset),
+        }
+    }
+}
+
+/// Parses a log, stopping at the first torn or corrupt record.
+#[must_use]
+pub fn parse_log(bytes: &[u8]) -> ParsedLog {
+    let mut records = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut pos = 0usize;
+    let truncated = |pos: usize, reason: &str| Tail::Truncated {
+        offset: pos,
+        reason: reason.to_string(),
+    };
+    let tail = loop {
+        if pos == bytes.len() {
+            break Tail::Clean;
+        }
+        if bytes.len() - pos < HEADER_LEN {
+            break truncated(pos, "short header (torn write)");
+        }
+        if bytes[pos..pos + 2] != MAGIC {
+            break truncated(pos, "bad magic");
+        }
+        let len = u32::from_be_bytes(bytes[pos + 2..pos + 6].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD_LEN {
+            break truncated(pos, "implausible record length");
+        }
+        let stored = u64::from_be_bytes(
+            bytes[pos + 6..pos + HEADER_LEN]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let body_start = pos + HEADER_LEN;
+        if bytes.len() - body_start < len {
+            break truncated(pos, "short payload (torn write)");
+        }
+        let payload = &bytes[body_start..body_start + len];
+        if checksum64(payload) != stored {
+            break truncated(pos, "checksum mismatch (bit rot)");
+        }
+        records.push(payload.to_vec());
+        pos = body_start + len;
+        boundaries.push(pos);
+    };
+    ParsedLog {
+        records,
+        boundaries,
+        tail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let mut log = Vec::new();
+        for payload in [b"one".as_slice(), b"two-longer".as_slice(), b"".as_slice()] {
+            log.extend_from_slice(&frame_record(payload));
+        }
+        let parsed = parse_log(&log);
+        assert_eq!(parsed.tail, Tail::Clean);
+        assert_eq!(parsed.records.len(), 3);
+        assert_eq!(parsed.records[1], b"two-longer");
+        assert_eq!(parsed.boundaries.len(), 3);
+        assert_eq!(*parsed.boundaries.last().expect("boundary"), log.len());
+    }
+
+    #[test]
+    fn torn_tail_detected_at_every_cut() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&frame_record(b"alpha"));
+        let keep = log.len();
+        log.extend_from_slice(&frame_record(b"beta"));
+        for cut in keep + 1..log.len() {
+            let parsed = parse_log(&log[..cut]);
+            assert_eq!(parsed.records.len(), 1, "cut at {cut}");
+            assert!(matches!(parsed.tail, Tail::Truncated { offset, .. } if offset == keep));
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_payload_detected() {
+        let mut log = frame_record(b"sensitive payload");
+        let last = log.len() - 1;
+        log[last] ^= 0x40;
+        let parsed = parse_log(&log);
+        assert!(parsed.records.is_empty());
+        assert!(
+            matches!(parsed.tail, Tail::Truncated { ref reason, .. } if reason.contains("checksum"))
+        );
+    }
+
+    #[test]
+    fn bit_flip_in_length_detected() {
+        let mut log = frame_record(b"x");
+        log[2] = 0xFF; // implausible length
+        let parsed = parse_log(&log);
+        assert!(parsed.records.is_empty());
+        assert!(matches!(parsed.tail, Tail::Truncated { .. }));
+    }
+
+    #[test]
+    fn corrupt_record_shadows_later_good_records() {
+        let mut log = frame_record(b"good");
+        let mut bad = frame_record(b"bad");
+        bad[HEADER_LEN] ^= 1;
+        log.extend_from_slice(&bad);
+        log.extend_from_slice(&frame_record(b"unreachable"));
+        let parsed = parse_log(&log);
+        assert_eq!(parsed.records.len(), 1);
+        assert!(matches!(parsed.tail, Tail::Truncated { .. }));
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let parsed = parse_log(&[]);
+        assert!(parsed.records.is_empty());
+        assert_eq!(parsed.tail, Tail::Clean);
+    }
+}

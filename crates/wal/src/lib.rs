@@ -1,0 +1,46 @@
+//! A small write-ahead journal, used by the coalition server to make its
+//! belief state crash-recoverable.
+//!
+//! * [`frame`] — the on-disk record format: `magic || len || checksum ||
+//!   payload`, with a parser that stops at the first torn or corrupt
+//!   record instead of replaying garbage.
+//! * [`store`] — the [`JournalStore`] byte-store abstraction with an
+//!   in-memory backend ([`MemStore`], shared buffer so a "crashed" owner's
+//!   bytes survive) and a file backend ([`FileStore`]).
+//! * [`fault`] — seeded torn-write / bit-flip / short-read injection in
+//!   the style of `jaap_net::fault`, for chaos-testing recovery.
+//! * [`journal`] — the [`Journal`]: append framed records, rewrite the log
+//!   from a snapshot, and replay with tail-truncation reporting.
+//!
+//! The layer is deliberately payload-agnostic: records are opaque byte
+//! strings. The coalition crate defines what goes inside them.
+
+pub mod fault;
+pub mod frame;
+pub mod journal;
+pub mod store;
+
+pub use fault::{FaultStats, FaultyStore, StoreFaultPlan};
+pub use frame::{checksum64, frame_record, parse_log, ParsedLog, Tail};
+pub use journal::{Journal, JournalStats, Replay};
+pub use store::{FileStore, JournalStore, MemStore};
+
+/// Errors raised by the journal layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The backing store failed (I/O error, lock failure, ...).
+    Io(String),
+    /// A fault plan or journal parameter is out of range.
+    InvalidPlan(String),
+}
+
+impl core::fmt::Display for WalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WalError::Io(m) => write!(f, "journal store: {m}"),
+            WalError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}

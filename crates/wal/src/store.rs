@@ -1,0 +1,202 @@
+//! Byte stores a journal can live in.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::WalError;
+
+/// An append-only byte store with a rewrite escape hatch for snapshots.
+///
+/// Implementations must make `append` atomic from the *caller's* point of
+/// view only in the success case: a crash (or injected fault) mid-append
+/// may leave a torn suffix, which [`crate::frame::parse_log`] detects and
+/// recovery truncates.
+pub trait JournalStore: std::fmt::Debug + Send {
+    /// The whole log, front to back.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the backing medium fails.
+    fn read(&self) -> Result<Vec<u8>, WalError>;
+
+    /// Appends raw bytes at the end of the log.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the backing medium fails.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+
+    /// Replaces the whole log (snapshot compaction, corrupt-tail trim).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the backing medium fails.
+    fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+
+    /// Current log length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the backing medium fails.
+    fn len(&self) -> Result<u64, WalError>;
+
+    /// `true` when the log is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the backing medium fails.
+    fn is_empty(&self) -> Result<bool, WalError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// In-memory store over a shared buffer. Cloning yields a second handle on
+/// the *same* bytes — exactly what a crash harness needs: drop the server
+/// (the "crash"), keep the clone (the "disk"), and recover from it.
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty in-memory log.
+    #[must_use]
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// A log pre-seeded with `bytes` (e.g. a prefix cut at a record
+    /// boundary).
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemStore {
+            bytes: Arc::new(Mutex::new(bytes)),
+        }
+    }
+
+    /// A copy of the current log bytes.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.bytes.lock().expect("journal buffer lock").clone()
+    }
+}
+
+impl JournalStore for MemStore {
+    fn read(&self) -> Result<Vec<u8>, WalError> {
+        Ok(self.snapshot())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        self.bytes
+            .lock()
+            .expect("journal buffer lock")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut buf = self.bytes.lock().expect("journal buffer lock");
+        buf.clear();
+        buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, WalError> {
+        Ok(self.bytes.lock().expect("journal buffer lock").len() as u64)
+    }
+}
+
+/// File-backed store. Appends go straight to the file; `reset` writes a
+/// sibling temp file and renames it into place so a crash during snapshot
+/// compaction leaves either the old log or the new one, never a mix.
+#[derive(Debug)]
+pub struct FileStore {
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (creating if absent) a file-backed log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the file cannot be created.
+    pub fn new(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        if !path.exists() {
+            std::fs::File::create(&path).map_err(|e| WalError::Io(e.to_string()))?;
+        }
+        Ok(FileStore { path })
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl JournalStore for FileStore {
+    fn read(&self) -> Result<Vec<u8>, WalError> {
+        std::fs::read(&self.path).map_err(|e| WalError::Io(e.to_string()))
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| WalError::Io(e.to_string()))?;
+        file.write_all(bytes)
+            .and_then(|()| file.flush())
+            .map_err(|e| WalError::Io(e.to_string()))
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, bytes).map_err(|e| WalError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| WalError::Io(e.to_string()))
+    }
+
+    fn len(&self) -> Result<u64, WalError> {
+        std::fs::metadata(&self.path)
+            .map(|m| m.len())
+            .map_err(|e| WalError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_clones_share_bytes() {
+        let mut a = MemStore::new();
+        let b = a.clone();
+        a.append(b"hello").expect("append");
+        assert_eq!(b.snapshot(), b"hello");
+        assert_eq!(b.len().expect("len"), 5);
+    }
+
+    #[test]
+    fn mem_store_reset_replaces_contents() {
+        let mut s = MemStore::from_bytes(b"old".to_vec());
+        s.reset(b"new-bytes").expect("reset");
+        assert_eq!(s.snapshot(), b"new-bytes");
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("jaap-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::new(&path).expect("open");
+        assert!(s.is_empty().expect("empty"));
+        s.append(b"abc").expect("append");
+        s.append(b"def").expect("append");
+        assert_eq!(s.read().expect("read"), b"abcdef");
+        s.reset(b"zz").expect("reset");
+        assert_eq!(s.read().expect("read"), b"zz");
+        let _ = std::fs::remove_file(&path);
+    }
+}

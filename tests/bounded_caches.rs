@@ -44,9 +44,9 @@ fn revoked_request_is_replayed_until_evicted_then_reevaluated() {
     // Revoke the write AC, then replay the exact same request bytes: the
     // dedup window returns the original decision with no second audit
     // entry and no second version bump.
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     let replayed = c.server_mut().handle_request(&req);
     assert!(replayed.granted, "dedup returns the original decision");
     assert_eq!(c.server().audit_log().len(), 1);
@@ -56,7 +56,7 @@ fn revoked_request_is_replayed_until_evicted_then_reevaluated() {
     // Push the digest out of the (now tiny) window...
     c.server_mut().set_replay_protection_capacity(1);
     for t in 30..32 {
-        c.advance_time(Time(t));
+        c.advance_time(Time(t)).expect("clock");
         let filler = c
             .build_request(&["User_D1"], Operation::new("read", "Object O"))
             .expect("filler");
@@ -83,6 +83,34 @@ fn revoked_request_is_replayed_until_evicted_then_reevaluated() {
     );
 }
 
+/// The audit log is the third bounded server-side structure: oldest-first
+/// rotation past the configured capacity, with evictions counted — and the
+/// retained suffix is exactly the newest entries.
+#[test]
+fn audit_log_rotates_oldest_first_past_capacity() {
+    let mut c = coalition(0xB4);
+    c.server_mut().set_audit_capacity(3);
+    let registry = c.enable_metrics();
+    for t in 0..7 {
+        c.advance_time(Time(20 + t)).expect("clock");
+        let req = c
+            .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
+            .expect("request");
+        assert!(c.server_mut().handle_request(&req).granted);
+    }
+    let audit = c.server().audit_log();
+    assert_eq!(audit.len(), 3, "audit log must respect its capacity");
+    let times: Vec<i64> = audit.iter().map(|e| e.at.0).collect();
+    assert_eq!(times, vec![24, 25, 26], "newest entries are retained");
+    assert_eq!(c.server().audit_evictions(), 4);
+    assert_eq!(registry.counter_value("server.audit.evictions"), Some(4));
+    // Shrinking the bound trims immediately.
+    c.server_mut().set_audit_capacity(1);
+    assert_eq!(c.server().audit_log().len(), 1);
+    assert_eq!(c.server().audit_log()[0].at.0, 26);
+    assert_eq!(c.server().audit_evictions(), 6);
+}
+
 #[test]
 fn seen_map_respects_capacity_under_pressure() {
     let mut c = coalition(0xB1);
@@ -90,7 +118,7 @@ fn seen_map_respects_capacity_under_pressure() {
     c.server_mut().set_replay_protection_capacity(3);
     let registry = c.enable_metrics();
     for t in 0..8 {
-        c.advance_time(Time(20 + t));
+        c.advance_time(Time(20 + t)).expect("clock");
         let req = c
             .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
             .expect("request");
@@ -112,7 +140,7 @@ fn verify_cache_eviction_under_pressure_still_grants() {
         .expect("cache on")
         .set_capacity(Some(2));
     for t in 0..4 {
-        c.advance_time(Time(20 + t));
+        c.advance_time(Time(20 + t)).expect("clock");
         let d = c.request_write(&["User_D1", "User_D2"]).expect("write");
         assert!(d.granted, "decisions are capacity-independent");
     }
@@ -176,8 +204,8 @@ proptest! {
 
         for (i, &(a, b, read)) in schedule.iter().enumerate() {
             let t = Time(20 + i as i64);
-            bounded.advance_time(t);
-            unbounded.advance_time(t);
+            bounded.advance_time(t).expect("clock");
+            unbounded.advance_time(t).expect("clock");
             let signers: Vec<&str> = if a == b {
                 vec![users[a]]
             } else {

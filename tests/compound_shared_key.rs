@@ -99,7 +99,7 @@ fn a37_grant_with_joint_user_signature() {
     let mut assumptions = s.store.assumptions();
     assumptions.own_key(key_name(s.users_public.rsa()), users_compound());
     let mut engine = Engine::new("P", assumptions);
-    engine.advance_clock(Time(10));
+    engine.advance_clock(Time(10)).expect("clock");
 
     // Admit the compound AC.
     let ideal = s
@@ -172,7 +172,7 @@ fn wrong_shared_key_in_statement_fails_a37() {
     let (other_public, _) = SharedRsaKey::deal(&mut rng, 192, 3).expect("deal");
     assumptions.own_key(key_name(other_public.rsa()), users_compound());
     let mut engine = Engine::new("P", assumptions);
-    engine.advance_clock(Time(10));
+    engine.advance_clock(Time(10)).expect("clock");
     let ideal = s
         .store
         .idealize_compound_attribute(&s.cert)

@@ -1,0 +1,624 @@
+//! Kill/restart chaos harness for the crash-recoverable coalition server.
+//!
+//! Strategy: run a randomized belief-changing workload against a journaled
+//! server, recording the journal's byte watermark after each completed
+//! operation. Then cut the journal at every record boundary — every point a
+//! crash could have left the log — recover a server from the prefix, and
+//! drive an identical post-crash probe workload against the recovered
+//! server and against a never-crashed twin: a fresh server that ran exactly
+//! the operations whose records fit inside the cut. Decisions (including
+//! axiom-application and signature-check counts), object state, clocks,
+//! and the audit log must all agree.
+
+use jaap_coalition::request::{assemble, JointAccessRequest};
+use jaap_coalition::scenario::{Coalition, CoalitionBuilder, OBJECT_O};
+use jaap_coalition::server::{CoalitionServer, ServerDecision};
+use jaap_core::protocol::{Acl, Operation};
+use jaap_core::syntax::{GroupId, Time};
+use jaap_pki::CrlEntry;
+use jaap_wal::{parse_log, FaultyStore, JournalStore, MemStore, StoreFaultPlan};
+use proptest::prelude::*;
+
+const USERS: [&str; 3] = ["User_D1", "User_D2", "User_D3"];
+
+/// An abstract workload step, materialized into a concrete [`Op`] (with
+/// signed artifacts) while the workload runs.
+#[derive(Debug, Clone)]
+enum Plan {
+    Advance(i64),
+    Write(Vec<usize>),
+    Read(usize),
+    ReplayLast,
+    RevokeWrite,
+    Crl,
+    SetContent(u8),
+}
+
+/// A materialized operation: every signed artifact is pre-built, so the
+/// same byte-identical inputs can be replayed against any number of twins.
+#[derive(Debug, Clone)]
+enum Op {
+    Advance(Time),
+    Request(JointAccessRequest),
+    Revocation(jaap_pki::attribute::AttributeRevocation),
+    Crl(jaap_pki::Crl),
+    SetContent(Vec<u8>),
+}
+
+fn apply(server: &mut CoalitionServer, op: &Op) {
+    match op {
+        Op::Advance(to) => {
+            let _ = server.advance_clock(*to);
+        }
+        Op::Request(req) => {
+            let _ = server.handle_request(req);
+        }
+        Op::Revocation(rev) => {
+            let _ = server.admit_attribute_revocation(rev);
+        }
+        Op::Crl(crl) => {
+            let _ = server.admit_crl(crl);
+        }
+        Op::SetContent(bytes) => {
+            let _ = server.set_content(OBJECT_O, bytes.clone());
+        }
+    }
+}
+
+/// Builds a joint request for `signers` at an explicit time (the scenario
+/// helper stamps the *current* server time, which post-crash probes must
+/// control explicitly).
+fn build_request(c: &Coalition, signers: &[&str], action: &str, at: Time) -> JointAccessRequest {
+    let users: Vec<_> = signers.iter().map(|n| c.user(n).expect("user")).collect();
+    let ids = signers
+        .iter()
+        .map(|n| c.identity_cert(n).expect("cert").clone())
+        .collect();
+    let ac = if action == "read" {
+        c.read_ac().clone()
+    } else {
+        c.write_ac().clone()
+    };
+    assemble(
+        &users,
+        ids,
+        vec![ac],
+        vec![],
+        Operation::new(action, OBJECT_O),
+        at,
+    )
+    .expect("assemble")
+}
+
+/// A fresh never-crashed server configured exactly as the journaled one was
+/// at the moment its journal was attached.
+fn fresh_twin(c: &Coalition) -> CoalitionServer {
+    let mut server = CoalitionServer::new("P", c.trust_store());
+    let mut acl = Acl::new();
+    acl.permit(GroupId::new("G_write"), "write");
+    acl.permit(GroupId::new("G_read"), "read");
+    server.add_object(OBJECT_O, acl);
+    server.advance_clock(Time(10)).expect("clock");
+    server.set_replay_protection(true);
+    server
+}
+
+struct Harness {
+    c: Coalition,
+    /// Shares the journaled server's byte buffer.
+    handle: MemStore,
+    ops: Vec<Op>,
+    /// `watermarks[i]` = journal length after `ops[i]` completed.
+    watermarks: Vec<u64>,
+    /// Journal length right after attach (the bootstrap snapshot): the
+    /// smallest byte image that was ever durably on "disk".
+    base_len: u64,
+}
+
+/// Runs `plan` against a journaled server, materializing artifacts.
+fn run_workload(seed: u64, plan: &[Plan]) -> Harness {
+    let c = CoalitionBuilder::new()
+        .seed(seed)
+        .key_bits(192)
+        .build()
+        .expect("build");
+    let store = MemStore::new();
+    let handle = store.clone();
+    let mut h = Harness {
+        c,
+        handle,
+        ops: Vec::new(),
+        watermarks: Vec::new(),
+        base_len: 0,
+    };
+    h.c.server_mut().set_replay_protection(true);
+    h.c.server_mut()
+        .attach_journal(Box::new(store))
+        .expect("attach");
+    h.base_len = h.handle.snapshot().len() as u64;
+    materialize_and_apply(&mut h, plan);
+    h
+}
+
+fn materialize_and_apply(h: &mut Harness, plan: &[Plan]) {
+    let mut crl_seq = 1u64;
+    let mut last_req: Option<JointAccessRequest> = None;
+    for step in plan {
+        let now = h.c.server().now();
+        let op = match step {
+            Plan::Advance(dt) => Op::Advance(Time(now.0 + dt)),
+            Plan::Write(idx) => {
+                let signers: Vec<&str> = idx.iter().map(|&i| USERS[i]).collect();
+                let req = build_request(&h.c, &signers, "write", now);
+                last_req = Some(req.clone());
+                Op::Request(req)
+            }
+            Plan::Read(i) => {
+                let req = build_request(&h.c, &[USERS[*i]], "read", now);
+                last_req = Some(req.clone());
+                Op::Request(req)
+            }
+            Plan::ReplayLast => match &last_req {
+                Some(req) => Op::Request(req.clone()),
+                None => continue,
+            },
+            Plan::RevokeWrite => {
+                let ac = h.c.write_ac();
+                let rev =
+                    h.c.ra()
+                        .revoke_attribute(&ac.subject, ac.group.clone(), now, now)
+                        .expect("revoke");
+                Op::Revocation(rev)
+            }
+            Plan::Crl => {
+                let ac = h.c.write_ac();
+                let entries = vec![CrlEntry {
+                    subject: ac.subject.clone(),
+                    group: ac.group.clone(),
+                    revoked_from: now,
+                }];
+                let crl = h.c.ra().issue_crl(crl_seq, now, entries).expect("crl");
+                crl_seq += 1;
+                Op::Crl(crl)
+            }
+            Plan::SetContent(b) => Op::SetContent(vec![*b; 4]),
+        };
+        apply(h.c.server_mut(), &op);
+        h.ops.push(op);
+        h.watermarks.push(h.handle.snapshot().len() as u64);
+    }
+}
+
+fn assert_same_decision(ours: &ServerDecision, twins: &ServerDecision, ctx: &str) {
+    assert_eq!(ours.granted, twins.granted, "granted diverged: {ctx}");
+    assert_eq!(ours.detail, twins.detail, "detail diverged: {ctx}");
+    assert_eq!(
+        ours.axiom_applications, twins.axiom_applications,
+        "axiom count diverged: {ctx}"
+    );
+    assert_eq!(
+        ours.signature_checks, twins.signature_checks,
+        "signature checks diverged: {ctx}"
+    );
+    assert_eq!(
+        ours.cached_signature_checks, twins.cached_signature_checks,
+        "cached checks diverged: {ctx}"
+    );
+    assert_eq!(
+        ours.unavailable, twins.unavailable,
+        "unavailability diverged: {ctx}"
+    );
+}
+
+/// The core equivalence check: state now, then decisions on a post-crash
+/// probe workload (fresh quorum write, under-threshold write, read, and a
+/// duplicate delivery of the last pre-crash request).
+fn assert_equivalent(
+    recovered: &mut CoalitionServer,
+    twin: &mut CoalitionServer,
+    c: &Coalition,
+    completed_ops: &[Op],
+    ctx: &str,
+) {
+    assert_eq!(recovered.now(), twin.now(), "clock diverged: {ctx}");
+    let ours = recovered.object(OBJECT_O).expect("object").clone();
+    let twins = twin.object(OBJECT_O).expect("object").clone();
+    assert_eq!(ours.version, twins.version, "version diverged: {ctx}");
+    assert_eq!(ours.content, twins.content, "content diverged: {ctx}");
+    assert_eq!(
+        recovered.audit_log(),
+        twin.audit_log(),
+        "audit log diverged: {ctx}"
+    );
+
+    let probe_at = Time(recovered.now().0 + 1);
+    recovered.advance_clock(probe_at).expect("clock");
+    twin.advance_clock(probe_at).expect("clock");
+    let mut probes = vec![
+        build_request(c, &["User_D1", "User_D2"], "write", probe_at),
+        build_request(c, &["User_D3"], "write", probe_at),
+        build_request(c, &["User_D2"], "read", probe_at),
+    ];
+    // Duplicate delivery of the last pre-crash request: the recovered
+    // replay window must serve the same verdict the twin's does.
+    if let Some(Op::Request(req)) = completed_ops
+        .iter()
+        .rev()
+        .find(|op| matches!(op, Op::Request(_)))
+    {
+        probes.push(req.clone());
+    }
+    for (i, probe) in probes.iter().enumerate() {
+        let a = recovered.handle_request(probe);
+        let b = twin.handle_request(probe);
+        assert_same_decision(&a, &b, &format!("probe {i}, {ctx}"));
+    }
+    assert_eq!(
+        recovered.audit_log(),
+        twin.audit_log(),
+        "post-probe audit log diverged: {ctx}"
+    );
+}
+
+/// Recovers from a byte prefix and checks equivalence against a twin that
+/// ran every operation whose records fit inside the cut.
+fn check_cut(h: &Harness, bytes: &[u8], cut: usize, expect_truncation: bool) {
+    let store = MemStore::from_bytes(bytes[..cut].to_vec());
+    let (mut recovered, report) =
+        CoalitionServer::recover("P", h.c.trust_store(), Box::new(store)).expect("recover");
+    assert_eq!(
+        report.truncation.is_some(),
+        expect_truncation,
+        "unexpected tail status at cut {cut}: {:?}",
+        report.truncation
+    );
+    // With a torn/corrupt tail the recovered state ends at the truncation
+    // offset, not at the cut — drop ops whose records fell in the tail.
+    let effective = match parse_log(&bytes[..cut]).tail {
+        jaap_wal::Tail::Clean => cut as u64,
+        jaap_wal::Tail::Truncated { offset, .. } => offset as u64,
+    };
+    let completed = h.watermarks.iter().filter(|&&w| w <= effective).count();
+    let mut twin = fresh_twin(&h.c);
+    for op in &h.ops[..completed] {
+        apply(&mut twin, op);
+    }
+    assert_equivalent(
+        &mut recovered,
+        &mut twin,
+        &h.c,
+        &h.ops[..completed],
+        &format!("cut at byte {cut} ({completed} ops completed)"),
+    );
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        (1i64..4).prop_map(Plan::Advance),
+        proptest::collection::vec(0usize..3, 1..=3).prop_map(|mut idx: Vec<usize>| {
+            idx.sort_unstable();
+            idx.dedup();
+            Plan::Write(idx)
+        }),
+        (0usize..3).prop_map(Plan::Read),
+        Just(Plan::ReplayLast),
+        Just(Plan::RevokeWrite),
+        Just(Plan::Crl),
+        (0u8..255).prop_map(Plan::SetContent),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: kill the server at **every** record boundary
+    /// of a randomized workload; the recovered server's subsequent
+    /// decisions and audit log must match a never-crashed twin's.
+    #[test]
+    fn recovery_at_every_record_boundary_matches_never_crashed_twin(
+        seed in 0u64..64,
+        plan in proptest::collection::vec(plan_strategy(), 3..8),
+    ) {
+        let h = run_workload(seed, &plan);
+        let bytes = h.handle.snapshot();
+        let parsed = parse_log(&bytes);
+        prop_assert!(matches!(parsed.tail, jaap_wal::Tail::Clean));
+        // Cuts below the bootstrap snapshot were never on disk (the
+        // snapshot rewrite is atomic), so the first real crash point is
+        // the bootstrap image itself.
+        for &cut in parsed.boundaries.iter().filter(|&&b| b as u64 >= h.base_len) {
+            check_cut(&h, &bytes, cut, false);
+        }
+    }
+}
+
+/// A torn final write (partial record) is truncated and never replayed:
+/// recovery behaves as if the torn record was never appended.
+#[test]
+fn torn_tail_is_truncated_never_replayed() {
+    let plan = [
+        Plan::Write(vec![0, 1]),
+        Plan::Advance(2),
+        Plan::Read(1),
+        Plan::RevokeWrite,
+    ];
+    let mut h = run_workload(3, &plan);
+    // Simulate a torn append: garbage that is not even a full header.
+    h.handle.append(&[0xDE, 0xAD, 0xBE]).expect("append");
+    let bytes = h.handle.snapshot();
+    let cut = bytes.len();
+    check_cut(&h, &bytes, cut, true);
+}
+
+/// A bit flip inside the final record fails its checksum; the record is
+/// dropped, not replayed corrupt.
+#[test]
+fn bit_flip_in_tail_record_is_detected_and_dropped() {
+    let plan = [Plan::Write(vec![0, 1]), Plan::Advance(1), Plan::Read(2)];
+    let h = run_workload(4, &plan);
+    let mut bytes = h.handle.snapshot();
+    let parsed = parse_log(&bytes);
+    let last_start = parsed.boundaries[parsed.boundaries.len() - 2];
+    bytes[last_start + 14] ^= 0x40; // first payload byte of the last record
+    let parsed = parse_log(&bytes);
+    match &parsed.tail {
+        jaap_wal::Tail::Truncated { offset, reason } => {
+            assert_eq!(*offset, last_start);
+            assert!(reason.contains("checksum"), "unexpected reason {reason}");
+        }
+        jaap_wal::Tail::Clean => panic!("corruption not detected"),
+    }
+    check_cut(&h, &bytes, bytes.len(), true);
+}
+
+/// Seeded torn-write fault injection at the store layer: whatever clean
+/// prefix survives recovers to a consistent server.
+#[test]
+fn injected_torn_writes_recover_to_clean_prefix() {
+    let c = CoalitionBuilder::new()
+        .seed(5)
+        .key_bits(192)
+        .build()
+        .expect("build");
+    let mem = MemStore::new();
+    let handle = mem.clone();
+    let plan = StoreFaultPlan::seeded(9).with_torn_write(0.5);
+    let faulty = FaultyStore::new(mem, plan).expect("plan");
+    let mut h = Harness {
+        c,
+        handle,
+        ops: Vec::new(),
+        watermarks: Vec::new(),
+        base_len: 0,
+    };
+    h.c.server_mut().set_replay_protection(true);
+    h.c.server_mut()
+        .attach_journal(Box::new(faulty))
+        .expect("attach");
+    h.base_len = h.handle.snapshot().len() as u64;
+    let plan = [
+        Plan::Write(vec![0, 1]),
+        Plan::Advance(2),
+        Plan::Read(0),
+        Plan::Write(vec![2]),
+        Plan::Advance(1),
+        Plan::Read(1),
+    ];
+    materialize_and_apply(&mut h, &plan);
+    let bytes = h.handle.snapshot();
+    let parsed = parse_log(&bytes);
+    let (cut, torn) = match parsed.tail {
+        jaap_wal::Tail::Truncated { offset, .. } => (bytes.len().min(offset + 1), true),
+        jaap_wal::Tail::Clean => (bytes.len(), false),
+    };
+    assert!(torn, "seed 9 with p=0.5 should tear at least one append");
+    check_cut(&h, &bytes, cut, true);
+}
+
+/// Crashing after a snapshot recovers from the compacted log alone.
+#[test]
+fn recovery_after_snapshot_compaction() {
+    let plan = [
+        Plan::Write(vec![0, 1]),
+        Plan::Advance(2),
+        Plan::RevokeWrite,
+        Plan::Advance(1),
+    ];
+    let mut h = run_workload(6, &plan);
+    h.c.server_mut().snapshot_journal().expect("snapshot");
+    let floor = h.handle.snapshot().len() as u64;
+    // Watermarks measured pre-compaction no longer index this byte image;
+    // all four ops are inside the snapshot.
+    h.watermarks = vec![0; h.ops.len()];
+    let post = [Plan::Write(vec![1, 2]), Plan::Read(0), Plan::SetContent(7)];
+    materialize_and_apply(&mut h, &post);
+    let bytes = h.handle.snapshot();
+    let parsed = parse_log(&bytes);
+    for &cut in parsed.boundaries.iter().filter(|&&b| b as u64 >= floor) {
+        check_cut(&h, &bytes, cut, false);
+    }
+}
+
+/// With an auto-snapshot threshold the log is compacted in-flight and still
+/// recovers to the same server.
+#[test]
+fn auto_snapshot_keeps_log_recoverable() {
+    let plan = [
+        Plan::Write(vec![0, 1]),
+        Plan::Advance(1),
+        Plan::Read(1),
+        Plan::Advance(1),
+        Plan::Write(vec![0, 2]),
+        Plan::Advance(1),
+        Plan::Read(2),
+    ];
+    let c = CoalitionBuilder::new()
+        .seed(7)
+        .key_bits(192)
+        .build()
+        .expect("build");
+    let store = MemStore::new();
+    let handle = store.clone();
+    let mut h = Harness {
+        c,
+        handle,
+        ops: Vec::new(),
+        watermarks: Vec::new(),
+        base_len: 0,
+    };
+    h.c.server_mut().set_replay_protection(true);
+    h.c.server_mut().set_snapshot_threshold(Some(1024));
+    h.c.server_mut()
+        .attach_journal(Box::new(store))
+        .expect("attach");
+    materialize_and_apply(&mut h, &plan);
+    let stats = h.c.server().journal_stats().expect("stats");
+    assert!(
+        stats.rewrites >= 2,
+        "expected an auto-snapshot beyond the bootstrap, got {} rewrites",
+        stats.rewrites
+    );
+    let bytes = h.handle.snapshot();
+    let store = MemStore::from_bytes(bytes);
+    let (mut recovered, report) =
+        CoalitionServer::recover("P", h.c.trust_store(), Box::new(store)).expect("recover");
+    assert!(report.truncation.is_none());
+    let mut twin = fresh_twin(&h.c);
+    for op in &h.ops {
+        apply(&mut twin, op);
+    }
+    assert_equivalent(&mut recovered, &mut twin, &h.c, &h.ops, "auto-snapshot");
+}
+
+/// Crash → recover → more traffic → crash → recover again: the journal
+/// stays authoritative across repeated incarnations.
+#[test]
+fn double_crash_recovery() {
+    let plan = [Plan::Write(vec![0, 1]), Plan::Advance(2), Plan::Read(1)];
+    let h = run_workload(8, &plan);
+    let bytes = h.handle.snapshot();
+    let (mut first, _) = CoalitionServer::recover(
+        "P",
+        h.c.trust_store(),
+        Box::new(MemStore::from_bytes(bytes.clone())),
+    )
+    .expect("first recovery");
+    let at = Time(first.now().0 + 1);
+    first.advance_clock(at).expect("clock");
+    let extra = build_request(&h.c, &["User_D2", "User_D3"], "write", at);
+    let first_decision = first.handle_request(&extra);
+
+    // "Crash" the first incarnation: all that survives is its log image.
+    // (The first recovery rebuilt its journal from `bytes`, and MemStore
+    // recovery operates on an independent buffer, so re-derive the image.)
+    let mut twin = fresh_twin(&h.c);
+    for op in &h.ops {
+        apply(&mut twin, op);
+    }
+    let twin_store = MemStore::new();
+    let twin_handle = twin_store.clone();
+    twin.attach_journal(Box::new(twin_store)).expect("attach");
+    twin.advance_clock(at).expect("clock");
+    let twin_decision = twin.handle_request(&extra);
+    assert_same_decision(&first_decision, &twin_decision, "pre-second-crash");
+
+    let (mut second, report) = CoalitionServer::recover(
+        "P",
+        h.c.trust_store(),
+        Box::new(MemStore::from_bytes(twin_handle.snapshot())),
+    )
+    .expect("second recovery");
+    assert!(report.truncation.is_none());
+    let mut fresh = fresh_twin(&h.c);
+    for op in &h.ops {
+        apply(&mut fresh, op);
+    }
+    fresh.advance_clock(at).expect("clock");
+    let _ = fresh.handle_request(&extra);
+    let mut completed = h.ops.clone();
+    completed.push(Op::Request(extra));
+    assert_equivalent(&mut second, &mut fresh, &h.c, &completed, "double crash");
+}
+
+/// Satellite: a grant that was served from the derivation memo and the
+/// verification cache before the crash must be **re-derived** after
+/// recovery — and denied, because a revocation was admitted in between.
+/// Nothing cached or memoized survives the crash.
+#[test]
+fn recovered_server_redenies_previously_cached_grant() {
+    let mut c = CoalitionBuilder::new()
+        .seed(11)
+        .key_bits(192)
+        .build()
+        .expect("build");
+    c.server_mut().set_verification_cache(true);
+    c.server_mut().set_derivation_memo(true);
+    let store = MemStore::new();
+    let handle = store.clone();
+    c.server_mut()
+        .attach_journal(Box::new(store))
+        .expect("attach");
+
+    let at = c.server().now();
+    let grant_req = build_request(&c, &["User_D1", "User_D2"], "write", at);
+    let first = c.server_mut().handle_request(&grant_req);
+    assert!(first.granted, "pre-revocation quorum write must be granted");
+    // Same certificates again: the verification cache serves the checks.
+    let warm_req = build_request(&c, &["User_D1", "User_D2"], "write", at);
+    let warm = c.server_mut().handle_request(&warm_req);
+    assert!(warm.granted);
+    assert!(
+        warm.cached_signature_checks > 0,
+        "second presentation should hit the verification cache"
+    );
+
+    // Revoke the write AC; the revocation is journaled before admission.
+    let ac = c.write_ac().clone();
+    let rev = c
+        .ra()
+        .revoke_attribute(&ac.subject, ac.group.clone(), at, at)
+        .expect("revoke");
+    c.server_mut()
+        .admit_attribute_revocation(&rev)
+        .expect("admit");
+
+    // Crash. Recover from the journal image alone.
+    let (mut recovered, _) = CoalitionServer::recover(
+        "P",
+        c.trust_store(),
+        Box::new(MemStore::from_bytes(handle.snapshot())),
+    )
+    .expect("recover");
+    let probe_at = Time(recovered.now().0 + 1);
+    recovered.advance_clock(probe_at).expect("clock");
+    let probe = build_request(&c, &["User_D1", "User_D2"], "write", probe_at);
+    let denied = recovered.handle_request(&probe);
+    assert!(
+        !denied.granted,
+        "revoked membership must deny after recovery"
+    );
+    assert_eq!(
+        denied.cached_signature_checks, 0,
+        "the verification cache must not survive the crash"
+    );
+    assert!(
+        denied.signature_checks > 0,
+        "post-recovery crypto must be re-verified, not assumed"
+    );
+}
+
+/// Attaching to a non-empty store is refused: that log belongs to a prior
+/// incarnation and must go through recovery.
+#[test]
+fn attach_journal_rejects_nonempty_store() {
+    let plan = [Plan::Write(vec![0, 1])];
+    let h = run_workload(12, &plan);
+    let mut c2 = CoalitionBuilder::new()
+        .seed(12)
+        .key_bits(192)
+        .build()
+        .expect("build");
+    let used = MemStore::from_bytes(h.handle.snapshot());
+    let err = c2.server_mut().attach_journal(Box::new(used));
+    assert!(err.is_err(), "non-empty store must be refused");
+}

@@ -42,7 +42,7 @@ fn recency_window_expires() {
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 
     // 6 ticks later the CRL is stale again.
-    c.advance_time(Time(16));
+    c.advance_time(Time(16)).expect("clock");
     let d = c.request_write(&["User_D1", "User_D2"]).expect("w");
     assert!(!d.granted);
 
@@ -61,10 +61,10 @@ fn crl_carries_revocations() {
         group: c.write_ac().group.clone(),
         revoked_from: Time(12),
     };
-    c.advance_time(Time(12));
+    c.advance_time(Time(12)).expect("clock");
     let crl = c.ra().issue_crl(1, Time(12), vec![entry]).expect("crl");
     c.server_mut().admit_crl(&crl).expect("admit");
-    c.advance_time(Time(13));
+    c.advance_time(Time(13)).expect("clock");
 
     // The write AC named in the CRL is dead; reads survive.
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);

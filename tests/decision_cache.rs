@@ -27,7 +27,7 @@ fn repeat_presentations_are_served_from_cache() {
     // 2 identity certs + 1 threshold AC + 2 statement signatures.
     assert_eq!(first.signature_checks, 5);
 
-    c.advance_time(Time(15));
+    c.advance_time(Time(15)).expect("clock");
     let second = c.request_write(&["User_D1", "User_D2"]).expect("w2");
     assert!(second.granted);
     // The three certificates hit the cache; only the fresh statement
@@ -55,8 +55,8 @@ fn decisions_identical_with_and_without_cache() {
         (24, &["User_D2"], "read"),
     ];
     for (t, signers, action) in schedule {
-        plain.advance_time(Time(*t));
-        cached.advance_time(Time(*t));
+        plain.advance_time(Time(*t)).expect("clock");
+        cached.advance_time(Time(*t)).expect("clock");
         let op = Operation::new(*action, "Object O");
         let a = plain.request_operation(signers, op.clone()).expect("plain");
         let b = cached.request_operation(signers, op).expect("cached");
@@ -82,7 +82,7 @@ fn audit_log_records_cache_served_checks() {
     let mut c = coalition(7003);
     c.set_verification_cache(true);
     c.request_write(&["User_D1", "User_D2"]).expect("w1");
-    c.advance_time(Time(15));
+    c.advance_time(Time(15)).expect("clock");
     c.request_write(&["User_D1", "User_D2"]).expect("w2");
 
     let audit = c.server().audit_log();
@@ -105,13 +105,13 @@ fn attribute_revocation_invalidates_cached_ac() {
         3
     );
 
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
     let stats = c.server().verification_cache().expect("cache").stats();
     assert_eq!(stats.entries, 2, "the G_write AC entry must be dropped");
     assert_eq!(stats.invalidations, 1);
 
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }
 
@@ -121,7 +121,7 @@ fn identity_revocation_invalidates_cached_identity() {
     c.set_verification_cache(true);
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     let user_key = c.user("User_D1").expect("user").public().clone();
     let rev = c.domains()[0]
         .ca()
@@ -137,7 +137,7 @@ fn identity_revocation_invalidates_cached_identity() {
     assert_eq!(stats.entries, 1);
     assert_eq!(stats.invalidations, 2);
 
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
     assert!(c.request_write(&["User_D2", "User_D3"]).expect("w").granted);
 }
@@ -148,7 +148,7 @@ fn crl_entries_invalidate_cached_groups() {
     c.set_verification_cache(true);
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     let entry = CrlEntry {
         subject: c.write_ac().subject.clone(),
         group: c.write_ac().group.clone(),
@@ -160,7 +160,7 @@ fn crl_entries_invalidate_cached_groups() {
     let stats = c.server().verification_cache().expect("cache").stats();
     assert_eq!(stats.entries, 2, "the CRL'd group entry must be dropped");
 
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }
 
@@ -198,7 +198,7 @@ fn verify_batch_reproduces_serial_decisions_across_worker_counts() {
         schedule
             .iter()
             .map(|(t, signers, action)| {
-                c.advance_time(Time(*t));
+                c.advance_time(Time(*t)).expect("clock");
                 c.build_request(signers, Operation::new(*action, "Object O"))
                     .expect("request")
             })
@@ -236,7 +236,7 @@ fn verify_batch_with_cache_still_grants_correctly() {
     c.set_verification_cache(true);
     let mut requests = Vec::new();
     for t in 20..28 {
-        c.advance_time(Time(t));
+        c.advance_time(Time(t)).expect("clock");
         requests.push(
             c.build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
                 .expect("request"),

@@ -185,7 +185,7 @@ fn coalition_degrades_gracefully_when_signing_unavailable() {
         .as_deref()
         .expect("detail")
         .contains("quorum unreachable"));
-    let entry = c.server().audit_log().last().expect("audited");
+    let entry = c.server().audit_log().back().expect("audited");
     assert!(!entry.granted);
     let trace = entry.retry_trace.as_deref().expect("retry trace");
     assert!(trace.contains("unresponsive"), "trace: {trace}");
@@ -220,7 +220,7 @@ fn duplicate_request_delivery_is_idempotent() {
         "duplicate delivery must not double-apply the write"
     );
     // A *fresh* request (new submission time ⇒ new digest) is processed.
-    c.advance_time(jaap_core::syntax::Time(11));
+    c.advance_time(jaap_core::syntax::Time(11)).expect("clock");
     let req2 = c
         .build_request(&["User_D1", "User_D2"], Operation::new("write", OBJECT_O))
         .expect("request");

@@ -94,7 +94,7 @@ fn logic_layer_catches_what_crypto_accepts() {
         .validity_end(50)
         .build()
         .expect("coalition");
-    c.advance_time(jaap_core::syntax::Time(60));
+    c.advance_time(jaap_core::syntax::Time(60)).expect("clock");
     let d = c.request_write(&["User_D1", "User_D2"]).expect("write");
     assert!(!d.granted, "expired certificates must be rejected");
 }

@@ -79,9 +79,9 @@ fn memoized_grant_never_outlives_revocation() {
     let stats = c.server().derivation_memo_stats().expect("memo on");
     assert!(stats.hits >= 1);
 
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
 
     let after = c.server_mut().handle_request(&req);
     assert!(
@@ -176,8 +176,8 @@ proptest! {
         let mut revoked = false;
         for (i, &(a, b, read, revoke)) in schedule.iter().enumerate() {
             let t = Time(20 + i as i64);
-            memoized.advance_time(t);
-            reference.advance_time(t);
+            memoized.advance_time(t).expect("clock");
+            reference.advance_time(t).expect("clock");
             if revoke && !revoked {
                 memoized.revoke_write_ac(t).expect("revoke");
                 reference.revoke_write_ac(t).expect("revoke");

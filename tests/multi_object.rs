@@ -174,7 +174,7 @@ fn object_versions_are_tracked_independently() {
 #[test]
 fn revoking_audit_append_keeps_everything_else() {
     let mut r = rig(10_005);
-    r.coalition.advance_time(Time(20));
+    r.coalition.advance_time(Time(20)).expect("clock");
     let rev = r
         .coalition
         .ra()
@@ -189,7 +189,7 @@ fn revoking_audit_append_keeps_everything_else() {
         .server_mut()
         .admit_attribute_revocation(&rev)
         .expect("admit");
-    r.coalition.advance_time(Time(21));
+    r.coalition.advance_time(Time(21)).expect("clock");
 
     let append = audit_request(
         &r,

@@ -5,6 +5,7 @@
 use jaap_coalition::scenario::{Coalition, CoalitionBuilder};
 use jaap_core::protocol::Operation;
 use jaap_core::syntax::Time;
+use jaap_wal::MemStore;
 
 fn coalition(seed: u64) -> Coalition {
     CoalitionBuilder::new()
@@ -51,13 +52,47 @@ fn handle_request_populates_phase_histograms_and_counters() {
     );
 }
 
+/// Journal instruments: every belief-changing event appends (counted, with
+/// bytes and latency), and snapshots are counted separately.
+#[test]
+fn journal_appends_and_snapshots_are_instrumented() {
+    let mut c = coalition(0xC7);
+    let registry = c.enable_metrics();
+    c.server_mut()
+        .attach_journal(Box::new(MemStore::new()))
+        .expect("attach");
+    assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
+    c.advance_time(Time(11)).expect("clock");
+    assert!(!c.request_write(&["User_D3"]).expect("w1").granted);
+
+    let appends = registry
+        .counter_value("server.journal.appends")
+        .expect("appends");
+    // Two requests (certs + decision for the first, at least a decision
+    // for the second) and a clock advance.
+    assert!(appends >= 4, "expected >= 4 appends, got {appends}");
+    let bytes = registry
+        .counter_value("server.journal.bytes")
+        .expect("bytes");
+    assert!(bytes > 0);
+    let lat = registry
+        .histogram_snapshot("server.journal.append_ns")
+        .expect("append_ns");
+    assert_eq!(lat.count, appends, "every append is timed");
+    // The bootstrap snapshot written at attach time is the first one.
+    assert_eq!(registry.counter_value("server.journal.snapshots"), Some(1));
+
+    c.server_mut().snapshot_journal().expect("snapshot");
+    assert_eq!(registry.counter_value("server.journal.snapshots"), Some(2));
+}
+
 #[test]
 fn verify_batch_times_crypto_phase_across_workers() {
     let mut c = coalition(0xC1);
     let registry = c.enable_metrics();
     let mut requests = Vec::new();
     for t in 0..4 {
-        c.advance_time(Time(20 + t));
+        c.advance_time(Time(20 + t)).expect("clock");
         requests.push(
             c.build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
                 .expect("request"),
@@ -78,7 +113,7 @@ fn cache_counters_are_mirrored_into_the_registry() {
     let registry = c.enable_metrics();
     c.set_verification_cache(true);
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("a").granted);
-    c.advance_time(Time(12));
+    c.advance_time(Time(12)).expect("clock");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("b").granted);
     // Second pass serves 2 identity certs + 1 threshold AC from memory.
     assert_eq!(registry.counter_value("server.cache.hits"), Some(3));
@@ -110,7 +145,7 @@ fn disabling_metrics_restores_an_unobserved_server() {
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
     assert_eq!(registry.counter_value("server.decisions"), Some(1));
     c.disable_metrics();
-    c.advance_time(Time(12));
+    c.advance_time(Time(12)).expect("clock");
     assert!(
         c.request_write(&["User_D1", "User_D2"])
             .expect("w2")

@@ -80,7 +80,7 @@ fn policy_admin_ac_is_revocable_like_any_other() {
     let admin_ac = c.issue_policy_admin_ac(2).expect("admin ac");
 
     // RA revokes the admin certificate.
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     let rev = c
         .ra()
         .revoke_attribute(
@@ -93,7 +93,7 @@ fn policy_admin_ac_is_revocable_like_any_other() {
     c.server_mut()
         .admit_attribute_revocation(&rev)
         .expect("admit");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
 
     let d = c
         .request_set_policy(&["User_D1", "User_D2"], &admin_ac, strict_acl())

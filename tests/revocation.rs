@@ -19,18 +19,18 @@ fn coalition(seed: u64) -> jaap_coalition::scenario::Coalition {
 fn grant_before_deny_after() {
     let mut c = coalition(3001);
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }
 
 #[test]
 fn revocation_of_write_leaves_read_intact() {
     let mut c = coalition(3002);
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     assert!(c.request_read(&["User_D1"]).expect("r").granted);
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }
@@ -41,9 +41,9 @@ fn revocation_has_upper_bound_infinity() {
     // infinity" — re-presenting the same certificate much later still
     // fails.
     let mut c = coalition(3003);
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(500));
+    c.advance_time(Time(500)).expect("clock");
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 }
 
@@ -64,7 +64,7 @@ fn revocation_from_untrusted_ra_is_rejected() {
             Time(20),
         )
         .expect("sign");
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     let res = c.server_mut().admit_attribute_revocation(&rev);
     assert!(res.is_err(), "rogue RA revocations must be rejected");
     // Access unaffected.
@@ -77,7 +77,7 @@ fn identity_revocation_disables_a_single_signer() {
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 
     // CA_D1 revokes User_D1's identity certificate.
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     let user_key = c.user("User_D1").expect("user").public().clone();
     let rev = c.domains()[0]
         .ca()
@@ -86,7 +86,7 @@ fn identity_revocation_disables_a_single_signer() {
     c.server_mut()
         .admit_identity_revocation(&rev)
         .expect("admit");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
 
     // User_D1 can no longer be counted toward the threshold...
     assert!(!c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
@@ -107,9 +107,9 @@ fn requests_predating_revocation_still_evaluate_against_request_time() {
             jaap_core::protocol::Operation::new("write", jaap_coalition::scenario::OBJECT_O),
         )
         .expect("request");
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(25));
+    c.advance_time(Time(25)).expect("clock");
     let d = c.server_mut().handle_request(&req);
     assert!(
         !d.granted,
@@ -121,9 +121,9 @@ fn requests_predating_revocation_still_evaluate_against_request_time() {
 fn audit_log_reflects_revocation_transition() {
     let mut c = coalition(3007);
     let _ = c.request_write(&["User_D1", "User_D2"]).expect("w1");
-    c.advance_time(Time(20));
+    c.advance_time(Time(20)).expect("clock");
     c.revoke_write_ac(Time(20)).expect("revoke");
-    c.advance_time(Time(21));
+    c.advance_time(Time(21)).expect("clock");
     let _ = c.request_write(&["User_D1", "User_D2"]).expect("w2");
     let log = c.server().audit_log();
     assert_eq!(log.len(), 2);
