@@ -756,6 +756,18 @@ impl ServerJournal {
         &self.admissions
     }
 
+    /// Sets the primary term stamped into every frame written from now
+    /// on (replication provenance; fencing itself acts on message terms).
+    pub fn set_term(&mut self, term: u64) {
+        self.wal.set_term(term);
+    }
+
+    /// The term currently stamped into new frames.
+    #[must_use]
+    pub fn term(&self) -> u64 {
+        self.wal.term()
+    }
+
     /// Framing-layer activity counters.
     #[must_use]
     pub fn stats(&self) -> JournalStats {

@@ -18,6 +18,9 @@
 //! * [`availability`] — m-of-n availability analysis (§3.3, experiment E6).
 //! * [`liability`] — trust-liability attack simulation, Case I vs Case II
 //!   (§2.2, experiment E7).
+//! * [`replication`] — primary→replica WAL log shipping over `jaap-net`
+//!   with fencing terms, snapshot + tail catch-up, and failover by
+//!   promoting a replica through the recovery replay path.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub mod domain;
 pub mod dynamics;
 pub mod journal;
 pub mod liability;
+pub mod replication;
 pub mod request;
 pub mod scenario;
 pub mod server;

@@ -1,0 +1,872 @@
+//! Replicated coalition server: WAL log shipping, fencing terms, and
+//! failover (DESIGN §5f).
+//!
+//! §5e made a single server crash-recoverable; this module makes the
+//! *service* survive the primary. The write-ahead journal is already a
+//! deterministic record of every belief-changing event, so replication is
+//! log shipping: the primary's journal writes are mirrored into a
+//! [`LogOutbox`] by a [`TeeStore`], a [`Primary`] turns them into typed
+//! [`ReplMessage`]s over `jaap-net` (inheriting `FaultPlan`'s seeded
+//! drop/duplicate/delay/partition adversaries as the chaos harness), and
+//! each [`Replica`] validates and appends them to its own store. Failover
+//! is the recovery path from §5e pointed at a replica's store:
+//! [`Replica::promote`] replays the shipped log into a fresh
+//! [`CoalitionServer`] under a higher term.
+//!
+//! Invariants:
+//!
+//! * **Positions.** A log position is `(gen, offset)`: `gen` bumps on
+//!   every wholesale rewrite of the primary's log (bootstrap snapshot,
+//!   compaction), `offset` counts records appended since. A replica on a
+//!   stale generation is re-seeded with a full snapshot image, then
+//!   follows the tail — late joiners and laggards use the same path.
+//! * **Fencing.** Every message carries the sender's term. A replica
+//!   tracks the highest term it has seen and rejects anything below it
+//!   ([`RejectReason::StaleTerm`], counted and exported as
+//!   `server.repl.{i}.rejected_stale_term`), so a deposed primary cannot
+//!   mutate replicas that have heard from its successor. A primary that
+//!   sees a higher term in any reply marks itself deposed.
+//! * **Idempotence.** Duplicated appends (offset below the replica's
+//!   watermark) are re-acked, not re-applied; gaps are rejected with the
+//!   replica's actual position so the primary rewinds. Every shipped
+//!   frame is strictly decoded ([`jaap_wal::decode_frames`]) before it
+//!   touches the replica's log — corruption and format-version skew are
+//!   typed rejections, never silent truncation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jaap_net::{Endpoint, FaultPlan, Network, NetworkHandle, PartyId, RejectReason, ReplMessage};
+use jaap_obs::{Counter, Gauge, MetricsRegistry};
+use jaap_pki::TrustStore;
+use jaap_wal::{JournalStore, LogOutbox, MemStore, TeeEvent, WalError, FORMAT_VERSION};
+
+use crate::server::{CoalitionServer, RecoveryReport};
+use crate::CoalitionError;
+
+/// The endpoints and handle of a freshly built replication mesh:
+/// the primary's endpoint, one endpoint per replica, and the network
+/// handle for stats and transcript access.
+type MeshParts = (
+    Endpoint<ReplMessage>,
+    Vec<Endpoint<ReplMessage>>,
+    NetworkHandle,
+);
+
+/// Records shipped to one replica per sync round before waiting for acks.
+pub const DEFAULT_SHIP_WINDOW: usize = 32;
+
+/// How long each endpoint drain waits for in-flight (possibly delayed)
+/// messages during a sync round.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Monotone primary-side replication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrimaryStats {
+    /// Messages shipped (appends + snapshots, before network faults).
+    pub shipped: u64,
+    /// Records newly acknowledged by replicas (one per record per replica).
+    pub acked_records: u64,
+    /// Snapshot catch-up shipments (late join, lag, or post-compaction).
+    pub catchups: u64,
+    /// Replies that fenced this primary off as deposed.
+    pub stale_term_rejections: u64,
+}
+
+/// Monotone replica-side replication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Records appended to the local log.
+    pub applied: u64,
+    /// Snapshot images installed.
+    pub snapshots_installed: u64,
+    /// Duplicate appends re-acked without re-applying.
+    pub duplicates: u64,
+    /// Messages rejected under the fencing rule.
+    pub rejected_stale_term: u64,
+    /// Frames rejected for format-version incompatibility.
+    pub rejected_incompatible: u64,
+    /// Messages rejected for addressing a position this replica is not at.
+    pub rejected_out_of_sync: u64,
+}
+
+/// Pre-resolved primary-side instruments for one replica, following the
+/// resolve-once convention from §5c.
+#[derive(Debug, Clone)]
+struct ReplicaInstruments {
+    shipped: Arc<Counter>,
+    acked: Arc<Counter>,
+    lag: Arc<Gauge>,
+    catchups: Arc<Counter>,
+}
+
+/// What the primary believes one replica holds.
+#[derive(Debug, Clone, Copy)]
+struct Progress {
+    gen: u64,
+    next_offset: u64,
+}
+
+/// The shipping side: drains the [`LogOutbox`] fed by the primary
+/// server's [`TeeStore`] and converts per-replica lag into protocol
+/// messages. Transport-agnostic — [`ReplicationNet`] pumps it over a
+/// `jaap-net` mesh, and tests can drive it directly.
+#[derive(Debug)]
+pub struct Primary {
+    term: u64,
+    gen: u64,
+    base: Vec<u8>,
+    base_records: u64,
+    tail: Vec<Vec<u8>>,
+    outbox: LogOutbox,
+    progress: Vec<Progress>,
+    deposed_by: Option<u64>,
+    stats: PrimaryStats,
+    instruments: Vec<ReplicaInstruments>,
+}
+
+impl Primary {
+    /// A primary at `term` shipping to `replicas` followers, fed by
+    /// `outbox` (the tee on the primary server's journal store).
+    #[must_use]
+    pub fn new(term: u64, replicas: usize, outbox: LogOutbox) -> Self {
+        Primary {
+            term,
+            gen: 0,
+            base: Vec::new(),
+            base_records: 0,
+            tail: Vec::new(),
+            outbox,
+            progress: vec![
+                Progress {
+                    gen: 0,
+                    next_offset: 0,
+                };
+                replicas
+            ],
+            deposed_by: None,
+            stats: PrimaryStats::default(),
+            instruments: Vec::new(),
+        }
+    }
+
+    /// Resolves per-replica `server.repl.{i}.*` instruments into
+    /// `registry` (resolve-once; the ship path then only increments).
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.instruments = (0..self.progress.len())
+            .map(|i| ReplicaInstruments {
+                shipped: registry.counter(&format!("server.repl.{i}.shipped")),
+                acked: registry.counter(&format!("server.repl.{i}.acked")),
+                lag: registry.gauge(&format!("server.repl.{i}.lag_records")),
+                catchups: registry.counter(&format!("server.repl.{i}.catchups")),
+            })
+            .collect();
+    }
+
+    /// Pulls everything the local journal wrote since the last call into
+    /// the shipping state: appends extend the tail, a reset starts a new
+    /// generation with the reset image as its base.
+    pub fn absorb(&mut self) {
+        for event in self.outbox.drain() {
+            match event {
+                TeeEvent::Append(frame) => self.tail.push(frame),
+                TeeEvent::Reset(image) => {
+                    self.gen += 1;
+                    self.base_records = jaap_wal::parse_log(&image).records.len() as u64;
+                    self.base = image;
+                    self.tail.clear();
+                }
+            }
+        }
+    }
+
+    /// The messages to ship to `replica` right now: a snapshot when it is
+    /// on a stale generation (counted as a catch-up), then up to `window`
+    /// unacknowledged tail records.
+    pub fn pending(&mut self, replica: usize, window: usize) -> Vec<ReplMessage> {
+        let p = self.progress[replica];
+        let mut out = Vec::new();
+        let from = if p.gen == self.gen {
+            p.next_offset as usize
+        } else {
+            self.stats.catchups += 1;
+            if let Some(ins) = self.instruments.get(replica) {
+                ins.catchups.inc();
+            }
+            out.push(ReplMessage::Snapshot {
+                term: self.term,
+                gen: self.gen,
+                image: self.base.clone(),
+            });
+            0
+        };
+        for (offset, frame) in self.tail.iter().enumerate().skip(from).take(window) {
+            out.push(ReplMessage::Append {
+                term: self.term,
+                gen: self.gen,
+                offset: offset as u64,
+                frame: frame.clone(),
+            });
+        }
+        self.stats.shipped += out.len() as u64;
+        if let Some(ins) = self.instruments.get(replica) {
+            ins.shipped.add(out.len() as u64);
+        }
+        out
+    }
+
+    /// Digests one reply from `replica`: advances its ack watermark,
+    /// rewinds on out-of-sync rejections, and marks this primary deposed
+    /// when a higher term appears.
+    pub fn on_reply(&mut self, replica: usize, msg: &ReplMessage) {
+        if msg.term() > self.term {
+            self.deposed_by = Some(msg.term());
+        }
+        match msg {
+            ReplMessage::Ack {
+                gen, next_offset, ..
+            } => {
+                if *gen == self.gen {
+                    let p = &mut self.progress[replica];
+                    if p.gen != self.gen {
+                        p.gen = self.gen;
+                        p.next_offset = 0;
+                    }
+                    if *next_offset > p.next_offset {
+                        let delta = *next_offset - p.next_offset;
+                        self.stats.acked_records += delta;
+                        if let Some(ins) = self.instruments.get(replica) {
+                            ins.acked.add(delta);
+                        }
+                        p.next_offset = *next_offset;
+                    }
+                }
+            }
+            ReplMessage::Reject { reason, .. } => match reason {
+                RejectReason::StaleTerm { have } => {
+                    self.stats.stale_term_rejections += 1;
+                    self.deposed_by = Some(*have);
+                }
+                RejectReason::OutOfSync { gen, next_offset } => {
+                    let p = &mut self.progress[replica];
+                    if *gen == self.gen {
+                        p.gen = *gen;
+                        p.next_offset = *next_offset;
+                    } else {
+                        // Wrong generation: force the snapshot path.
+                        p.gen = *gen;
+                        p.next_offset = 0;
+                    }
+                }
+                RejectReason::IncompatibleFormat { .. } | RejectReason::Corrupt { .. } => {}
+            },
+            ReplMessage::Append { .. } | ReplMessage::Snapshot { .. } => {}
+        }
+        if let Some(ins) = self.instruments.get(replica) {
+            ins.lag
+                .set(i64::try_from(self.lag(replica)).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// Records `replica` has not yet acknowledged (counting the whole
+    /// base image when it is a generation behind).
+    #[must_use]
+    pub fn lag(&self, replica: usize) -> u64 {
+        let p = self.progress[replica];
+        if p.gen == self.gen {
+            (self.tail.len() as u64).saturating_sub(p.next_offset)
+        } else {
+            self.base_records + self.tail.len() as u64
+        }
+    }
+
+    /// True when every replica has acknowledged the entire log.
+    #[must_use]
+    pub fn all_caught_up(&self) -> bool {
+        self.progress
+            .iter()
+            .all(|p| p.gen == self.gen && p.next_offset == self.tail.len() as u64)
+    }
+
+    /// The higher term that fenced this primary off, if any reply carried
+    /// one.
+    #[must_use]
+    pub fn deposed_by(&self) -> Option<u64> {
+        self.deposed_by
+    }
+
+    /// This primary's term.
+    #[must_use]
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Number of replicas this primary ships to.
+    #[must_use]
+    pub fn replica_count(&self) -> usize {
+        self.progress.len()
+    }
+
+    /// Shipping counters.
+    #[must_use]
+    pub fn stats(&self) -> PrimaryStats {
+        self.stats
+    }
+}
+
+/// The receiving side: a fenced, strictly-validating log follower whose
+/// store can be promoted into a full [`CoalitionServer`] on failover.
+#[derive(Debug)]
+pub struct Replica {
+    index: usize,
+    term: u64,
+    gen: u64,
+    next_offset: u64,
+    store: MemStore,
+    stats: ReplicaStats,
+    rejected_stale_term: Option<Arc<Counter>>,
+}
+
+impl Replica {
+    /// An empty replica; `index` names it in metric identifiers.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Replica {
+            index,
+            term: 0,
+            gen: 0,
+            next_offset: 0,
+            store: MemStore::new(),
+            stats: ReplicaStats::default(),
+            rejected_stale_term: None,
+        }
+    }
+
+    /// Resolves this replica's `server.repl.{index}.rejected_stale_term`
+    /// counter into `registry`.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.rejected_stale_term =
+            Some(registry.counter(&format!("server.repl.{}.rejected_stale_term", self.index)));
+    }
+
+    /// Handles one message from a primary, returning the reply to send
+    /// back. Never mutates the local log on a rejected message.
+    pub fn on_message(&mut self, msg: &ReplMessage) -> ReplMessage {
+        let term = msg.term();
+        if term < self.term {
+            self.stats.rejected_stale_term += 1;
+            if let Some(c) = &self.rejected_stale_term {
+                c.inc();
+            }
+            return ReplMessage::Reject {
+                term: self.term,
+                reason: RejectReason::StaleTerm { have: self.term },
+            };
+        }
+        self.term = term;
+        match msg {
+            ReplMessage::Snapshot { gen, image, .. } => self.install_snapshot(*gen, image),
+            ReplMessage::Append {
+                gen, offset, frame, ..
+            } => self.apply_append(*gen, *offset, frame),
+            // Replicas only ever receive primary→replica traffic; anything
+            // else is a protocol error worth flagging as out of sync.
+            ReplMessage::Ack { .. } | ReplMessage::Reject { .. } => self.reject_out_of_sync(),
+        }
+    }
+
+    fn install_snapshot(&mut self, gen: u64, image: &[u8]) -> ReplMessage {
+        if gen <= self.gen {
+            // A duplicated or reordered snapshot for a generation we
+            // already hold (or have moved past): re-ack idempotently.
+            self.stats.duplicates += 1;
+            return self.ack();
+        }
+        match self.validate(image) {
+            Ok(records) => {
+                self.store.reset(image).expect("mem store reset");
+                self.gen = gen;
+                self.next_offset = 0;
+                self.stats.snapshots_installed += 1;
+                self.stats.applied += records;
+                self.ack()
+            }
+            Err(reason) => self.reject(reason),
+        }
+    }
+
+    fn apply_append(&mut self, gen: u64, offset: u64, frame: &[u8]) -> ReplMessage {
+        if gen != self.gen {
+            return self.reject_out_of_sync();
+        }
+        if offset < self.next_offset {
+            self.stats.duplicates += 1;
+            return self.ack();
+        }
+        if offset > self.next_offset {
+            return self.reject_out_of_sync();
+        }
+        match self.validate(frame) {
+            Ok(1) => {
+                self.store.append(frame).expect("mem store append");
+                self.next_offset += 1;
+                self.stats.applied += 1;
+                self.ack()
+            }
+            Ok(n) => self.reject(RejectReason::Corrupt {
+                detail: format!("append carried {n} frames, expected exactly 1"),
+            }),
+            Err(reason) => self.reject(reason),
+        }
+    }
+
+    /// Strictly decodes shipped bytes, returning the record count.
+    fn validate(&self, bytes: &[u8]) -> Result<u64, RejectReason> {
+        match jaap_wal::decode_frames(bytes) {
+            Ok(frames) => {
+                for f in &frames {
+                    if f.term > self.term {
+                        return Err(RejectReason::Corrupt {
+                            detail: format!(
+                                "frame stamped with term {} above shipping term {}",
+                                f.term, self.term
+                            ),
+                        });
+                    }
+                }
+                Ok(frames.len() as u64)
+            }
+            Err(WalError::IncompatibleVersion { found, supported }) => {
+                Err(RejectReason::IncompatibleFormat { found, supported })
+            }
+            Err(e) => Err(RejectReason::Corrupt {
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    fn ack(&self) -> ReplMessage {
+        ReplMessage::Ack {
+            term: self.term,
+            gen: self.gen,
+            next_offset: self.next_offset,
+        }
+    }
+
+    fn reject_out_of_sync(&mut self) -> ReplMessage {
+        self.stats.rejected_out_of_sync += 1;
+        self.reject_current(RejectReason::OutOfSync {
+            gen: self.gen,
+            next_offset: self.next_offset,
+        })
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> ReplMessage {
+        if matches!(reason, RejectReason::IncompatibleFormat { .. }) {
+            self.stats.rejected_incompatible += 1;
+        }
+        self.reject_current(reason)
+    }
+
+    fn reject_current(&self, reason: RejectReason) -> ReplMessage {
+        ReplMessage::Reject {
+            term: self.term,
+            reason,
+        }
+    }
+
+    /// Promotes this replica: recovers a [`CoalitionServer`] named `name`
+    /// from the shipped log (the §5e replay path) and raises the fencing
+    /// term to `new_term`, which must exceed every term this replica has
+    /// seen. From here on, traffic from the deposed primary is rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] when `new_term` does not exceed the
+    /// current term; any recovery error from the replay path.
+    pub fn promote(
+        &mut self,
+        name: impl Into<String>,
+        trust: TrustStore,
+        new_term: u64,
+    ) -> Result<(CoalitionServer, RecoveryReport), CoalitionError> {
+        if new_term <= self.term {
+            return Err(CoalitionError::Config(format!(
+                "promotion term {new_term} must exceed current term {}",
+                self.term
+            )));
+        }
+        self.term = new_term;
+        let (mut server, report) =
+            CoalitionServer::recover(name, trust, Box::new(self.store.clone()))?;
+        server.set_journal_term(new_term);
+        Ok((server, report))
+    }
+
+    /// A handle on this replica's log store (shared bytes; survives the
+    /// replica being dropped, like a disk surviving a crash).
+    #[must_use]
+    pub fn store(&self) -> MemStore {
+        self.store.clone()
+    }
+
+    /// The highest term this replica has seen.
+    #[must_use]
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// The replica's current position as `(gen, next_offset)`.
+    #[must_use]
+    pub fn position(&self) -> (u64, u64) {
+        (self.gen, self.next_offset)
+    }
+
+    /// The replica's metric index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Apply/reject counters.
+    #[must_use]
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// Supported frame format version (what incompatible primaries are
+    /// rejected against).
+    #[must_use]
+    pub fn supported_format(&self) -> u8 {
+        FORMAT_VERSION
+    }
+}
+
+/// A [`Primary`] and its [`Replica`]s wired over a `jaap-net` mesh:
+/// party 0 is the primary, parties `1..=n` are replicas. The pump runs
+/// single-threaded for determinism; the mesh's [`FaultPlan`] injects the
+/// chaos.
+#[derive(Debug)]
+pub struct ReplicationNet {
+    /// The shipping state machine.
+    pub primary: Primary,
+    /// The follower state machines, by replica index.
+    pub replicas: Vec<Replica>,
+    primary_ep: Endpoint<ReplMessage>,
+    replica_eps: Vec<Endpoint<ReplMessage>>,
+    handle: NetworkHandle,
+    window: usize,
+}
+
+impl ReplicationNet {
+    /// A primary at `term` with `n_replicas` fresh replicas, exchanging
+    /// messages through a mesh governed by `plan`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] when the mesh rejects the fault plan.
+    pub fn new(
+        term: u64,
+        n_replicas: usize,
+        outbox: LogOutbox,
+        plan: FaultPlan,
+    ) -> Result<Self, CoalitionError> {
+        let primary = Primary::new(term, n_replicas, outbox);
+        let replicas = (0..n_replicas).map(Replica::new).collect();
+        let (primary_ep, replica_eps, handle) = Self::mesh(n_replicas, plan)?;
+        Ok(ReplicationNet {
+            primary,
+            replicas,
+            primary_ep,
+            replica_eps,
+            handle,
+            window: DEFAULT_SHIP_WINDOW,
+        })
+    }
+
+    fn mesh(n_replicas: usize, plan: FaultPlan) -> Result<MeshParts, CoalitionError> {
+        let (mut endpoints, handle) =
+            Network::<ReplMessage>::try_mesh_with(n_replicas + 1, plan, false)
+                .map_err(|e| CoalitionError::Config(format!("replication mesh: {e}")))?;
+        let primary_ep = endpoints.remove(0);
+        Ok((primary_ep, endpoints, handle))
+    }
+
+    /// Replaces the mesh (and its fault plan) — how a test heals a
+    /// partition or degrades a healthy link. Messages in flight on the
+    /// old mesh are lost, which is exactly what a partition does.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] when the mesh rejects the fault plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), CoalitionError> {
+        let (primary_ep, replica_eps, handle) = Self::mesh(self.replicas.len(), plan)?;
+        self.primary_ep = primary_ep;
+        self.replica_eps = replica_eps;
+        self.handle = handle;
+        Ok(())
+    }
+
+    /// Resolves replication instruments for the primary and every
+    /// replica into `registry`.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.primary.set_metrics(registry);
+        for r in &mut self.replicas {
+            r.set_metrics(registry);
+        }
+    }
+
+    /// Overrides the per-round ship window.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// Runs up to `max_rounds` ship → apply → ack rounds, stopping early
+    /// once every replica has acknowledged the whole log. Returns the
+    /// number of rounds executed. Under message loss a single round may
+    /// make no progress; callers pick `max_rounds` to bound retries.
+    pub fn sync(&mut self, max_rounds: usize) -> usize {
+        for round in 0..max_rounds {
+            self.primary.absorb();
+            if self.primary.all_caught_up() {
+                return round;
+            }
+            for i in 0..self.replicas.len() {
+                for msg in self.primary.pending(i, self.window) {
+                    let _ = self.primary_ep.send(PartyId(i + 1), msg);
+                }
+            }
+            for (i, ep) in self.replica_eps.iter_mut().enumerate() {
+                while let Ok(env) = ep.recv_timeout(POLL) {
+                    if env.from != PartyId(0) {
+                        continue;
+                    }
+                    let reply = self.replicas[i].on_message(&env.payload);
+                    let _ = ep.send(PartyId(0), reply);
+                }
+            }
+            while let Ok(env) = self.primary_ep.recv_timeout(POLL) {
+                let from = env.from.0;
+                if from >= 1 && from <= self.replicas.len() {
+                    self.primary.on_reply(from - 1, &env.payload);
+                }
+            }
+        }
+        max_rounds
+    }
+
+    /// The mesh's inspection handle (fault statistics, transcript).
+    #[must_use]
+    pub fn net_handle(&self) -> &NetworkHandle {
+        &self.handle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jaap_wal::{frame_record_with_term, Journal, TeeStore};
+
+    fn shipping_pair(term: u64) -> (Journal, Primary, Replica) {
+        let outbox = LogOutbox::new();
+        let journal = Journal::new(Box::new(TeeStore::new(MemStore::new(), outbox.clone())));
+        let primary = Primary::new(term, 1, outbox);
+        (journal, primary, Replica::new(0))
+    }
+
+    fn pump_direct(primary: &mut Primary, replica: &mut Replica, rounds: usize) {
+        for _ in 0..rounds {
+            primary.absorb();
+            for msg in primary.pending(0, DEFAULT_SHIP_WINDOW) {
+                let reply = replica.on_message(&msg);
+                primary.on_reply(0, &reply);
+            }
+        }
+    }
+
+    #[test]
+    fn appends_ship_in_order_and_ack() {
+        let (mut journal, mut primary, mut replica) = shipping_pair(1);
+        journal.set_term(1);
+        journal.append(b"r1").expect("append");
+        journal.append(b"r2").expect("append");
+        pump_direct(&mut primary, &mut replica, 1);
+        assert!(primary.all_caught_up());
+        assert_eq!(primary.lag(0), 0);
+        assert_eq!(replica.stats().applied, 2);
+        let shipped = jaap_wal::parse_log(&replica.store().snapshot());
+        assert_eq!(shipped.records, vec![b"r1".to_vec(), b"r2".to_vec()]);
+        assert_eq!(shipped.terms, vec![1, 1]);
+    }
+
+    #[test]
+    fn rewrite_ships_as_snapshot_catchup() {
+        let (mut journal, mut primary, mut replica) = shipping_pair(1);
+        journal.append(b"old").expect("append");
+        journal
+            .rewrite(&[b"snap".to_vec(), b"shot".to_vec()])
+            .expect("rewrite");
+        journal.append(b"tail").expect("append");
+        pump_direct(&mut primary, &mut replica, 1);
+        assert!(primary.all_caught_up());
+        assert_eq!(replica.stats().snapshots_installed, 1);
+        assert!(primary.stats().catchups >= 1);
+        let shipped = jaap_wal::parse_log(&replica.store().snapshot());
+        assert_eq!(
+            shipped.records,
+            vec![b"snap".to_vec(), b"shot".to_vec(), b"tail".to_vec()]
+        );
+    }
+
+    #[test]
+    fn duplicate_append_is_reacked_not_reapplied() {
+        let (mut journal, mut primary, mut replica) = shipping_pair(1);
+        journal.set_term(1);
+        journal.append(b"once").expect("append");
+        primary.absorb();
+        let msgs = primary.pending(0, 8);
+        assert_eq!(msgs.len(), 1);
+        let first = replica.on_message(&msgs[0]);
+        let second = replica.on_message(&msgs[0]);
+        assert_eq!(first, second);
+        assert_eq!(replica.stats().applied, 1);
+        assert_eq!(replica.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn gap_is_rejected_with_replica_position() {
+        let mut replica = Replica::new(0);
+        let frame = frame_record_with_term(1, b"future");
+        let reply = replica.on_message(&ReplMessage::Append {
+            term: 1,
+            gen: 0,
+            offset: 5,
+            frame,
+        });
+        assert!(matches!(
+            reply,
+            ReplMessage::Reject {
+                reason: RejectReason::OutOfSync {
+                    gen: 0,
+                    next_offset: 0
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_term_is_fenced_and_counted() {
+        let registry = MetricsRegistry::new();
+        let mut replica = Replica::new(0);
+        replica.set_metrics(&registry);
+        // Hear from term 3 first.
+        let _ = replica.on_message(&ReplMessage::Append {
+            term: 3,
+            gen: 0,
+            offset: 0,
+            frame: frame_record_with_term(3, b"new-regime"),
+        });
+        // A deposed term-1 primary is rejected without touching the log.
+        let before = replica.store().snapshot();
+        let reply = replica.on_message(&ReplMessage::Append {
+            term: 1,
+            gen: 0,
+            offset: 1,
+            frame: frame_record_with_term(1, b"zombie"),
+        });
+        assert!(matches!(
+            reply,
+            ReplMessage::Reject {
+                reason: RejectReason::StaleTerm { have: 3 },
+                ..
+            }
+        ));
+        assert_eq!(replica.store().snapshot(), before);
+        assert_eq!(replica.stats().rejected_stale_term, 1);
+        assert_eq!(
+            registry.counter_value("server.repl.0.rejected_stale_term"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn primary_learns_it_is_deposed_from_replies() {
+        let mut primary = Primary::new(1, 1, LogOutbox::new());
+        primary.on_reply(
+            0,
+            &ReplMessage::Reject {
+                term: 4,
+                reason: RejectReason::StaleTerm { have: 4 },
+            },
+        );
+        assert_eq!(primary.deposed_by(), Some(4));
+        assert_eq!(primary.stats().stale_term_rejections, 1);
+    }
+
+    #[test]
+    fn incompatible_format_version_is_a_typed_rejection() {
+        let mut replica = Replica::new(0);
+        let mut frame = frame_record_with_term(1, b"from-the-future");
+        frame[2] = FORMAT_VERSION + 1;
+        let reply = replica.on_message(&ReplMessage::Append {
+            term: 1,
+            gen: 0,
+            offset: 0,
+            frame,
+        });
+        assert!(matches!(
+            reply,
+            ReplMessage::Reject {
+                reason: RejectReason::IncompatibleFormat {
+                    found,
+                    supported,
+                },
+                ..
+            } if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+        assert_eq!(replica.stats().rejected_incompatible, 1);
+        assert_eq!(replica.stats().applied, 0);
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_without_applying() {
+        let mut replica = Replica::new(0);
+        let mut frame = frame_record_with_term(1, b"soon-corrupt");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        let reply = replica.on_message(&ReplMessage::Append {
+            term: 1,
+            gen: 0,
+            offset: 0,
+            frame,
+        });
+        assert!(matches!(
+            reply,
+            ReplMessage::Reject {
+                reason: RejectReason::Corrupt { .. },
+                ..
+            }
+        ));
+        assert_eq!(replica.stats().applied, 0);
+    }
+
+    #[test]
+    fn sync_over_lossy_mesh_converges() {
+        let outbox = LogOutbox::new();
+        let mut journal = Journal::new(Box::new(TeeStore::new(MemStore::new(), outbox.clone())));
+        journal.set_term(1);
+        let plan = FaultPlan::seeded(7).with_drop(0.3).with_duplicate(0.2);
+        let mut net = ReplicationNet::new(1, 2, outbox, plan).expect("net");
+        for i in 0..20u8 {
+            journal.append(&[i]).expect("append");
+        }
+        net.sync(200);
+        assert!(net.primary.all_caught_up(), "replication did not converge");
+        for r in &net.replicas {
+            let log = jaap_wal::parse_log(&r.store().snapshot());
+            assert_eq!(log.records.len(), 20);
+        }
+        assert!(net.net_handle().stats().messages_dropped > 0);
+    }
+}

@@ -1129,6 +1129,23 @@ impl CoalitionServer {
         self.journal.is_some()
     }
 
+    /// Sets the primary term stamped into every journal frame written
+    /// from now on. A no-op without a journal. Replication promotes a
+    /// replica by recovering from its shipped log and raising this term;
+    /// the fencing rule acts on the terms carried by protocol messages.
+    pub fn set_journal_term(&mut self, term: u64) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.set_term(term);
+        }
+    }
+
+    /// The term stamped into new journal frames (`None` without a
+    /// journal).
+    #[must_use]
+    pub fn journal_term(&self) -> Option<u64> {
+        self.journal.as_ref().map(ServerJournal::term)
+    }
+
     /// Framing-layer journal counters, when a journal is attached.
     #[must_use]
     pub fn journal_stats(&self) -> Option<jaap_wal::JournalStats> {

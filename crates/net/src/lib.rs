@@ -41,11 +41,13 @@
 mod endpoint;
 mod fault;
 mod network;
+mod repl;
 mod transcript;
 
 pub use endpoint::{Endpoint, Envelope, NetError};
 pub use fault::{Crash, FaultPlan};
-pub use network::{run_parties, Network, NetworkHandle, NetworkStats};
+pub use network::{run_parties, Network, NetworkHandle, NetworkStats, DEFAULT_TRANSCRIPT_CAPACITY};
+pub use repl::{RejectReason, ReplMessage};
 pub use transcript::{TranscriptEntry, TranscriptEvent};
 
 /// Identifies a party on a simulated network (dense indices `0..n`).

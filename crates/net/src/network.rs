@@ -1,5 +1,6 @@
 //! Network construction and the party-thread harness.
 
+use std::collections::VecDeque;
 use std::fmt::Debug;
 use std::sync::Arc;
 
@@ -10,6 +11,51 @@ use parking_lot::Mutex;
 use crate::endpoint::{Endpoint, NetError, Wire};
 use crate::fault::{FaultPlan, FaultRng};
 use crate::transcript::TranscriptEntry;
+
+/// Default bound on the recorded transcript, in entries. Long chaos runs
+/// used to grow the transcript without limit; now the oldest entries are
+/// evicted past this capacity and counted, matching the bounded-cache
+/// convention used by the verify and replay caches.
+pub const DEFAULT_TRANSCRIPT_CAPACITY: usize = 4096;
+
+/// Bounded transcript buffer: keeps the newest `capacity` entries,
+/// evicting oldest-first and counting what it dropped.
+#[derive(Debug)]
+pub(crate) struct TranscriptBuffer {
+    entries: VecDeque<TranscriptEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TranscriptBuffer {
+    fn new(capacity: usize) -> Self {
+        TranscriptBuffer {
+            entries: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, entry: TranscriptEntry) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+    }
+}
 
 /// Aggregate statistics for a network.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,7 +91,7 @@ pub(crate) struct LinkMetrics {
 pub(crate) struct Shared {
     pub(crate) seq: Mutex<u64>,
     pub(crate) stats: Mutex<NetworkStats>,
-    pub(crate) transcript: Mutex<Vec<TranscriptEntry>>,
+    pub(crate) transcript: Mutex<TranscriptBuffer>,
     pub(crate) faults: Mutex<FaultRng>,
     pub(crate) plan: FaultPlan,
     /// Per-party outbound send attempts (drives the crash-stop schedule).
@@ -84,10 +130,31 @@ impl NetworkHandle {
     }
 
     /// Snapshot of the transcript so far (empty unless recording was enabled
-    /// via [`Network::mesh_with`]).
+    /// via [`Network::mesh_with`]). Only the newest entries up to the
+    /// buffer's capacity are retained; see
+    /// [`NetworkHandle::transcript_dropped`].
     #[must_use]
     pub fn transcript(&self) -> Vec<TranscriptEntry> {
-        self.shared.transcript.lock().clone()
+        self.shared
+            .transcript
+            .lock()
+            .entries
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Entries evicted (or refused, at capacity 0) from the bounded
+    /// transcript buffer so far.
+    #[must_use]
+    pub fn transcript_dropped(&self) -> u64 {
+        self.shared.transcript.lock().dropped
+    }
+
+    /// Re-bounds the transcript buffer, evicting oldest entries
+    /// immediately if the new capacity is smaller than the current length.
+    pub fn set_transcript_capacity(&self, capacity: usize) {
+        self.shared.transcript.lock().set_capacity(capacity);
     }
 }
 
@@ -217,7 +284,7 @@ impl<M: Clone + Debug + Send + 'static> Network<M> {
         let shared = Arc::new(Shared {
             seq: Mutex::new(0),
             stats: Mutex::new(NetworkStats::default()),
-            transcript: Mutex::new(Vec::new()),
+            transcript: Mutex::new(TranscriptBuffer::new(DEFAULT_TRANSCRIPT_CAPACITY)),
             faults: Mutex::new(FaultRng::new(faults.clone())),
             plan: faults,
             sent_by: Mutex::new(vec![0; n]),
@@ -319,6 +386,64 @@ mod tests {
         let t = handle.transcript();
         assert_eq!(t.len(), 1);
         assert!(t[0].payload.contains("hello"));
+    }
+
+    #[test]
+    fn transcript_bounded_with_oldest_first_eviction() {
+        let (eps, handle) = Network::<u64>::mesh_with(2, FaultPlan::reliable(), true);
+        handle.set_transcript_capacity(3);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                for v in 0..10u64 {
+                    ep.send(PartyId(1), v).expect("send");
+                }
+            } else {
+                for _ in 0..10 {
+                    let _ = ep.recv().expect("recv");
+                }
+            }
+        });
+        let t = handle.transcript();
+        assert_eq!(t.len(), 3);
+        assert_eq!(handle.transcript_dropped(), 7);
+        // The newest entries survive.
+        assert!(t[0].payload.contains('7'));
+        assert!(t[2].payload.contains('9'));
+    }
+
+    #[test]
+    fn transcript_capacity_zero_records_nothing_but_counts() {
+        let (eps, handle) = Network::<u8>::mesh_with(2, FaultPlan::reliable(), true);
+        handle.set_transcript_capacity(0);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                ep.send(PartyId(1), 1).expect("send");
+            } else {
+                let _ = ep.recv().expect("recv");
+            }
+        });
+        assert!(handle.transcript().is_empty());
+        assert_eq!(handle.transcript_dropped(), 1);
+    }
+
+    #[test]
+    fn shrinking_transcript_capacity_evicts_immediately() {
+        let (eps, handle) = Network::<u64>::mesh_with(2, FaultPlan::reliable(), true);
+        let _ = run_parties(eps, |mut ep| {
+            if ep.id().0 == 0 {
+                for v in 0..5u64 {
+                    ep.send(PartyId(1), v).expect("send");
+                }
+            } else {
+                for _ in 0..5 {
+                    let _ = ep.recv().expect("recv");
+                }
+            }
+        });
+        assert_eq!(handle.transcript().len(), 5);
+        handle.set_transcript_capacity(2);
+        assert_eq!(handle.transcript().len(), 2);
+        assert_eq!(handle.transcript_dropped(), 3);
     }
 
     #[test]

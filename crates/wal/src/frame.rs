@@ -1,48 +1,91 @@
-//! Record framing: `magic(2) || len(4, big-endian) || checksum(8,
-//! big-endian FNV-1a over the payload) || payload`.
+//! Record framing: `magic(2) || version(1) || term(8, big-endian) ||
+//! len(4, big-endian) || checksum(8, big-endian FNV-1a over term ||
+//! payload) || payload`.
 //!
-//! The parser walks the log front to back and stops at the first record
-//! that is short (torn write), has a bad magic, an implausible length, or
-//! a checksum mismatch (bit rot). Everything before the bad record is
-//! replayable; everything from it on is reported as a truncated tail —
-//! recovery must drop it, never replay it.
+//! Two readers consume this format with different failure postures:
+//!
+//! * [`parse_log`] is the *recovery* reader. It walks a local log front to
+//!   back and stops at the first record that is short (torn write), has a
+//!   bad magic or format version, an implausible length, or a checksum
+//!   mismatch (bit rot). Everything before the bad record is replayable;
+//!   everything from it on is reported as a truncated tail — recovery must
+//!   drop it, never replay it.
+//! * [`decode_frames`] is the *replication* reader. A replica receiving
+//!   shipped frames must not silently trim: a malformed or
+//!   version-incompatible frame is a typed error ([`WalError::Corrupt`],
+//!   [`WalError::IncompatibleVersion`]) so the replica can refuse the
+//!   append and tell the primary why.
+//!
+//! The `term` field records the primary term a record was written under
+//! (provenance). Fencing decisions are made on *message* terms by the
+//! replication layer; the frame term lets a recovered log show which
+//! regime produced each record.
+
+use crate::WalError;
 
 /// Marks the start of every record ("JW").
 pub const MAGIC: [u8; 2] = [0x4A, 0x57];
 
-/// Bytes of framing before the payload.
-pub const HEADER_LEN: usize = 2 + 4 + 8;
+/// Current frame format version. A replica rejects frames whose version
+/// byte differs — an incompatible primary must not be able to corrupt a
+/// replica's log, and the failure must be a typed error, not a
+/// checksum-style truncation.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Bytes of framing before the payload: magic(2) + version(1) + term(8) +
+/// len(4) + checksum(8).
+pub const HEADER_LEN: usize = 2 + 1 + 8 + 4 + 8;
 
 /// Upper bound on a single record's payload; a length field above this is
 /// treated as corruption rather than an instruction to wait for 4 GiB.
 pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv64(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
 
 /// 64-bit FNV-1a over `bytes`. Not cryptographic — it detects torn writes
 /// and bit rot, not adversaries (the payloads themselves carry signatures
 /// where authenticity matters).
 #[must_use]
 pub fn checksum64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    fnv64(FNV_OFFSET, bytes)
 }
 
-/// Frames one payload into `magic || len || checksum || payload`.
+/// The frame checksum covers the term as well as the payload, so a bit
+/// flip in the term field is caught like any other corruption.
+fn record_checksum(term: u64, payload: &[u8]) -> u64 {
+    fnv64(fnv64(FNV_OFFSET, &term.to_be_bytes()), payload)
+}
+
+/// Frames one payload under primary term `term`.
 #[must_use]
-pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+pub fn frame_record_with_term(term: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&term.to_be_bytes());
     out.extend_from_slice(
         &u32::try_from(payload.len())
             .expect("record too long")
             .to_be_bytes(),
     );
-    out.extend_from_slice(&checksum64(payload).to_be_bytes());
+    out.extend_from_slice(&record_checksum(term, payload).to_be_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// Frames one payload under term 0 (unreplicated logs).
+#[must_use]
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    frame_record_with_term(0, payload)
 }
 
 /// How the log ended.
@@ -59,13 +102,15 @@ pub enum Tail {
     },
 }
 
-/// A parsed log: the valid payloads, the end offset of each valid record
-/// (so crash harnesses can cut the log at every record boundary), and how
-/// the tail ended.
+/// A parsed log: the valid payloads, their terms, the end offset of each
+/// valid record (so crash harnesses can cut the log at every record
+/// boundary), and how the tail ended.
 #[derive(Debug, Clone)]
 pub struct ParsedLog {
     /// Valid record payloads, in append order.
     pub records: Vec<Vec<u8>>,
+    /// `terms[i]` is the primary term record `i` was written under.
+    pub terms: Vec<u64>,
     /// `boundaries[i]` is the byte offset just past record `i`.
     pub boundaries: Vec<usize>,
     /// Tail status.
@@ -83,51 +128,140 @@ impl ParsedLog {
     }
 }
 
-/// Parses a log, stopping at the first torn or corrupt record.
+/// One decoded record frame, the replication-path view of a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Primary term the record was written under.
+    pub term: u64,
+    /// The record payload.
+    pub payload: Vec<u8>,
+}
+
+enum Step {
+    Done,
+    Frame { frame: Frame, next: usize },
+    Bad { reason: String },
+    BadVersion { found: u8 },
+}
+
+fn step(bytes: &[u8], pos: usize) -> Step {
+    if pos == bytes.len() {
+        return Step::Done;
+    }
+    if bytes.len() - pos < HEADER_LEN {
+        return Step::Bad {
+            reason: "short header (torn write)".to_string(),
+        };
+    }
+    if bytes[pos..pos + 2] != MAGIC {
+        return Step::Bad {
+            reason: "bad magic".to_string(),
+        };
+    }
+    let version = bytes[pos + 2];
+    if version != FORMAT_VERSION {
+        return Step::BadVersion { found: version };
+    }
+    let term = u64::from_be_bytes(bytes[pos + 3..pos + 11].try_into().expect("8 bytes"));
+    let len = u32::from_be_bytes(bytes[pos + 11..pos + 15].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_LEN {
+        return Step::Bad {
+            reason: "implausible record length".to_string(),
+        };
+    }
+    let stored = u64::from_be_bytes(
+        bytes[pos + 15..pos + HEADER_LEN]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let body_start = pos + HEADER_LEN;
+    if bytes.len() - body_start < len {
+        return Step::Bad {
+            reason: "short payload (torn write)".to_string(),
+        };
+    }
+    let payload = &bytes[body_start..body_start + len];
+    if record_checksum(term, payload) != stored {
+        return Step::Bad {
+            reason: "checksum mismatch (bit rot)".to_string(),
+        };
+    }
+    Step::Frame {
+        frame: Frame {
+            term,
+            payload: payload.to_vec(),
+        },
+        next: body_start + len,
+    }
+}
+
+/// Parses a local log, stopping at the first torn or corrupt record.
 #[must_use]
 pub fn parse_log(bytes: &[u8]) -> ParsedLog {
     let mut records = Vec::new();
+    let mut terms = Vec::new();
     let mut boundaries = Vec::new();
     let mut pos = 0usize;
-    let truncated = |pos: usize, reason: &str| Tail::Truncated {
-        offset: pos,
-        reason: reason.to_string(),
-    };
     let tail = loop {
-        if pos == bytes.len() {
-            break Tail::Clean;
+        match step(bytes, pos) {
+            Step::Done => break Tail::Clean,
+            Step::Frame { frame, next } => {
+                records.push(frame.payload);
+                terms.push(frame.term);
+                pos = next;
+                boundaries.push(pos);
+            }
+            Step::Bad { reason } => {
+                break Tail::Truncated {
+                    offset: pos,
+                    reason,
+                }
+            }
+            Step::BadVersion { found } => {
+                break Tail::Truncated {
+                    offset: pos,
+                    reason: format!("unsupported format version {found}"),
+                }
+            }
         }
-        if bytes.len() - pos < HEADER_LEN {
-            break truncated(pos, "short header (torn write)");
-        }
-        if bytes[pos..pos + 2] != MAGIC {
-            break truncated(pos, "bad magic");
-        }
-        let len = u32::from_be_bytes(bytes[pos + 2..pos + 6].try_into().expect("4 bytes")) as usize;
-        if len > MAX_RECORD_LEN {
-            break truncated(pos, "implausible record length");
-        }
-        let stored = u64::from_be_bytes(
-            bytes[pos + 6..pos + HEADER_LEN]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        let body_start = pos + HEADER_LEN;
-        if bytes.len() - body_start < len {
-            break truncated(pos, "short payload (torn write)");
-        }
-        let payload = &bytes[body_start..body_start + len];
-        if checksum64(payload) != stored {
-            break truncated(pos, "checksum mismatch (bit rot)");
-        }
-        records.push(payload.to_vec());
-        pos = body_start + len;
-        boundaries.push(pos);
     };
     ParsedLog {
         records,
+        terms,
         boundaries,
         tail,
+    }
+}
+
+/// Strictly decodes a byte string that must consist of whole, valid
+/// frames — the replication receive path. Unlike [`parse_log`] there is
+/// no "replay the good prefix" posture: any defect fails the whole call.
+///
+/// # Errors
+///
+/// [`WalError::IncompatibleVersion`] when a frame's version byte differs
+/// from [`FORMAT_VERSION`]; [`WalError::Corrupt`] for torn, misframed, or
+/// checksum-failing bytes.
+pub fn decode_frames(bytes: &[u8]) -> Result<Vec<Frame>, WalError> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        match step(bytes, pos) {
+            Step::Done => return Ok(frames),
+            Step::Frame { frame, next } => {
+                frames.push(frame);
+                pos = next;
+            }
+            Step::Bad { reason } => {
+                return Err(WalError::Corrupt(format!("{reason} at byte {pos}")))
+            }
+            Step::BadVersion { found } => {
+                return Err(WalError::IncompatibleVersion {
+                    found,
+                    supported: FORMAT_VERSION,
+                })
+            }
+        }
     }
 }
 
@@ -145,8 +279,22 @@ mod tests {
         assert_eq!(parsed.tail, Tail::Clean);
         assert_eq!(parsed.records.len(), 3);
         assert_eq!(parsed.records[1], b"two-longer");
+        assert_eq!(parsed.terms, vec![0, 0, 0]);
         assert_eq!(parsed.boundaries.len(), 3);
         assert_eq!(*parsed.boundaries.last().expect("boundary"), log.len());
+    }
+
+    #[test]
+    fn terms_roundtrip_through_parse_and_decode() {
+        let mut log = frame_record_with_term(3, b"under-term-3");
+        log.extend_from_slice(&frame_record_with_term(7, b"under-term-7"));
+        let parsed = parse_log(&log);
+        assert_eq!(parsed.tail, Tail::Clean);
+        assert_eq!(parsed.terms, vec![3, 7]);
+        let frames = decode_frames(&log).expect("decode");
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].term, 3);
+        assert_eq!(frames[1].payload, b"under-term-7");
     }
 
     #[test]
@@ -159,6 +307,7 @@ mod tests {
             let parsed = parse_log(&log[..cut]);
             assert_eq!(parsed.records.len(), 1, "cut at {cut}");
             assert!(matches!(parsed.tail, Tail::Truncated { offset, .. } if offset == keep));
+            assert!(decode_frames(&log[..cut]).is_err(), "cut at {cut}");
         }
     }
 
@@ -175,12 +324,41 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_in_term_detected() {
+        let mut log = frame_record_with_term(5, b"payload");
+        log[4] ^= 0x01; // inside the term field; checksum covers it
+        let parsed = parse_log(&log);
+        assert!(parsed.records.is_empty());
+        assert!(
+            matches!(parsed.tail, Tail::Truncated { ref reason, .. } if reason.contains("checksum"))
+        );
+    }
+
+    #[test]
     fn bit_flip_in_length_detected() {
         let mut log = frame_record(b"x");
-        log[2] = 0xFF; // implausible length
+        log[11] = 0xFF; // implausible length
         let parsed = parse_log(&log);
         assert!(parsed.records.is_empty());
         assert!(matches!(parsed.tail, Tail::Truncated { .. }));
+    }
+
+    #[test]
+    fn unknown_version_is_typed_for_replicas_truncation_for_recovery() {
+        let mut log = frame_record(b"future");
+        log[2] = FORMAT_VERSION + 1;
+        let parsed = parse_log(&log);
+        assert!(parsed.records.is_empty());
+        assert!(
+            matches!(parsed.tail, Tail::Truncated { ref reason, .. } if reason.contains("version"))
+        );
+        assert_eq!(
+            decode_frames(&log),
+            Err(WalError::IncompatibleVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION,
+            })
+        );
     }
 
     #[test]
@@ -193,6 +371,7 @@ mod tests {
         let parsed = parse_log(&log);
         assert_eq!(parsed.records.len(), 1);
         assert!(matches!(parsed.tail, Tail::Truncated { .. }));
+        assert!(matches!(decode_frames(&log), Err(WalError::Corrupt(_))));
     }
 
     #[test]
@@ -200,5 +379,6 @@ mod tests {
         let parsed = parse_log(&[]);
         assert!(parsed.records.is_empty());
         assert_eq!(parsed.tail, Tail::Clean);
+        assert_eq!(decode_frames(&[]).expect("decode"), Vec::<Frame>::new());
     }
 }

@@ -23,6 +23,8 @@ pub struct JournalStats {
 pub struct Replay {
     /// Valid payloads in append order.
     pub records: Vec<Vec<u8>>,
+    /// Primary term each valid record was written under.
+    pub terms: Vec<u64>,
     /// Byte offset just past each valid record.
     pub boundaries: Vec<usize>,
     /// Total bytes scanned.
@@ -38,16 +40,30 @@ pub struct Replay {
 pub struct Journal {
     store: Box<dyn JournalStore>,
     stats: JournalStats,
+    term: u64,
 }
 
 impl Journal {
-    /// Wraps a store.
+    /// Wraps a store. Records are stamped with term 0 until
+    /// [`Journal::set_term`] raises it.
     #[must_use]
     pub fn new(store: Box<dyn JournalStore>) -> Self {
         Journal {
             store,
             stats: JournalStats::default(),
+            term: 0,
         }
+    }
+
+    /// Sets the primary term stamped into every frame written from now on.
+    pub fn set_term(&mut self, term: u64) {
+        self.term = term;
+    }
+
+    /// The term currently stamped into new frames.
+    #[must_use]
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// Frames and appends one payload; returns the framed length.
@@ -56,7 +72,7 @@ impl Journal {
     ///
     /// [`WalError::Io`] if the store fails.
     pub fn append(&mut self, payload: &[u8]) -> Result<usize, WalError> {
-        let framed = frame::frame_record(payload);
+        let framed = frame::frame_record_with_term(self.term, payload);
         self.store.append(&framed)?;
         self.stats.appends += 1;
         self.stats.bytes_appended += framed.len() as u64;
@@ -71,7 +87,7 @@ impl Journal {
     pub fn rewrite(&mut self, payloads: &[Vec<u8>]) -> Result<(), WalError> {
         let mut bytes = Vec::new();
         for p in payloads {
-            bytes.extend_from_slice(&frame::frame_record(p));
+            bytes.extend_from_slice(&frame::frame_record_with_term(self.term, p));
         }
         self.store.reset(&bytes)?;
         self.stats.rewrites += 1;
@@ -99,6 +115,7 @@ impl Journal {
         };
         Ok(Replay {
             records: parsed.records,
+            terms: parsed.terms,
             boundaries: parsed.boundaries,
             bytes_scanned: bytes.len() as u64,
             truncation,
@@ -136,6 +153,19 @@ mod tests {
         assert_eq!(replay.records, vec![b"a".to_vec(), b"bb".to_vec()]);
         assert!(replay.truncation.is_none());
         assert_eq!(j.stats().appends, 2);
+    }
+
+    #[test]
+    fn term_is_stamped_into_frames() {
+        let mut j = Journal::new(Box::new(MemStore::new()));
+        j.append(b"old-regime").expect("append");
+        j.set_term(4);
+        j.append(b"new-regime").expect("append");
+        let replay = j.replay().expect("replay");
+        assert_eq!(replay.terms, vec![0, 4]);
+        j.rewrite(&[b"compacted".to_vec()]).expect("rewrite");
+        let replay = j.replay().expect("replay");
+        assert_eq!(replay.terms, vec![4]);
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! A small write-ahead journal, used by the coalition server to make its
 //! belief state crash-recoverable.
 //!
-//! * [`frame`] — the on-disk record format: `magic || len || checksum ||
-//!   payload`, with a parser that stops at the first torn or corrupt
-//!   record instead of replaying garbage.
+//! * [`frame`] — the on-disk record format: `magic || version || term ||
+//!   len || checksum || payload`, with a recovery parser that stops at the
+//!   first torn or corrupt record instead of replaying garbage, and a
+//!   strict replication decoder ([`decode_frames`]) that turns defects
+//!   into typed errors instead of silent truncation.
 //! * [`store`] — the [`JournalStore`] byte-store abstraction with an
 //!   in-memory backend ([`MemStore`], shared buffer so a "crashed" owner's
-//!   bytes survive) and a file backend ([`FileStore`]).
+//!   bytes survive), a file backend ([`FileStore`], durability governed by
+//!   [`SyncPolicy`]), and a [`TeeStore`] that mirrors every write into a
+//!   [`LogOutbox`] so a replication layer can ship it.
 //! * [`fault`] — seeded torn-write / bit-flip / short-read injection in
 //!   the style of `jaap_net::fault`, for chaos-testing recovery.
 //! * [`journal`] — the [`Journal`]: append framed records, rewrite the log
@@ -21,9 +25,12 @@ pub mod journal;
 pub mod store;
 
 pub use fault::{FaultStats, FaultyStore, StoreFaultPlan};
-pub use frame::{checksum64, frame_record, parse_log, ParsedLog, Tail};
+pub use frame::{
+    checksum64, decode_frames, frame_record, frame_record_with_term, parse_log, Frame, ParsedLog,
+    Tail, FORMAT_VERSION,
+};
 pub use journal::{Journal, JournalStats, Replay};
-pub use store::{FileStore, JournalStore, MemStore};
+pub use store::{FileStore, JournalStore, LogOutbox, MemStore, SyncPolicy, TeeEvent, TeeStore};
 
 /// Errors raised by the journal layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +39,15 @@ pub enum WalError {
     Io(String),
     /// A fault plan or journal parameter is out of range.
     InvalidPlan(String),
+    /// A shipped frame was written by an incompatible format version.
+    IncompatibleVersion {
+        /// The version byte found in the frame.
+        found: u8,
+        /// The version this build supports.
+        supported: u8,
+    },
+    /// A shipped frame failed strict decoding (torn, misframed, bit rot).
+    Corrupt(String),
 }
 
 impl core::fmt::Display for WalError {
@@ -39,6 +55,13 @@ impl core::fmt::Display for WalError {
         match self {
             WalError::Io(m) => write!(f, "journal store: {m}"),
             WalError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            WalError::IncompatibleVersion { found, supported } => {
+                write!(
+                    f,
+                    "incompatible frame format version {found} (supported: {supported})"
+                )
+            }
+            WalError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
         }
     }
 }

@@ -107,32 +107,87 @@ impl JournalStore for MemStore {
     }
 }
 
+/// When a [`FileStore`] pushes appends past the OS page cache with
+/// `sync_all`. `flush()` alone survives a process crash but not power
+/// loss; the fsync tax of each policy is measured in E18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never fsync; rely on the OS writing dirty pages eventually.
+    Never,
+    /// fsync after every append (the durable default).
+    #[default]
+    EveryAppend,
+    /// fsync after every `n`th append; `EveryN(0)` behaves like
+    /// [`SyncPolicy::EveryAppend`].
+    EveryN(u32),
+}
+
 /// File-backed store. Appends go straight to the file; `reset` writes a
 /// sibling temp file and renames it into place so a crash during snapshot
 /// compaction leaves either the old log or the new one, never a mix.
+/// Durability against power loss is governed by [`SyncPolicy`].
 #[derive(Debug)]
 pub struct FileStore {
     path: PathBuf,
+    sync: SyncPolicy,
+    appends_since_sync: u32,
 }
 
 impl FileStore {
-    /// Opens (creating if absent) a file-backed log at `path`.
+    /// Opens (creating if absent) a file-backed log at `path`, syncing
+    /// every append ([`SyncPolicy::EveryAppend`]).
     ///
     /// # Errors
     ///
     /// [`WalError::Io`] if the file cannot be created.
     pub fn new(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        FileStore::with_sync_policy(path, SyncPolicy::EveryAppend)
+    }
+
+    /// Opens (creating if absent) a file-backed log with an explicit sync
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the file cannot be created.
+    pub fn with_sync_policy(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self, WalError> {
         let path = path.as_ref().to_path_buf();
         if !path.exists() {
             std::fs::File::create(&path).map_err(|e| WalError::Io(e.to_string()))?;
         }
-        Ok(FileStore { path })
+        Ok(FileStore {
+            path,
+            sync,
+            appends_since_sync: 0,
+        })
     }
 
     /// The log's path.
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The store's sync policy.
+    #[must_use]
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    fn should_sync(&mut self) -> bool {
+        match self.sync {
+            SyncPolicy::Never => false,
+            SyncPolicy::EveryAppend | SyncPolicy::EveryN(0) => true,
+            SyncPolicy::EveryN(n) => {
+                self.appends_since_sync += 1;
+                if self.appends_since_sync >= n {
+                    self.appends_since_sync = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
     }
 }
 
@@ -148,19 +203,123 @@ impl JournalStore for FileStore {
             .map_err(|e| WalError::Io(e.to_string()))?;
         file.write_all(bytes)
             .and_then(|()| file.flush())
-            .map_err(|e| WalError::Io(e.to_string()))
+            .map_err(|e| WalError::Io(e.to_string()))?;
+        if self.should_sync() {
+            file.sync_all().map_err(|e| WalError::Io(e.to_string()))?;
+        }
+        Ok(())
     }
 
     fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
         let tmp = self.path.with_extension("tmp");
         std::fs::write(&tmp, bytes).map_err(|e| WalError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| WalError::Io(e.to_string()))
+        std::fs::rename(&tmp, &self.path).map_err(|e| WalError::Io(e.to_string()))?;
+        if self.sync != SyncPolicy::Never {
+            let file = std::fs::File::open(&self.path).map_err(|e| WalError::Io(e.to_string()))?;
+            file.sync_all().map_err(|e| WalError::Io(e.to_string()))?;
+        }
+        self.appends_since_sync = 0;
+        Ok(())
     }
 
     fn len(&self) -> Result<u64, WalError> {
         std::fs::metadata(&self.path)
             .map(|m| m.len())
             .map_err(|e| WalError::Io(e.to_string()))
+    }
+}
+
+/// One write event captured by a [`TeeStore`], in store-call granularity:
+/// the journal layer appends exactly one framed record per `append`, so
+/// `Append` carries one whole frame, and `Reset` carries the full log
+/// image written by a snapshot rewrite (or bootstrap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeEvent {
+    /// Bytes appended at the end of the log (one framed record).
+    Append(Vec<u8>),
+    /// The log was replaced wholesale with this image.
+    Reset(Vec<u8>),
+}
+
+/// Shared queue of [`TeeEvent`]s drained by a replication layer. Cloning
+/// yields another handle on the same queue.
+#[derive(Debug, Clone, Default)]
+pub struct LogOutbox {
+    events: Arc<Mutex<Vec<TeeEvent>>>,
+}
+
+impl LogOutbox {
+    /// An empty outbox.
+    #[must_use]
+    pub fn new() -> Self {
+        LogOutbox::default()
+    }
+
+    /// Takes all pending events, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TeeEvent> {
+        std::mem::take(&mut *self.events.lock().expect("outbox lock"))
+    }
+
+    /// Pending event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("outbox lock").len()
+    }
+
+    /// `true` when nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, event: TeeEvent) {
+        self.events.lock().expect("outbox lock").push(event);
+    }
+}
+
+/// A store wrapper that mirrors every successful write into a
+/// [`LogOutbox`] — how a replication primary observes its own journal
+/// writes in order to ship them. Reads pass straight through.
+#[derive(Debug)]
+pub struct TeeStore<S: JournalStore> {
+    inner: S,
+    outbox: LogOutbox,
+}
+
+impl<S: JournalStore> TeeStore<S> {
+    /// Wraps `inner`, mirroring writes into `outbox`.
+    #[must_use]
+    pub fn new(inner: S, outbox: LogOutbox) -> Self {
+        TeeStore { inner, outbox }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: JournalStore> JournalStore for TeeStore<S> {
+    fn read(&self) -> Result<Vec<u8>, WalError> {
+        self.inner.read()
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        self.inner.append(bytes)?;
+        self.outbox.push(TeeEvent::Append(bytes.to_vec()));
+        Ok(())
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        self.inner.reset(bytes)?;
+        self.outbox.push(TeeEvent::Reset(bytes.to_vec()));
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, WalError> {
+        self.inner.len()
     }
 }
 
@@ -192,11 +351,55 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut s = FileStore::new(&path).expect("open");
         assert!(s.is_empty().expect("empty"));
+        assert_eq!(s.sync_policy(), SyncPolicy::EveryAppend);
         s.append(b"abc").expect("append");
         s.append(b"def").expect("append");
         assert_eq!(s.read().expect("read"), b"abcdef");
         s.reset(b"zz").expect("reset");
         assert_eq!(s.read().expect("read"), b"zz");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_store_sync_policies_preserve_contents() {
+        let dir = std::env::temp_dir().join(format!("jaap-wal-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for (name, policy) in [
+            ("never.wal", SyncPolicy::Never),
+            ("every.wal", SyncPolicy::EveryAppend),
+            ("nth.wal", SyncPolicy::EveryN(3)),
+        ] {
+            let path = dir.join(name);
+            let _ = std::fs::remove_file(&path);
+            let mut s = FileStore::with_sync_policy(&path, policy).expect("open");
+            for i in 0..7u8 {
+                s.append(&[i]).expect("append");
+            }
+            assert_eq!(s.read().expect("read"), vec![0, 1, 2, 3, 4, 5, 6]);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn tee_store_mirrors_writes_into_outbox() {
+        let outbox = LogOutbox::new();
+        let inner = MemStore::new();
+        let mut tee = TeeStore::new(inner.clone(), outbox.clone());
+        tee.append(b"one").expect("append");
+        tee.append(b"two").expect("append");
+        tee.reset(b"image").expect("reset");
+        tee.append(b"three").expect("append");
+        assert_eq!(inner.snapshot(), b"imagethree");
+        assert_eq!(tee.read().expect("read"), b"imagethree");
+        assert_eq!(
+            outbox.drain(),
+            vec![
+                TeeEvent::Append(b"one".to_vec()),
+                TeeEvent::Append(b"two".to_vec()),
+                TeeEvent::Reset(b"image".to_vec()),
+                TeeEvent::Append(b"three".to_vec()),
+            ]
+        );
+        assert!(outbox.is_empty());
     }
 }

@@ -359,7 +359,7 @@ fn bit_flip_in_tail_record_is_detected_and_dropped() {
     let mut bytes = h.handle.snapshot();
     let parsed = parse_log(&bytes);
     let last_start = parsed.boundaries[parsed.boundaries.len() - 2];
-    bytes[last_start + 14] ^= 0x40; // first payload byte of the last record
+    bytes[last_start + jaap_wal::frame::HEADER_LEN] ^= 0x40; // first payload byte of the last record
     let parsed = parse_log(&bytes);
     match &parsed.tail {
         jaap_wal::Tail::Truncated { offset, reason } => {
