@@ -21,6 +21,14 @@
 //! * [`replication`] — primary→replica WAL log shipping over `jaap-net`
 //!   with fencing terms, snapshot + tail catch-up, and failover by
 //!   promoting a replica through the recovery replay path.
+//! * [`concurrent`] — the read/write split: epoch-versioned immutable
+//!   decision snapshots read lock-free by decision workers; all mutations
+//!   through a single writer that publishes a new epoch.
+//! * [`shard`] — `ShardedCoalition`: disjoint object/group namespaces
+//!   partitioned across N concurrent shards, with cross-shard admission
+//!   fan-out and per-shard instruments.
+//! * [`pool`] — the persistent worker pool behind `verify_batch` and the
+//!   sharded decision fan-out (replaces per-call `std::thread::scope`).
 //!
 //! # Quickstart
 //!
@@ -46,14 +54,17 @@
 pub mod aa;
 pub mod availability;
 pub mod cache;
+pub mod concurrent;
 pub mod domain;
 pub mod dynamics;
 pub mod journal;
 pub mod liability;
+pub mod pool;
 pub mod replication;
 pub mod request;
 pub mod scenario;
 pub mod server;
+pub mod shard;
 
 use jaap_crypto::CryptoError;
 use jaap_pki::PkiError;

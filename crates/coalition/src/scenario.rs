@@ -229,6 +229,16 @@ impl Coalition {
         &mut self.server
     }
 
+    /// Consumes the coalition and returns its server — for wrapping in the
+    /// concurrent/sharded front-end ([`crate::concurrent::ConcurrentServer`],
+    /// [`crate::shard::ShardedCoalition`]). The signing-side artifacts
+    /// (domains, AA, RA, certificates) are dropped, so build any requests
+    /// and revocations first.
+    #[must_use]
+    pub fn into_server(self) -> CoalitionServer {
+        self.server
+    }
+
     /// The coalition AA.
     #[must_use]
     pub fn aa(&self) -> &CoalitionAa {

@@ -34,12 +34,12 @@ use jaap_crypto::rsa::RsaCiphertext;
 use jaap_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cache::{self, VerifyCache};
 use crate::journal::{ConfigKind, DecisionRecord, JournalRecord, ReplayRecord, ServerJournal};
+use crate::pool::WorkerPool;
 use crate::request::{statement_bytes, JointAccessRequest};
 use crate::CoalitionError;
 
@@ -111,7 +111,7 @@ pub struct ServerDecision {
 
 /// The crypto phase's verified artifacts: idealized certificates and the
 /// signed statements, ready for the logic engine.
-struct CryptoVerified {
+pub(crate) struct CryptoVerified {
     identity_msgs: Vec<jaap_core::syntax::Message>,
     attribute_msgs: Vec<jaap_core::syntax::Message>,
     signed_statements: Vec<SignedStatement>,
@@ -119,14 +119,14 @@ struct CryptoVerified {
 
 /// Everything the crypto phase produces for one request, including the
 /// check counters for failed verifications (they did real work too).
-struct CryptoOutcome {
-    signature_checks: usize,
-    cached_signature_checks: usize,
-    result: Result<CryptoVerified, String>,
+pub(crate) struct CryptoOutcome {
+    pub(crate) signature_checks: usize,
+    pub(crate) cached_signature_checks: usize,
+    pub(crate) result: Result<CryptoVerified, String>,
 }
 
 impl CryptoOutcome {
-    fn failed(detail: String) -> Self {
+    pub(crate) fn failed(detail: String) -> Self {
         CryptoOutcome {
             signature_checks: 0,
             cached_signature_checks: 0,
@@ -218,7 +218,10 @@ impl ServerMetrics {
 #[derive(Debug)]
 pub struct CoalitionServer {
     name: String,
-    store: TrustStore,
+    /// The trust anchors, shared via [`Arc`] so a published
+    /// [`DecisionSnapshot`](crate::concurrent::DecisionSnapshot) can hold
+    /// them without copying. Immutable after construction.
+    store: Arc<TrustStore>,
     engine: Engine,
     objects: Vec<CoalitionObject>,
     /// The audit log, bounded at `audit_capacity` (oldest lines rotate out
@@ -270,6 +273,12 @@ pub struct CoalitionServer {
     /// The derivation-memo capacity last configured (engine has no getter;
     /// snapshots re-emit it).
     memo_capacity: Option<usize>,
+    /// Server-local state revision: bumped on every mutation the engine's
+    /// own [`Engine::state_version`] cannot see (object/ACL/content edits,
+    /// CRL recency anchors, configuration flips). The sum of the two is
+    /// [`CoalitionServer::state_version`], the single version number every
+    /// published decision snapshot is validated against.
+    local_rev: u64,
     rng: StdRng,
 }
 
@@ -295,7 +304,7 @@ impl CoalitionServer {
         let engine = Engine::new(name.as_str(), store.assumptions());
         CoalitionServer {
             name,
-            store,
+            store: Arc::new(store),
             engine,
             objects: Vec::new(),
             audit: VecDeque::new(),
@@ -315,6 +324,7 @@ impl CoalitionServer {
             snapshot_threshold: None,
             snapshot_pending: false,
             memo_capacity: None,
+            local_rev: 0,
             rng: StdRng::seed_from_u64(0x5EC5EC),
         }
     }
@@ -325,9 +335,51 @@ impl CoalitionServer {
         &self.name
     }
 
+    /// The monotone version of everything a decision depends on: the
+    /// engine's [`Engine::state_version`] (beliefs, revocations, freshness
+    /// window, clock) plus the server-local revision (objects, ACLs,
+    /// contents, recency anchors, configuration). Any two decisions
+    /// evaluated at the same `state_version` see identical inputs; a
+    /// published snapshot whose version differs from the live one is stale.
+    #[must_use]
+    pub fn state_version(&self) -> u64 {
+        self.engine.state_version() + self.local_rev
+    }
+
+    /// Bumps the server-local revision (see [`CoalitionServer::state_version`]).
+    fn touch(&mut self) {
+        self.local_rev += 1;
+    }
+
+    /// All registered objects.
+    #[must_use]
+    pub fn objects(&self) -> &[CoalitionObject] {
+        &self.objects
+    }
+
+    /// The shared trust-anchor handle (for decision snapshots).
+    #[must_use]
+    pub fn trust_store_handle(&self) -> Arc<TrustStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The live verification-cache handle, if the cache is on. The cache is
+    /// internally synchronized and revocation-invalidated, so a snapshot
+    /// shares the handle rather than copying entries.
+    pub(crate) fn verify_cache_handle(&self) -> Option<VerifyCache> {
+        self.verify_cache.clone()
+    }
+
+    /// The pre-resolved crypto-phase histogram, when metrics are attached
+    /// (snapshots record crypto latency off the writer lock).
+    pub(crate) fn crypto_histogram(&self) -> Option<Arc<Histogram>> {
+        self.metrics.as_ref().map(|m| Arc::clone(&m.crypto_ns))
+    }
+
     /// Registers a jointly owned object with its ACL.
     pub fn add_object(&mut self, name: impl Into<String>, acl: Acl) -> &mut Self {
         let name = name.into();
+        self.touch();
         // Builder-style signature can't propagate a journal error; a failed
         // append only loses durability for this record, never correctness
         // of the in-memory server.
@@ -360,6 +412,7 @@ impl CoalitionServer {
         if !self.objects.iter().any(|o| o.name == name) {
             return Err(CoalitionError::Config(format!("unknown object {name}")));
         }
+        self.touch();
         self.journal_append(&JournalRecord::AclSet {
             name: name.into(),
             acl: acl.clone(),
@@ -382,6 +435,7 @@ impl CoalitionServer {
         if !self.objects.iter().any(|o| o.name == name) {
             return Err(CoalitionError::Config(format!("unknown object {name}")));
         }
+        self.touch();
         self.journal_append(&JournalRecord::ContentSet {
             name: name.into(),
             content: content.clone(),
@@ -426,6 +480,7 @@ impl CoalitionServer {
 
     /// Enables/disables the logic layer (D3 ablation).
     pub fn set_logic_checking(&mut self, on: bool) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::LogicChecking,
             i64::from(on),
@@ -436,6 +491,7 @@ impl CoalitionServer {
     /// Enables/disables the certificate-verification cache. Turning it off
     /// drops all memoized entries.
     pub fn set_verification_cache(&mut self, on: bool) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::VerifyCache,
             i64::from(on),
@@ -477,6 +533,7 @@ impl CoalitionServer {
     /// preserves the fully re-derived logic path). See
     /// [`Engine::set_derivation_memo`].
     pub fn set_derivation_memo(&mut self, on: bool) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::DerivationMemo,
             i64::from(on),
@@ -487,6 +544,7 @@ impl CoalitionServer {
 
     /// Bounds the derivation memo (`None` = unbounded); no-op when off.
     pub fn set_derivation_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.touch();
         let encoded = capacity.and_then(|c| i64::try_from(c).ok()).unwrap_or(-1);
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::DerivationMemoCapacity,
@@ -512,6 +570,7 @@ impl CoalitionServer {
     /// [`DEFAULT_REPLAY_CAPACITY`]), evicting oldest decisions immediately
     /// if the new bound is already exceeded.
     pub fn set_replay_protection_capacity(&mut self, capacity: usize) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::ReplayCapacity,
             i64::try_from(capacity).unwrap_or(i64::MAX),
@@ -524,6 +583,7 @@ impl CoalitionServer {
     /// rotating out oldest lines immediately if the new bound is already
     /// exceeded.
     pub fn set_audit_capacity(&mut self, capacity: usize) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::AuditCapacity,
             i64::try_from(capacity).unwrap_or(i64::MAX),
@@ -557,6 +617,7 @@ impl CoalitionServer {
     /// a second audit entry or version increment. Off by default so
     /// benchmarks measure real verification work.
     pub fn set_replay_protection(&mut self, on: bool) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
             ConfigKind::ReplayProtection,
             i64::from(on),
@@ -569,6 +630,7 @@ impl CoalitionServer {
     /// verify the most recent available revocation information before
     /// granting access."
     pub fn set_revocation_recency(&mut self, window: i64) {
+        self.touch();
         let _ = self.journal_append(&JournalRecord::Config(ConfigKind::RecencyWindow, window));
         self.revocation_recency = Some(window);
     }
@@ -591,6 +653,7 @@ impl CoalitionServer {
             }
         }
         let messages = self.store.idealize_crl(crl)?;
+        self.touch();
         // Write-ahead: the CRL is durable before any entry takes effect, so
         // recovery replays exactly this admission loop — including a
         // partial admission when an entry fails mid-list.
@@ -633,6 +696,7 @@ impl CoalitionServer {
         rev: &AttributeRevocation,
     ) -> Result<(), CoalitionError> {
         let msg = self.store.idealize_attribute_revocation(rev)?;
+        self.touch();
         self.journal_append(&JournalRecord::AttributeRevocation(rev.clone()))?;
         self.engine
             .admit_certificate(&msg)
@@ -654,6 +718,7 @@ impl CoalitionServer {
         rev: &IdentityRevocation,
     ) -> Result<(), CoalitionError> {
         let msg = self.store.idealize_identity_revocation(rev)?;
+        self.touch();
         self.journal_append(&JournalRecord::IdentityRevocation(rev.clone()))?;
         self.engine
             .admit_certificate(&msg)
@@ -755,9 +820,10 @@ impl CoalitionServer {
     }
 
     /// Handles a batch of **independent** requests, fanning the crypto
-    /// phase (certificate + statement signature verification) across
-    /// `workers` threads while the belief-engine phase runs serially in
-    /// request order afterwards. Decisions are identical to calling
+    /// phase (certificate + statement signature verification) across up to
+    /// `workers` threads of the shared persistent pool
+    /// ([`WorkerPool::global`]) while the belief-engine phase runs serially
+    /// in request order afterwards. Decisions are identical to calling
     /// [`CoalitionServer::handle_request`] on each request in order; only
     /// the split of checks between `signature_checks` and
     /// `cached_signature_checks` can differ when the cache is on, since
@@ -776,80 +842,39 @@ impl CoalitionServer {
         }
         let crypto_ns = self.metrics.as_ref().map(|m| Arc::clone(&m.crypto_ns));
         let now = self.engine.now();
-        let mut outcomes: Vec<Option<CryptoOutcome>> = Vec::with_capacity(requests.len());
-        outcomes.resize_with(requests.len(), || None);
 
-        if let Some(detail) = recency_err {
-            for slot in &mut outcomes {
-                *slot = Some(CryptoOutcome::failed(detail.clone()));
-            }
-        } else if workers == 1 {
-            for (slot, req) in outcomes.iter_mut().zip(requests) {
+        let outcomes: Vec<CryptoOutcome> = if let Some(detail) = recency_err {
+            requests
+                .iter()
+                .map(|_| CryptoOutcome::failed(detail.clone()))
+                .collect()
+        } else {
+            // The pool's scoped fan-out blocks until every worker is done,
+            // so the closure can borrow the trust store, the cache handle,
+            // and the request slice directly. `workers == 1` runs inline
+            // inside `run_indexed`, keeping the serial path pool-free.
+            let store = &self.store;
+            let cache = self.verify_cache.clone();
+            WorkerPool::global().run_indexed(requests.len(), workers, |i| {
                 let t = crypto_ns.as_ref().map(|_| Instant::now());
-                *slot = Some(crypto_verify(
-                    &self.store,
-                    self.verify_cache.as_ref(),
-                    now,
-                    req,
-                ));
+                let outcome = crypto_verify(store, cache.as_ref(), now, &requests[i]);
                 if let (Some(h), Some(t)) = (&crypto_ns, t) {
                     h.record_duration(t.elapsed());
                 }
-            }
-        } else {
-            let store = &self.store;
-            let shared_cache = self.verify_cache.clone();
-            // All jobs are enqueued up front; workers drain the queue
-            // through a shared receiver (the vendored channel's receiver is
-            // single-consumer, hence the mutex) and post indexed results.
-            let (job_tx, job_rx) = crossbeam_channel::unbounded::<usize>();
-            for i in 0..requests.len() {
-                let _ = job_tx.send(i);
-            }
-            drop(job_tx);
-            let job_rx = Arc::new(Mutex::new(job_rx));
-            let (res_tx, res_rx) = crossbeam_channel::unbounded::<(usize, CryptoOutcome)>();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    let job_rx = Arc::clone(&job_rx);
-                    let res_tx = res_tx.clone();
-                    let cache = shared_cache.clone();
-                    let crypto_ns = crypto_ns.clone();
-                    scope.spawn(move || loop {
-                        let job = job_rx.lock().try_recv();
-                        let Ok(i) = job else { break };
-                        let t = crypto_ns.as_ref().map(|_| Instant::now());
-                        let outcome = crypto_verify(store, cache.as_ref(), now, &requests[i]);
-                        if let (Some(h), Some(t)) = (&crypto_ns, t) {
-                            h.record_duration(t.elapsed());
-                        }
-                        if res_tx.send((i, outcome)).is_err() {
-                            break;
-                        }
-                    });
-                }
-                drop(res_tx);
-                while let Ok((i, outcome)) = res_rx.recv() {
-                    outcomes[i] = Some(outcome);
-                }
-            });
-        }
+                outcome
+            })
+        };
 
         requests
             .iter()
             .zip(outcomes)
-            .map(|(req, outcome)| {
-                let outcome = outcome.unwrap_or_else(|| {
-                    CryptoOutcome::failed("internal: crypto phase returned no result".into())
-                });
-                self.finish_decision(req, outcome)
-            })
+            .map(|(req, outcome)| self.finish_decision(req, outcome))
             .collect()
     }
 
     /// The stale-revocation-information refusal, if the recency policy is
     /// on and unsatisfied (Stubblebine–Wright).
-    fn recency_error(&self) -> Option<String> {
+    pub(crate) fn recency_error(&self) -> Option<String> {
         let window = self.revocation_recency?;
         let fresh_enough = self
             .last_crl
@@ -864,8 +889,10 @@ impl CoalitionServer {
     }
 
     /// The serial tail of the pipeline: replay bookkeeping, the logic/ACL
-    /// phase, version bump, read response, audit entry.
-    fn finish_decision(
+    /// phase, version bump, read response, audit entry. Exposed to the
+    /// crate so the concurrent front-end ([`crate::concurrent`]) can commit
+    /// a crypto outcome computed off the writer lock.
+    pub(crate) fn finish_decision(
         &mut self,
         req: &JointAccessRequest,
         outcome: CryptoOutcome,
@@ -1549,7 +1576,7 @@ impl CoalitionServer {
 /// The crypto phase: verify and idealize every certificate (through the
 /// cache when one is supplied) and verify every statement signature. Pure
 /// in the server state — safe to run on worker threads.
-fn crypto_verify(
+pub(crate) fn crypto_verify(
     store: &TrustStore,
     cache: Option<&VerifyCache>,
     now: Time,

@@ -152,6 +152,15 @@ pub struct Engine {
     /// certificate body admitted, revocation/CRL entry, freshness-window
     /// move). Part of every memo key, and any bump clears the memo.
     epoch: u64,
+    /// Monotone version of *all* decision-relevant engine state: bumped on
+    /// every belief-epoch bump **and** on every actual clock move. The
+    /// belief epoch deliberately ignores clock advances (memo keys already
+    /// include the clock, so moving time must not flush the memo), but a
+    /// published decision snapshot captures `now` and therefore goes stale
+    /// when the clock moves. This is the one version number that all
+    /// derived state (memo, verify cache, snapshot) can be validated
+    /// against.
+    state_version: u64,
     /// Interned bodies of every admitted certificate/revocation, so
     /// re-admitting the same certificate neither duplicates belief entries
     /// nor bumps the epoch.
@@ -177,6 +186,7 @@ impl Engine {
             axiom_count: 0,
             interner: Interner::new(),
             epoch: 0,
+            state_version: 0,
             admitted_bodies: HashSet::new(),
             memo: None,
         }
@@ -196,6 +206,16 @@ impl Engine {
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The engine's monotone state version: unlike [`Engine::epoch`], this
+    /// also advances when the clock moves, so it versions *everything* a
+    /// decision depends on. Two evaluations of the same request at the
+    /// same `state_version` are byte-identical; any snapshot, cache, or
+    /// memo entry tagged with a stale version must be re-derived.
+    #[must_use]
+    pub fn state_version(&self) -> u64 {
+        self.state_version
     }
 
     /// Turns the derivation memo on or off. Off (the default) preserves the
@@ -226,6 +246,7 @@ impl Engine {
 
     fn bump_epoch(&mut self) {
         self.epoch += 1;
+        self.state_version += 1;
         if let Some(memo) = &mut self.memo {
             memo.invalidate_all();
         }
@@ -293,6 +314,12 @@ impl Engine {
                 "cannot move clock from {:?} back to {to:?}",
                 self.now
             )));
+        }
+        if to > self.now {
+            // The clock is part of every decision's inputs, so an actual
+            // move retires published snapshots — without clearing the memo
+            // (memo keys carry the clock themselves).
+            self.state_version += 1;
         }
         self.now = to;
         Ok(())
@@ -1328,6 +1355,28 @@ mod tests {
         assert_eq!(e.axiom_applications(), 0);
         e.admit_certificate(&id_cert()).expect("admit");
         assert!(e.axiom_applications() >= 4); // A10, A22 (ts), A9, A22 (content), A9
+    }
+
+    #[test]
+    fn state_version_covers_epoch_and_clock() {
+        let mut e = engine_at(10);
+        let v0 = e.state_version();
+        // A clock move advances the state version but not the epoch.
+        e.advance_clock(Time(11)).expect("clock");
+        assert_eq!(e.epoch(), 0);
+        assert!(e.state_version() > v0);
+        // A no-op advance changes nothing.
+        let v1 = e.state_version();
+        e.advance_clock(Time(11)).expect("clock");
+        assert_eq!(e.state_version(), v1);
+        // An epoch bump (new belief) advances it too.
+        e.admit_certificate(&id_cert()).expect("admit");
+        assert!(e.epoch() > 0);
+        assert!(e.state_version() > v1);
+        // Re-admitting a known body bumps neither.
+        let v2 = e.state_version();
+        e.admit_certificate(&id_cert()).expect("admit");
+        assert_eq!(e.state_version(), v2);
     }
 
     #[test]

@@ -21,9 +21,27 @@ struct Inner {
 /// on the name map and returns an `Arc` handle; hot paths resolve once at
 /// configuration time and afterwards touch only atomics. Dropping every
 /// clone of the registry drops the instruments with it.
-#[derive(Debug, Clone, Default)]
+///
+/// A registry handle may carry a *scope prefix* ([`MetricsRegistry::scoped`]):
+/// every instrument it resolves or reads gets the prefix prepended, while
+/// the instruments still live in the one shared map (a root handle's
+/// [`MetricsRegistry::to_json`] exports them all). This is how a sharded
+/// deployment gives each shard its own `shard.{i}.server.*` pipeline
+/// instruments without per-shard registries drifting apart.
+#[derive(Debug, Clone)]
 pub struct MetricsRegistry {
     inner: Arc<Inner>,
+    /// Scope prefix prepended to every instrument name (empty at the root).
+    prefix: Arc<str>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            inner: Arc::default(),
+            prefix: Arc::from(""),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -33,58 +51,97 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// A view of the same registry with `prefix` prepended to every
+    /// instrument name resolved or read through it. Scopes nest:
+    /// `r.scoped("a.").scoped("b.")` resolves under `a.b.`.
+    #[must_use]
+    pub fn scoped(&self, prefix: &str) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::clone(&self.inner),
+            prefix: Arc::from(format!("{}{prefix}", self.prefix)),
+        }
+    }
+
+    /// This handle's scope prefix (empty at the root).
+    #[must_use]
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    fn full_name<'a>(&self, name: &'a str) -> std::borrow::Cow<'a, str> {
+        if self.prefix.is_empty() {
+            std::borrow::Cow::Borrowed(name)
+        } else {
+            std::borrow::Cow::Owned(format!("{}{name}", self.prefix))
+        }
+    }
+
     /// Resolves (creating on first use) the counter named `name`.
     #[must_use]
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let name = self.full_name(name);
         let mut map = self.inner.counters.lock();
-        if let Some(c) = map.get(name) {
+        if let Some(c) = map.get(name.as_ref()) {
             return Arc::clone(c);
         }
         let c = Arc::new(Counter::new());
-        map.insert(name.to_string(), Arc::clone(&c));
+        map.insert(name.into_owned(), Arc::clone(&c));
         c
     }
 
     /// Resolves (creating on first use) the gauge named `name`.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let name = self.full_name(name);
         let mut map = self.inner.gauges.lock();
-        if let Some(g) = map.get(name) {
+        if let Some(g) = map.get(name.as_ref()) {
             return Arc::clone(g);
         }
         let g = Arc::new(Gauge::new());
-        map.insert(name.to_string(), Arc::clone(&g));
+        map.insert(name.into_owned(), Arc::clone(&g));
         g
     }
 
     /// Resolves (creating on first use) the histogram named `name`.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let name = self.full_name(name);
         let mut map = self.inner.histograms.lock();
-        if let Some(h) = map.get(name) {
+        if let Some(h) = map.get(name.as_ref()) {
             return Arc::clone(h);
         }
         let h = Arc::new(Histogram::new());
-        map.insert(name.to_string(), Arc::clone(&h));
+        map.insert(name.into_owned(), Arc::clone(&h));
         h
     }
 
     /// The value of a counter, `None` if it was never resolved.
     #[must_use]
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        self.inner.counters.lock().get(name).map(|c| c.get())
+        let name = self.full_name(name);
+        self.inner
+            .counters
+            .lock()
+            .get(name.as_ref())
+            .map(|c| c.get())
     }
 
     /// The value of a gauge, `None` if it was never resolved.
     #[must_use]
     pub fn gauge_value(&self, name: &str) -> Option<i64> {
-        self.inner.gauges.lock().get(name).map(|g| g.get())
+        let name = self.full_name(name);
+        self.inner.gauges.lock().get(name.as_ref()).map(|g| g.get())
     }
 
     /// A histogram's snapshot, `None` if it was never resolved.
     #[must_use]
     pub fn histogram_snapshot(&self, name: &str) -> Option<crate::HistogramSnapshot> {
-        self.inner.histograms.lock().get(name).map(|h| h.snapshot())
+        let name = self.full_name(name);
+        self.inner
+            .histograms
+            .lock()
+            .get(name.as_ref())
+            .map(|h| h.snapshot())
     }
 
     /// Deterministic JSON snapshot of every instrument, sorted by name.
@@ -206,6 +263,29 @@ mod tests {
         assert!(json.contains("\"depth\":-4"));
         assert!(json.contains("\"count\":2"));
         assert!(json.contains("\"buckets\":[[7,1],[1023,1]]"));
+    }
+
+    #[test]
+    fn scoped_views_share_the_root_map() {
+        let root = MetricsRegistry::new();
+        let shard0 = root.scoped("shard.0.");
+        let shard1 = root.scoped("shard.1.");
+        shard0.counter("server.decisions").add(3);
+        shard1.counter("server.decisions").inc();
+        // Scoped reads see their own prefix; the root sees full names.
+        assert_eq!(shard0.counter_value("server.decisions"), Some(3));
+        assert_eq!(shard1.counter_value("server.decisions"), Some(1));
+        assert_eq!(root.counter_value("shard.0.server.decisions"), Some(3));
+        assert_eq!(root.counter_value("server.decisions"), None);
+        // Scopes nest.
+        let nested = shard0.scoped("inner.");
+        assert_eq!(nested.prefix(), "shard.0.inner.");
+        nested.gauge("depth").set(2);
+        assert_eq!(root.gauge_value("shard.0.inner.depth"), Some(2));
+        // The root JSON export contains every scoped instrument.
+        let json = root.to_json();
+        assert!(json.contains("\"shard.0.server.decisions\":3"));
+        assert!(json.contains("\"shard.1.server.decisions\":1"));
     }
 
     #[test]
