@@ -48,7 +48,7 @@ mod random;
 
 pub use error::ParseNatError;
 pub use int::{Int, Sign};
-pub use montgomery::MontgomeryContext;
+pub use montgomery::{FixedBaseWindow, MontgomeryContext};
 pub use nat::Nat;
 pub use prime::{is_probable_prime, jacobi, next_prime, random_prime, Jacobi, SMALL_PRIMES};
 pub use random::{random_below, random_nat, random_nat_exact};

@@ -209,6 +209,115 @@ impl MontgomeryContext {
         self.from_mont(&acc)
     }
 
+    /// Builds a fixed-base ladder `base^(2^i) mod n` (in Montgomery form)
+    /// sized for exponents up to `max_exp_bits` bits. Building costs
+    /// `max_exp_bits - 1` Montgomery squarings **once**; every later
+    /// [`FixedBaseWindow::modpow`] with this base is then one Montgomery
+    /// multiply per *set* exponent bit and zero squarings — the right
+    /// trade when the same base (a verification key residue, a standing
+    /// certificate signature) is exponentiated again and again.
+    #[must_use]
+    pub fn fixed_base(&self, base: &Nat, max_exp_bits: usize) -> FixedBaseWindow {
+        let b = self.to_mont(base);
+        if b.is_zero() {
+            // base ≡ 0 mod n: the empty ladder is the sentinel.
+            return FixedBaseWindow { pow2: Vec::new() };
+        }
+        let len = max_exp_bits.max(1);
+        let mut pow2 = Vec::with_capacity(len);
+        pow2.push(b);
+        for i in 1..len {
+            let sq = self.mont_sqr(&pow2[i - 1]);
+            pow2.push(sq);
+        }
+        FixedBaseWindow { pow2 }
+    }
+
+    /// Straus/Shamir interleaved multi-exponentiation:
+    /// `Π baseᵢ^expᵢ mod n` with one **shared** squaring chain across all
+    /// bases instead of one chain per base. Each base gets a full
+    /// `2^w - 1`-entry digit table; the exponents are scanned in aligned
+    /// `w`-bit windows from the top, squaring `w` times per window and
+    /// multiplying in each base's digit. For m bases of b-bit exponents
+    /// this is `b` squarings + ~`m·b/w` multiplies versus `m·b` squarings
+    /// serially — the recombination shape of joint/threshold signing
+    /// (`S = Π Mᵢ^{dᵢ}`) and of batched verification.
+    #[must_use]
+    pub fn multi_modpow(&self, pairs: &[(&Nat, &Nat)]) -> Nat {
+        let mut active: Vec<(Nat, &Nat)> = Vec::with_capacity(pairs.len());
+        let mut max_bits = 0usize;
+        for (base, exp) in pairs {
+            if exp.is_zero() {
+                continue; // factor of 1
+            }
+            let b = self.to_mont(base);
+            if b.is_zero() {
+                return Nat::zero(); // 0^e (e > 0) annihilates the product
+            }
+            max_bits = max_bits.max(exp.bit_len());
+            active.push((b, exp));
+        }
+        if active.is_empty() {
+            return Nat::one().rem_nat(&self.n);
+        }
+        // Pick the window by total multiply count for *this* shape: per
+        // base a `2^w - 2`-multiply table plus one multiply per nonzero
+        // `w`-bit digit (`⌈b/w⌉ · (1 - 2^{-w})` on average). For short
+        // exponents (batch-verification weights are 32 bits) wide windows
+        // lose — the tables dominate — so w=2 wins there, while long
+        // recombination exponents still get w=4.
+        let m = active.len() as f64;
+        let b = max_bits as f64;
+        let w = (1usize..=4)
+            .min_by_key(|&w| {
+                let table = m * (f64::from(1u32 << w) - 2.0);
+                let digits = m * (b / w as f64).ceil() * (1.0 - f64::from(1u32 << w).recip());
+                (table + digits) as u64
+            })
+            .unwrap_or(2);
+        // Full digit tables: tables[i][d-1] = baseᵢ^d for d in 1..2^w.
+        let tables: Vec<Vec<Nat>> = active
+            .iter()
+            .map(|(b, _)| {
+                let mut t = Vec::with_capacity((1usize << w) - 1);
+                t.push(b.clone());
+                for d in 2..(1usize << w) {
+                    t.push(self.mont_mul(&t[d - 2], b));
+                }
+                t
+            })
+            .collect();
+        let windows = max_bits.div_ceil(w);
+        let mut acc: Option<Nat> = None;
+        for win in (0..windows).rev() {
+            if let Some(a) = acc.take() {
+                let mut sq = a;
+                for _ in 0..w {
+                    sq = self.mont_sqr(&sq);
+                }
+                acc = Some(sq);
+            }
+            let lo = win * w;
+            let hi = ((win + 1) * w).min(max_bits);
+            for (i, (_, exp)) in active.iter().enumerate() {
+                let mut d = 0usize;
+                for j in (lo..hi).rev() {
+                    d = (d << 1) | usize::from(exp.bit(j));
+                }
+                if d != 0 {
+                    acc = Some(match acc.take() {
+                        Some(a) => self.mont_mul(&a, &tables[i][d - 1]),
+                        None => tables[i][d - 1].clone(),
+                    });
+                }
+            }
+        }
+        match acc {
+            Some(a) => self.from_mont(&a),
+            None => Nat::one().rem_nat(&self.n),
+        }
+    }
+
     /// Normalizes a limb buffer (≥ k limbs plus carries) to a `Nat < n`.
     /// After CIOS/REDC the value is `< 2n`, so a single conditional
     /// subtraction suffices.
@@ -220,6 +329,86 @@ impl MontgomeryContext {
         } else {
             v
         }
+    }
+}
+
+/// Fixed-base precomputation: the powers-of-two ladder `base^(2^i) mod n`
+/// in Montgomery form. See [`MontgomeryContext::fixed_base`]. The ladder
+/// is immutable after construction, so it can sit behind an `Arc` and be
+/// shared across verification threads without locks.
+#[derive(Debug, Clone)]
+pub struct FixedBaseWindow {
+    /// `pow2[i] = base^(2^i)` in Montgomery form; empty iff `base ≡ 0 mod n`.
+    pow2: Vec<Nat>,
+}
+
+impl FixedBaseWindow {
+    /// Number of exponent bits the precomputed ladder covers directly.
+    /// Larger exponents still work — the ladder extends itself on the fly
+    /// at one squaring per extra bit.
+    #[must_use]
+    pub fn max_bits(&self) -> usize {
+        self.pow2.len()
+    }
+
+    /// Approximate heap footprint in bytes (for cache budgeting).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.pow2
+            .iter()
+            .map(|p| core::mem::size_of_val(p.limbs()))
+            .sum()
+    }
+
+    /// `base^exp mod n`. `ctx` **must** be the context the ladder was
+    /// built from (same modulus); results are nonsense otherwise.
+    #[must_use]
+    pub fn modpow(&self, ctx: &MontgomeryContext, exp: &Nat) -> Nat {
+        ctx.from_mont(&self.pow_mont(ctx, exp))
+    }
+
+    /// Like [`FixedBaseWindow::modpow`] but returns the Montgomery-form
+    /// residue, for callers chaining the power into further products.
+    #[must_use]
+    pub fn pow_mont(&self, ctx: &MontgomeryContext, exp: &Nat) -> Nat {
+        if exp.is_zero() {
+            // base^0 = 1 (Montgomery form), matching `modpow`'s convention
+            // even for base ≡ 0.
+            return ctx.one.clone();
+        }
+        if self.pow2.is_empty() {
+            return Nat::zero(); // base ≡ 0 mod n
+        }
+        let bits = exp.bit_len();
+        let mut acc: Option<Nat> = None;
+        let in_table = bits.min(self.pow2.len());
+        for (i, p) in self.pow2.iter().enumerate().take(in_table) {
+            if exp.bit(i) {
+                acc = Some(match acc.take() {
+                    Some(a) => ctx.mont_mul(&a, p),
+                    None => p.clone(),
+                });
+            }
+        }
+        if bits > self.pow2.len() {
+            // Exponent outgrew the table: continue the ladder on the fly.
+            let mut cur = ctx.mont_sqr(self.pow2.last().expect("nonempty ladder"));
+            let mut i = self.pow2.len();
+            loop {
+                if exp.bit(i) {
+                    acc = Some(match acc.take() {
+                        Some(a) => ctx.mont_mul(&a, &cur),
+                        None => cur.clone(),
+                    });
+                }
+                i += 1;
+                if i >= bits {
+                    break;
+                }
+                cur = ctx.mont_sqr(&cur);
+            }
+        }
+        acc.expect("nonzero exponent has a set bit")
     }
 }
 
@@ -316,6 +505,66 @@ mod tests {
             ctx.modpow(&nat(1_000_003 + 7), &nat(3)),
             nat(7).modpow_plain(&nat(3), &m)
         );
+    }
+
+    #[test]
+    fn fixed_base_matches_modpow() {
+        let p: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("p");
+        let ctx = MontgomeryContext::new(&p).expect("ctx");
+        let base = nat(0xDEAD_BEEF_CAFE);
+        let win = ctx.fixed_base(&base, 64);
+        for e in [0u128, 1, 2, 3, 65_537, 0xFFFF_FFFF_FFFF_FFFF] {
+            assert_eq!(win.modpow(&ctx, &nat(e)), ctx.modpow(&base, &nat(e)));
+        }
+        // Exponent wider than the precomputed ladder: on-the-fly extension.
+        let wide = &p - &Nat::one();
+        assert_eq!(win.modpow(&ctx, &wide), ctx.modpow(&base, &wide));
+    }
+
+    #[test]
+    fn fixed_base_zero_base_and_unreduced_base() {
+        let m = nat(1_000_003);
+        let ctx = MontgomeryContext::new(&m).expect("ctx");
+        let zero_win = ctx.fixed_base(&Nat::zero(), 32);
+        assert_eq!(zero_win.modpow(&ctx, &nat(5)), Nat::zero());
+        assert_eq!(zero_win.modpow(&ctx, &Nat::zero()), Nat::one());
+        let big = ctx.fixed_base(&nat(1_000_003 + 7), 32);
+        assert_eq!(big.modpow(&ctx, &nat(3)), ctx.modpow(&nat(7), &nat(3)));
+    }
+
+    #[test]
+    fn multi_modpow_matches_product_of_modpows() {
+        let p: Nat = "340282366920938463463374607431768211297"
+            .parse()
+            .expect("p");
+        let ctx = MontgomeryContext::new(&p).expect("ctx");
+        let pairs_raw = [
+            (nat(3), nat(1_000_000_007)),
+            (nat(0xDEADBEEF), nat(65_537)),
+            (nat(12345), nat(0)),
+            (nat(7), nat(0xFFFF_FFFF)),
+        ];
+        let pairs: Vec<(&Nat, &Nat)> = pairs_raw.iter().map(|(b, e)| (b, e)).collect();
+        let mut expect = Nat::one();
+        for (b, e) in &pairs_raw {
+            expect = expect.mulm(&ctx.modpow(b, e), &p);
+        }
+        assert_eq!(ctx.multi_modpow(&pairs), expect);
+    }
+
+    #[test]
+    fn multi_modpow_edge_cases() {
+        let m = nat(1_000_003);
+        let ctx = MontgomeryContext::new(&m).expect("ctx");
+        // Empty product and all-zero exponents are 1.
+        assert_eq!(ctx.multi_modpow(&[]), Nat::one());
+        let (z, b) = (Nat::zero(), nat(9));
+        assert_eq!(ctx.multi_modpow(&[(&b, &z)]), Nat::one());
+        // A zero base with a positive exponent annihilates everything.
+        let (e, big) = (nat(3), nat(1_000_003 * 2));
+        assert_eq!(ctx.multi_modpow(&[(&b, &e), (&big, &e)]), Nat::zero());
     }
 
     #[test]

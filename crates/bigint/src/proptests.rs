@@ -135,6 +135,36 @@ proptest! {
     }
 
     #[test]
+    fn fixed_base_window_matches_montgomery_modpow(
+        base in arb_nat(),
+        exp in proptest::collection::vec(any::<u64>(), 0..4).prop_map(Nat::from_limbs),
+        m in arb_odd_modulus(),
+        table_bits in 1usize..96,
+    ) {
+        // The ladder path (including on-the-fly extension past the table)
+        // must be byte-identical to the sliding-window Montgomery path.
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus > 1");
+        let win = ctx.fixed_base(&base, table_bits);
+        prop_assert_eq!(win.modpow(&ctx, &exp), ctx.modpow(&base, &exp));
+    }
+
+    #[test]
+    fn multi_modpow_matches_factored_product(
+        b1 in arb_nat(), b2 in arb_nat(), b3 in arb_nat(),
+        e1 in proptest::collection::vec(any::<u64>(), 0..3).prop_map(Nat::from_limbs),
+        e2 in proptest::collection::vec(any::<u64>(), 0..3).prop_map(Nat::from_limbs),
+        e3 in proptest::collection::vec(any::<u64>(), 0..3).prop_map(Nat::from_limbs),
+        m in arb_odd_modulus(),
+    ) {
+        let ctx = MontgomeryContext::new(&m).expect("odd modulus > 1");
+        let got = ctx.multi_modpow(&[(&b1, &e1), (&b2, &e2), (&b3, &e3)]);
+        let expect = ctx.modpow(&b1, &e1)
+            .mulm(&ctx.modpow(&b2, &e2), &m)
+            .mulm(&ctx.modpow(&b3, &e3), &m);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
     fn montgomery_mul_matches_mulm(a in arb_nat(), b in arb_nat(), m in arb_odd_modulus()) {
         let ctx = MontgomeryContext::new(&m).expect("odd modulus > 1");
         let am = ctx.to_mont(&a);

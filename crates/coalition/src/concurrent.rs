@@ -63,6 +63,12 @@ pub struct DecisionSnapshot {
     /// The live cache handle (internally synchronized and
     /// revocation-invalidated); `None` when the cache is off.
     verify_cache: Option<VerifyCache>,
+    /// Whether the crypto phase routes through the trust store's shared
+    /// fixed-base precomputation cache. The tables live *inside* `store`,
+    /// so they travel behind the same `Arc` as the keys they were derived
+    /// from — a store swap can never pair this snapshot with foreign
+    /// tables.
+    precomp: bool,
     /// Pre-resolved crypto-latency histogram, when metrics are attached.
     crypto_ns: Option<Arc<Histogram>>,
 }
@@ -75,6 +81,7 @@ impl DecisionSnapshot {
             recency_refusal: server.recency_error(),
             store: server.trust_store_handle(),
             verify_cache: server.verify_cache_handle(),
+            precomp: server.crypto_precomp(),
             crypto_ns: server.crypto_histogram(),
         }
     }
@@ -98,7 +105,14 @@ impl DecisionSnapshot {
             return CryptoOutcome::failed(detail.clone());
         }
         let t = self.crypto_ns.as_ref().map(|_| Instant::now());
-        let outcome = crypto_verify(&self.store, self.verify_cache.as_ref(), self.at, req);
+        let outcome = crypto_verify(
+            &self.store,
+            self.verify_cache.as_ref(),
+            self.at,
+            req,
+            self.precomp,
+            None,
+        );
         if let (Some(h), Some(t)) = (&self.crypto_ns, t) {
             h.record_duration(t.elapsed());
         }

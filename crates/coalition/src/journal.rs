@@ -62,6 +62,10 @@ pub enum ConfigKind {
     RecencyWindow,
     /// [`crate::server::CoalitionServer::set_derivation_memo_capacity`].
     DerivationMemoCapacity,
+    /// [`crate::server::CoalitionServer::set_crypto_precomp`].
+    CryptoPrecomp,
+    /// [`crate::server::CoalitionServer::set_batch_verify`].
+    BatchVerify,
 }
 
 impl ConfigKind {
@@ -75,6 +79,8 @@ impl ConfigKind {
             ConfigKind::DerivationMemo => 6,
             ConfigKind::RecencyWindow => 7,
             ConfigKind::DerivationMemoCapacity => 8,
+            ConfigKind::CryptoPrecomp => 9,
+            ConfigKind::BatchVerify => 10,
         }
     }
 
@@ -88,6 +94,8 @@ impl ConfigKind {
             6 => ConfigKind::DerivationMemo,
             7 => ConfigKind::RecencyWindow,
             8 => ConfigKind::DerivationMemoCapacity,
+            9 => ConfigKind::CryptoPrecomp,
+            10 => ConfigKind::BatchVerify,
             other => {
                 return Err(CoalitionError::Journal(format!(
                     "unknown config kind {other}"
@@ -811,6 +819,8 @@ mod tests {
             JournalRecord::ClockAdvance(Time(42)),
             JournalRecord::Config(ConfigKind::ReplayCapacity, 128),
             JournalRecord::Config(ConfigKind::DerivationMemoCapacity, -1),
+            JournalRecord::Config(ConfigKind::CryptoPrecomp, 1),
+            JournalRecord::Config(ConfigKind::BatchVerify, 1),
             JournalRecord::ObjectAdded {
                 name: "Object O".into(),
                 acl: acl.clone(),

@@ -308,6 +308,20 @@ impl Coalition {
         self.server.set_derivation_memo(on);
     }
 
+    /// Enables/disables fixed-base precomputation in the server's crypto
+    /// phase (delegates to [`CoalitionServer::set_crypto_precomp`]; off by
+    /// default).
+    pub fn set_crypto_precomp(&mut self, on: bool) {
+        self.server.set_crypto_precomp(on);
+    }
+
+    /// Enables/disables batch signature verification for
+    /// [`CoalitionServer::verify_batch`] (delegates to
+    /// [`CoalitionServer::set_batch_verify`]; off by default).
+    pub fn set_batch_verify(&mut self, on: bool) {
+        self.server.set_batch_verify(on);
+    }
+
     /// Turns observability on for the whole coalition: one shared
     /// [`MetricsRegistry`] wired through the server's §4.3 pipeline
     /// ([`CoalitionServer::set_metrics`]) and the AA's networked signing

@@ -22,7 +22,7 @@
 //! decisions and audit entries record how many signature checks were served
 //! from the cache rather than verified cryptographically.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,12 +30,13 @@ use jaap_core::engine::Engine;
 use jaap_core::protocol::{self, AccessRequest, Acl, Operation, SignedStatement};
 use jaap_core::syntax::Time;
 use jaap_core::{Derivation, MemoStats};
-use jaap_crypto::rsa::RsaCiphertext;
+use jaap_crypto::batch;
+use jaap_crypto::rsa::{RsaCiphertext, RsaPublicKey, RsaSignature};
 use jaap_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::cache::{self, VerifyCache};
 use crate::journal::{ConfigKind, DecisionRecord, JournalRecord, ReplayRecord, ServerJournal};
@@ -135,6 +136,30 @@ impl CryptoOutcome {
     }
 }
 
+/// Per-request view of the batch pre-pass
+/// ([`CoalitionServer::batch_precheck`]): which presented certificates
+/// were already vouched by the combined small-exponents checks. Vouchers
+/// are positional — the pre-pass inspected the exact artifact at that
+/// position — so the per-request phase does no hashing to consult them.
+/// A vouched certificate skips its individual verification inside
+/// [`crypto_verify`] but still counts toward `signature_checks` (the
+/// check happened — in a batch), so decisions and audit lines are
+/// byte-identical with batching on or off. Vouched certificates are
+/// deliberately **not** inserted into the [`VerifyCache`]: the cache only
+/// ever holds certificates that survived an *individual* verification.
+/// Request statements are never batched: they are one-shot residues, and
+/// with a small public exponent a combined check costs more multiplies
+/// than the serial exponentiation it would replace — they take the
+/// precomp path (shared Montgomery contexts) instead.
+pub(crate) struct CryptoPrecheck {
+    /// `id[i]` ⟺ `identity_certs[i]`'s signature batch-verified.
+    id: Vec<bool>,
+    /// `thr[i]` ⟺ `threshold_certs[i]`'s signature batch-verified.
+    thr: Vec<bool>,
+    /// `attr[i]` ⟺ `attribute_certs[i]`'s signature batch-verified.
+    attr: Vec<bool>,
+}
+
 /// Default bound on the replay-protection `seen` map: enough to absorb any
 /// realistic retry window while keeping a long-running server's memory flat
 /// on an unbounded request stream. Override with
@@ -180,6 +205,9 @@ struct ServerMetrics {
     journal_snapshots: Arc<Counter>,
     journal_append_ns: Arc<Histogram>,
     audit_evictions: Arc<Counter>,
+    crypto_precomp_hits: Arc<Counter>,
+    crypto_batch_verifies: Arc<Counter>,
+    crypto_batch_fallbacks: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -209,6 +237,9 @@ impl ServerMetrics {
             journal_snapshots: registry.counter("server.journal.snapshots"),
             journal_append_ns: registry.histogram("server.journal.append_ns"),
             audit_evictions: registry.counter("server.audit.evictions"),
+            crypto_precomp_hits: registry.counter("server.crypto.precomp_hits"),
+            crypto_batch_verifies: registry.counter("server.crypto.batch_verifies"),
+            crypto_batch_fallbacks: registry.counter("server.crypto.batch_fallbacks"),
             registry: registry.clone(),
         }
     }
@@ -252,6 +283,27 @@ pub struct CoalitionServer {
     /// Optional certificate-verification memoization (off by default so
     /// benchmarks measure real verification work).
     verify_cache: Option<VerifyCache>,
+    /// Fixed-base window precomputation for the crypto phase (off by
+    /// default so benchmarks measure uncached exponentiation). The tables
+    /// themselves live inside the trust store's shared
+    /// [`jaap_crypto::precomp::VerifierPrecomp`], so every published
+    /// decision snapshot carries them behind the same `Arc` as the keys
+    /// they were derived from — a store swap or key rotation can never
+    /// pair a stale table with a new key.
+    crypto_precomp: bool,
+    /// Small-exponents randomized batch signature verification across the
+    /// requests of one [`CoalitionServer::verify_batch`] call (off by
+    /// default). Verdicts are identical to serial verification: a failed
+    /// combined check falls back to bisection with exact per-item leaf
+    /// checks.
+    batch_verify: bool,
+    /// Precomp cache hits already mirrored into the registry (the shared
+    /// cache's counters are monotone; each mirror pushes the delta).
+    precomp_mirrored: u64,
+    /// Seeds the per-batch random weights of batch verification. Separate
+    /// from `rng` so enabling batching never perturbs the response
+    /// encryption stream.
+    batch_rng: StdRng,
     /// Pre-resolved instrument handles; `None` keeps the request path free
     /// of metrics work entirely.
     metrics: Option<ServerMetrics>,
@@ -318,6 +370,10 @@ impl CoalitionServer {
             seen_order: VecDeque::new(),
             seen_capacity: DEFAULT_REPLAY_CAPACITY,
             verify_cache: None,
+            crypto_precomp: false,
+            batch_verify: false,
+            precomp_mirrored: 0,
+            batch_rng: StdRng::seed_from_u64(0xBA7C4),
             metrics: None,
             memo_mirrored: MemoStats::default(),
             journal: None,
@@ -509,6 +565,47 @@ impl CoalitionServer {
         }
     }
 
+    /// Enables/disables fixed-base window precomputation in the crypto
+    /// phase. Tables are built lazily per (base, modulus) inside the trust
+    /// store's shared verifier-precomp cache and reused across requests;
+    /// accept/reject behavior is unchanged.
+    pub fn set_crypto_precomp(&mut self, on: bool) {
+        self.touch();
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::CryptoPrecomp,
+            i64::from(on),
+        ));
+        self.crypto_precomp = on;
+    }
+
+    /// Whether fixed-base precomputation is on (decision snapshots capture
+    /// this flag at publish).
+    #[must_use]
+    pub fn crypto_precomp(&self) -> bool {
+        self.crypto_precomp
+    }
+
+    /// Enables/disables small-exponents batch signature verification for
+    /// [`CoalitionServer::verify_batch`]: certificates sharing a modulus
+    /// (and statements sharing a signer key) across the whole batch are
+    /// checked with one randomly weighted combined exponentiation,
+    /// bisecting on failure so verdicts — and therefore decisions and
+    /// audit lines — stay identical to serial verification.
+    pub fn set_batch_verify(&mut self, on: bool) {
+        self.touch();
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::BatchVerify,
+            i64::from(on),
+        ));
+        self.batch_verify = on;
+    }
+
+    /// Whether batch signature verification is on.
+    #[must_use]
+    pub fn batch_verify_enabled(&self) -> bool {
+        self.batch_verify
+    }
+
     /// Attaches a metrics registry: per-phase decision latencies
     /// (`server.phase.*_ns`, `server.decision_ns`), decision counters
     /// (`server.{decisions,granted,denied}`), replay-dedup counters
@@ -524,6 +621,7 @@ impl CoalitionServer {
         // Counters in a fresh registry start at zero; mirror only activity
         // from this point on.
         self.memo_mirrored = self.engine.derivation_memo_stats().unwrap_or_default();
+        self.precomp_mirrored = self.store.precomp().stats().hits();
         if let Some(cache) = &self.verify_cache {
             cache.set_metrics(registry);
         }
@@ -805,6 +903,8 @@ impl CoalitionServer {
                     self.verify_cache.as_ref(),
                     self.engine.now(),
                     req,
+                    self.crypto_precomp,
+                    None,
                 );
                 if let (Some(m), Some(t)) = (&self.metrics, crypto_started) {
                     m.crypto_ns.record_duration(t.elapsed());
@@ -849,15 +949,37 @@ impl CoalitionServer {
                 .map(|_| CryptoOutcome::failed(detail.clone()))
                 .collect()
         } else {
+            // Batch pre-pass (when enabled): one combined exponentiation
+            // vouches for all signatures sharing a key across the whole
+            // batch; the per-request phase below skips exactly the
+            // individual checks the pre-pass already performed. Its cost
+            // is crypto-phase work and is recorded as such, so the phase
+            // histogram prices the accelerated path honestly.
+            let precheck_started = crypto_ns.as_ref().map(|_| Instant::now());
+            let prechecks = self.batch_precheck(requests);
+            if let (Some(h), Some(t)) = (&crypto_ns, precheck_started) {
+                if prechecks.is_some() {
+                    h.record_duration(t.elapsed());
+                }
+            }
+            let use_precomp = self.crypto_precomp;
             // The pool's scoped fan-out blocks until every worker is done,
             // so the closure can borrow the trust store, the cache handle,
             // and the request slice directly. `workers == 1` runs inline
             // inside `run_indexed`, keeping the serial path pool-free.
             let store = &self.store;
             let cache = self.verify_cache.clone();
+            let prechecks = &prechecks;
             WorkerPool::global().run_indexed(requests.len(), workers, |i| {
                 let t = crypto_ns.as_ref().map(|_| Instant::now());
-                let outcome = crypto_verify(store, cache.as_ref(), now, &requests[i]);
+                let outcome = crypto_verify(
+                    store,
+                    cache.as_ref(),
+                    now,
+                    &requests[i],
+                    use_precomp,
+                    prechecks.as_ref().map(|p| &p[i]),
+                );
                 if let (Some(h), Some(t)) = (&crypto_ns, t) {
                     h.record_duration(t.elapsed());
                 }
@@ -870,6 +992,200 @@ impl CoalitionServer {
             .zip(outcomes)
             .map(|(req, outcome)| self.finish_decision(req, outcome))
             .collect()
+    }
+
+    /// The batch pre-pass behind [`CoalitionServer::set_batch_verify`]:
+    /// groups every presented certificate by issuer across the whole
+    /// batch, deduplicates byte-identical presentations, runs one
+    /// randomly weighted combined verification per issuer group
+    /// ([`batch::verify_batch`], bisecting on failure, warm residues
+    /// leaf-checked over their ladders), and returns per-request
+    /// positional vouchers for exactly the signatures that passed.
+    /// Signatures that fail — or whose issuer cannot be resolved — are
+    /// left unvouched and take the serial path, reproducing the serial
+    /// error verbatim. Request statements are *not* batched: they are
+    /// one-shot signatures, and with `e = 2¹⁶ + 1` an item's marginal
+    /// share of a combined product already exceeds its serial check.
+    /// `None` when batching is off.
+    fn batch_precheck(&mut self, requests: &[JointAccessRequest]) -> Option<Vec<CryptoPrecheck>> {
+        if !self.batch_verify || requests.is_empty() {
+            return None;
+        }
+        /// Where a presented certificate sits: (request index, position).
+        #[derive(Clone, Copy)]
+        enum Slot {
+            Id(usize, usize),
+            Thr(usize, usize),
+            Attr(usize, usize),
+        }
+        /// The exact artifact behind a batch item. Equality is full
+        /// structural equality — body fields *and* signature — so a dedup
+        /// hit proves the presentation is identical to the item already
+        /// batched, without serializing its body again (`body_bytes` is a
+        /// pure function of the compared fields).
+        #[derive(PartialEq)]
+        enum CertRef<'a> {
+            Id(&'a jaap_pki::IdentityCertificate),
+            Thr(&'a jaap_pki::ThresholdAttributeCertificate),
+            Attr(&'a jaap_pki::AttributeCertificate),
+        }
+        impl CertRef<'_> {
+            /// The canonical signed bytes — built once per unique item.
+            fn body(&self) -> Vec<u8> {
+                match self {
+                    CertRef::Id(c) => jaap_pki::IdentityCertificate::body_bytes(
+                        &c.issuer,
+                        &c.subject,
+                        &c.subject_key,
+                        c.validity,
+                        c.timestamp,
+                    ),
+                    CertRef::Thr(c) => jaap_pki::ThresholdAttributeCertificate::body_bytes(
+                        &c.issuer,
+                        &c.subject,
+                        &c.group,
+                        c.validity,
+                        c.timestamp,
+                    ),
+                    CertRef::Attr(c) => jaap_pki::AttributeCertificate::body_bytes(
+                        &c.issuer,
+                        &c.subject,
+                        &c.subject_key,
+                        &c.group,
+                        c.validity,
+                        c.timestamp,
+                    ),
+                }
+            }
+        }
+        struct Group<'a> {
+            key: &'a RsaPublicKey,
+            items: Vec<batch::BatchItem>,
+            /// The artifact behind each item, parallel to `items`.
+            certs: Vec<CertRef<'a>>,
+            /// Every presentation of each item, parallel to `items`.
+            slots: Vec<Vec<Slot>>,
+            /// Signature residue → items carrying it; a structural match
+            /// against one of them is a dedup hit. Keyed by reference:
+            /// repeat presentations cost a hash and a field compare, no
+            /// allocation.
+            dedup: HashMap<&'a jaap_bigint::Nat, Vec<usize>>,
+        }
+        fn add<'a>(
+            groups: &mut BTreeMap<&'a str, Group<'a>>,
+            issuer: &'a str,
+            key: &'a RsaPublicKey,
+            cert: CertRef<'a>,
+            sig: &'a RsaSignature,
+            slot: Slot,
+        ) {
+            let group = groups.entry(issuer).or_insert_with(|| Group {
+                key,
+                items: Vec::new(),
+                certs: Vec::new(),
+                slots: Vec::new(),
+                dedup: HashMap::new(),
+            });
+            let bucket = group.dedup.entry(sig.value()).or_default();
+            let idx = match bucket.iter().copied().find(|&j| group.certs[j] == cert) {
+                Some(j) => j,
+                None => {
+                    let j = group.items.len();
+                    group.items.push(group.key.batch_item(&cert.body(), sig));
+                    group.certs.push(cert);
+                    group.slots.push(Vec::new());
+                    bucket.push(j);
+                    j
+                }
+            };
+            group.slots[idx].push(slot);
+        }
+        // BTreeMap over issuer names: the weight RNG draws one seed per
+        // group, so group order must be deterministic. The AA group keys
+        // on "", which no domain name collides with.
+        let store = &self.store;
+        let mut groups: BTreeMap<&str, Group<'_>> = BTreeMap::new();
+        let aa_rsa = store.aa_key().map(|k| k.rsa());
+        for (i, req) in requests.iter().enumerate() {
+            for (ci, cert) in req.identity_certs.iter().enumerate() {
+                // An unresolvable issuer is left unvouched so the serial
+                // path reproduces the exact `UnknownIssuer` error.
+                let Some(ca) = store.ca_key(&cert.issuer) else {
+                    continue;
+                };
+                let slot = Slot::Id(i, ci);
+                add(
+                    &mut groups,
+                    &cert.issuer,
+                    ca,
+                    CertRef::Id(cert),
+                    &cert.signature,
+                    slot,
+                );
+            }
+            if let Some(aa) = aa_rsa {
+                for (ci, cert) in req.threshold_certs.iter().enumerate() {
+                    let slot = Slot::Thr(i, ci);
+                    add(
+                        &mut groups,
+                        "",
+                        aa,
+                        CertRef::Thr(cert),
+                        &cert.signature,
+                        slot,
+                    );
+                }
+                for (ci, cert) in req.attribute_certs.iter().enumerate() {
+                    let slot = Slot::Attr(i, ci);
+                    add(
+                        &mut groups,
+                        "",
+                        aa,
+                        CertRef::Attr(cert),
+                        &cert.signature,
+                        slot,
+                    );
+                }
+            }
+        }
+        let precomp = Arc::clone(store.precomp());
+        let mut prechecks: Vec<CryptoPrecheck> = requests
+            .iter()
+            .map(|r| CryptoPrecheck {
+                id: vec![false; r.identity_certs.len()],
+                thr: vec![false; r.threshold_certs.len()],
+                attr: vec![false; r.attribute_certs.len()],
+            })
+            .collect();
+        let (mut combined, mut fallbacks) = (0u64, 0u64);
+        for group in groups.into_values() {
+            let Some(mp) = precomp.for_key(group.key.modulus(), group.key.exponent()) else {
+                continue;
+            };
+            // Certificates are standing artifacts, so their residues are
+            // recurring bases: single-item groups and bisection leaves
+            // ride the fixed-base ladders.
+            let outcome = batch::verify_batch(&mp, &group.items, self.batch_rng.next_u64(), true);
+            combined += outcome.combined_checks;
+            fallbacks += outcome.fallbacks;
+            for (ok, slots) in outcome.results.iter().copied().zip(&group.slots) {
+                if !ok {
+                    continue;
+                }
+                for slot in slots {
+                    match *slot {
+                        Slot::Id(i, ci) => prechecks[i].id[ci] = true,
+                        Slot::Thr(i, ci) => prechecks[i].thr[ci] = true,
+                        Slot::Attr(i, ci) => prechecks[i].attr[ci] = true,
+                    }
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.crypto_batch_verifies.add(combined);
+            m.crypto_batch_fallbacks.add(fallbacks);
+        }
+        Some(prechecks)
     }
 
     /// The stale-revocation-information refusal, if the recency policy is
@@ -1031,6 +1347,13 @@ impl CoalitionServer {
                 .set(i64::try_from(stats.entries).unwrap_or(i64::MAX));
             self.memo_mirrored = stats;
         }
+        // The verifier-precomp cache is shared (it lives in the trust
+        // store and is exercised off-lock by snapshots too); mirror the
+        // monotone hit counter by delta, like the memo counters above.
+        let precomp_hits = self.store.precomp().stats().hits();
+        m.crypto_precomp_hits
+            .add(precomp_hits.saturating_sub(self.precomp_mirrored));
+        self.precomp_mirrored = precomp_hits;
         let interner = self.engine.interner_stats();
         let as_i64 = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
         m.interner_symbols.set(as_i64(interner.symbols));
@@ -1232,6 +1555,8 @@ impl CoalitionServer {
                 i64::from(self.verify_cache.is_some()),
             ),
             JournalRecord::Config(ConfigKind::DerivationMemo, i64::from(memo_on)),
+            JournalRecord::Config(ConfigKind::CryptoPrecomp, i64::from(self.crypto_precomp)),
+            JournalRecord::Config(ConfigKind::BatchVerify, i64::from(self.batch_verify)),
         ];
         if memo_on {
             records.push(JournalRecord::Config(
@@ -1443,6 +1768,8 @@ impl CoalitionServer {
                 let capacity = (value >= 0).then(|| usize::try_from(value).unwrap_or(usize::MAX));
                 self.set_derivation_memo_capacity(capacity);
             }
+            ConfigKind::CryptoPrecomp => self.set_crypto_precomp(value != 0),
+            ConfigKind::BatchVerify => self.set_batch_verify(value != 0),
         }
     }
 
@@ -1576,15 +1903,32 @@ impl CoalitionServer {
 /// The crypto phase: verify and idealize every certificate (through the
 /// cache when one is supplied) and verify every statement signature. Pure
 /// in the server state — safe to run on worker threads.
+///
+/// `use_precomp` routes individual verifications through the trust
+/// store's shared fixed-base precomputation cache; `precheck` carries the
+/// batch pre-pass vouchers ([`CoalitionServer::batch_precheck`]). Both
+/// accept/reject exactly as the plain path and leave the check counters
+/// unchanged, so decisions and audit lines are byte-identical either way.
 pub(crate) fn crypto_verify(
     store: &TrustStore,
     cache: Option<&VerifyCache>,
     now: Time,
     req: &JointAccessRequest,
+    use_precomp: bool,
+    precheck: Option<&CryptoPrecheck>,
 ) -> CryptoOutcome {
     let mut checks = 0usize;
     let mut cached = 0usize;
-    let result = crypto_verify_inner(store, cache, now, req, &mut checks, &mut cached);
+    let result = crypto_verify_inner(
+        store,
+        cache,
+        now,
+        req,
+        use_precomp,
+        precheck,
+        &mut checks,
+        &mut cached,
+    );
     CryptoOutcome {
         signature_checks: checks,
         cached_signature_checks: cached,
@@ -1592,20 +1936,24 @@ pub(crate) fn crypto_verify(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn crypto_verify_inner(
     store: &TrustStore,
     cache: Option<&VerifyCache>,
     now: Time,
     req: &JointAccessRequest,
+    use_precomp: bool,
+    precheck: Option<&CryptoPrecheck>,
     checks: &mut usize,
     cached: &mut usize,
 ) -> Result<CryptoVerified, String> {
     // Crypto step 1: verify and idealize certificates.
     let mut identity_msgs = Vec::new();
-    for cert in &req.identity_certs {
+    for (ci, cert) in req.identity_certs.iter().enumerate() {
+        let digest = cache.is_some().then(|| cache::identity_digest(cert));
         let key = cache
             .and_then(|_| store.ca_key(&cert.issuer))
-            .map(|ca_key| (cache::identity_digest(cert), key_name(ca_key).to_string()));
+            .and_then(|ca_key| digest.clone().map(|d| (d, key_name(ca_key).to_string())));
         if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
             if let Some(msg) = cache.lookup(key, now) {
                 *cached += 1;
@@ -1613,27 +1961,33 @@ fn crypto_verify_inner(
                 continue;
             }
         }
+        let vouched = precheck.is_some_and(|p| p.id.get(ci).copied().unwrap_or(false));
         *checks += 1;
         let msg = store
-            .idealize_identity(cert)
+            .idealize_identity_with(cert, use_precomp, vouched)
             .map_err(|e| format!("identity certificate: {e}"))?;
-        if let (Some(cache), Some(key)) = (cache, key) {
-            cache.insert(
-                key,
-                msg.clone(),
-                cert.validity.end,
-                vec![cert.subject.clone()],
-                None,
-            );
+        // A batch-vouched certificate never populates the cache: cache
+        // entries must rest on an individual verification.
+        if !vouched {
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.insert(
+                    key,
+                    msg.clone(),
+                    cert.validity.end,
+                    vec![cert.subject.clone()],
+                    None,
+                );
+            }
         }
         identity_msgs.push(msg);
     }
     let aa_key_id = || store.aa_key().map(|k| key_name(k.rsa()).to_string());
     let mut attribute_msgs = Vec::new();
-    for cert in &req.threshold_certs {
+    for (ci, cert) in req.threshold_certs.iter().enumerate() {
+        let digest = cache.is_some().then(|| cache::threshold_digest(cert));
         let key = cache
             .and_then(|_| aa_key_id())
-            .map(|kid| (cache::threshold_digest(cert), kid));
+            .and_then(|kid| digest.clone().map(|d| (d, kid)));
         if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
             if let Some(msg) = cache.lookup(key, now) {
                 *cached += 1;
@@ -1641,29 +1995,33 @@ fn crypto_verify_inner(
                 continue;
             }
         }
+        let vouched = precheck.is_some_and(|p| p.thr.get(ci).copied().unwrap_or(false));
         *checks += 1;
         let msg = store
-            .idealize_threshold_attribute(cert)
+            .idealize_threshold_attribute_with(cert, use_precomp, vouched)
             .map_err(|e| format!("threshold attribute certificate: {e}"))?;
-        if let (Some(cache), Some(key)) = (cache, key) {
-            cache.insert(
-                key,
-                msg.clone(),
-                cert.validity.end,
-                cert.subject
-                    .members
-                    .iter()
-                    .map(|(name, _)| name.clone())
-                    .collect(),
-                Some(cert.group.as_str().to_string()),
-            );
+        if !vouched {
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.insert(
+                    key,
+                    msg.clone(),
+                    cert.validity.end,
+                    cert.subject
+                        .members
+                        .iter()
+                        .map(|(name, _)| name.clone())
+                        .collect(),
+                    Some(cert.group.as_str().to_string()),
+                );
+            }
         }
         attribute_msgs.push(msg);
     }
-    for cert in &req.attribute_certs {
+    for (ci, cert) in req.attribute_certs.iter().enumerate() {
+        let digest = cache.is_some().then(|| cache::attribute_digest(cert));
         let key = cache
             .and_then(|_| aa_key_id())
-            .map(|kid| (cache::attribute_digest(cert), kid));
+            .and_then(|kid| digest.clone().map(|d| (d, kid)));
         if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
             if let Some(msg) = cache.lookup(key, now) {
                 *cached += 1;
@@ -1671,25 +2029,29 @@ fn crypto_verify_inner(
                 continue;
             }
         }
+        let vouched = precheck.is_some_and(|p| p.attr.get(ci).copied().unwrap_or(false));
         *checks += 1;
         let msg = store
-            .idealize_attribute(cert)
+            .idealize_attribute_with(cert, use_precomp, vouched)
             .map_err(|e| format!("attribute certificate: {e}"))?;
-        if let (Some(cache), Some(key)) = (cache, key) {
-            cache.insert(
-                key,
-                msg.clone(),
-                cert.validity.end,
-                vec![cert.subject.clone()],
-                Some(cert.group.as_str().to_string()),
-            );
+        if !vouched {
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.insert(
+                    key,
+                    msg.clone(),
+                    cert.validity.end,
+                    vec![cert.subject.clone()],
+                    Some(cert.group.as_str().to_string()),
+                );
+            }
         }
         attribute_msgs.push(msg);
     }
 
     // Crypto step 2: verify the request-statement signatures against the
     // keys certified for the signers. Statements are fresh per request and
-    // never cached.
+    // never cached (and `recurring = false` below: a one-shot residue
+    // earns no fixed-base ladder, only the shared Montgomery context).
     let mut signed_statements = Vec::new();
     for stmt in &req.statements {
         let cert = req
@@ -1699,7 +2061,17 @@ fn crypto_verify_inner(
             .ok_or_else(|| format!("no identity certificate presented for {}", stmt.principal))?;
         let body = statement_bytes(&stmt.principal, &req.operation, stmt.at);
         *checks += 1;
-        if !cert.subject_key.verify(&body, &stmt.signature) {
+        let ok = if use_precomp {
+            cert.subject_key.verify_with(
+                Some(store.precomp().as_ref()),
+                false,
+                &body,
+                &stmt.signature,
+            )
+        } else {
+            cert.subject_key.verify(&body, &stmt.signature)
+        };
+        if !ok {
             return Err(format!(
                 "request signature by {} does not verify",
                 stmt.principal

@@ -15,7 +15,9 @@
 use jaap_bigint::Nat;
 use jaap_net::{Endpoint, FaultPlan, Network, NetworkStats, PartyId};
 
+use crate::batch;
 use crate::fdh;
+use crate::precomp::ModulusPrecomp;
 use crate::rsa::RsaSignature;
 use crate::shared::{KeyShare, SharedPublicKey};
 use crate::CryptoError;
@@ -73,13 +75,44 @@ pub fn combine(
     }
     let modulus = public.modulus();
     let h = fdh::encode(msg, modulus);
-    let mut acc = Nat::one();
-    for s in shares {
-        acc = acc.mulm(&s.value, modulus);
+    let correction = Nat::from(public.correction());
+    let Some(mp) = ModulusPrecomp::standalone(modulus, public.exponent()) else {
+        // Outside the Montgomery domain (never for an RSA modulus):
+        // reference mulm chain plus a plain verify.
+        let mut acc = Nat::one();
+        for s in shares {
+            acc = acc.mulm(&s.value, modulus);
+        }
+        acc = acc.mulm(&h.modpow(&correction, modulus), modulus);
+        let sig = RsaSignature::from_value(acc);
+        return if public.verify(msg, &sig) {
+            Ok(sig)
+        } else {
+            Err(CryptoError::SelfCheckFailed)
+        };
+    };
+    // S = Π Sᵢ · h^correction in one Straus multi-exponentiation (one
+    // shared squaring chain instead of a mulm division per share).
+    let one = Nat::one();
+    let mut pairs: Vec<(&Nat, &Nat)> = shares.iter().map(|s| (&s.value, &one)).collect();
+    if !correction.is_zero() {
+        pairs.push((&h, &correction));
     }
-    acc = acc.mulm(&h.modpow(&Nat::from(public.correction()), modulus), modulus);
-    let sig = RsaSignature::from_value(acc);
-    if public.verify(msg, &sig) {
+    let sig = RsaSignature::from_value(mp.context().multi_modpow(&pairs));
+    // Self-check through the batch-verification machinery (a one-item
+    // batch is the exact serial check, minus a redundant context build
+    // and FDH re-encode). A failure — any corrupt share — must surface
+    // as SelfCheckFailed, never a panic.
+    let checked = batch::verify_batch(
+        &mp,
+        &[batch::BatchItem {
+            h,
+            sig: sig.value().clone(),
+        }],
+        0,
+        false,
+    );
+    if checked.results == [true] {
         Ok(sig)
     } else {
         Err(CryptoError::SelfCheckFailed)
@@ -338,6 +371,35 @@ mod tests {
             combine(&public, b"m", &sig_shares),
             Err(CryptoError::SelfCheckFailed)
         );
+    }
+
+    mod bad_share_robustness {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// Arbitrarily corrupted share values (zero, huge, unreduced)
+            /// must surface as `SelfCheckFailed`, never as a panic; an
+            /// accepted result must verify.
+            #[test]
+            fn combine_never_panics_on_random_bad_shares(
+                victim in 0usize..3,
+                limbs in proptest::collection::vec(any::<u64>(), 0..6),
+            ) {
+                let (public, shares) = dealt(3, 40);
+                let mut ss: Vec<SignatureShare> = shares
+                    .iter()
+                    .map(|s| produce_share(s, b"m").expect("share"))
+                    .collect();
+                ss[victim].value = Nat::from_limbs(limbs);
+                match combine(&public, b"m", &ss) {
+                    Ok(sig) => prop_assert!(public.verify(b"m", &sig)),
+                    Err(e) => prop_assert_eq!(e, CryptoError::SelfCheckFailed),
+                }
+            }
+        }
     }
 
     #[test]

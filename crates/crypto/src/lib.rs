@@ -26,6 +26,10 @@
 //!   (Wu et al. [27], discussed in §6).
 //! * [`collusion`] — share-combination analysis backing the paper's
 //!   collusion claims (§3.1, §6).
+//! * [`precomp`] — shared verifier precomputation: cached per-modulus
+//!   Montgomery contexts and per-base fixed-base ladders (DESIGN §5h).
+//! * [`batch`] — small-exponents randomized batch verification with
+//!   bisection fallback (Bellare–Garay–Rabin).
 //! * [`shamir`] — field and integer Shamir secret sharing (used by the BGW
 //!   multiplication inside keygen and by the threshold scheme).
 //!
@@ -52,10 +56,12 @@
 //! member domains "do not compromise the coalition operations by refusing to
 //! co-operate" (§2.1, Requirement III). See DESIGN.md §7.
 
+pub mod batch;
 pub mod collusion;
 mod error;
 pub mod fdh;
 pub mod joint;
+pub mod precomp;
 pub mod refresh;
 pub mod rsa;
 pub mod session;

@@ -16,18 +16,43 @@ use crate::CryptoError;
 pub const PUBLIC_EXPONENT: u64 = 65_537;
 
 /// An RSA public key: modulus `N` and exponent `e`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RsaPublicKey {
     n: Nat,
     e: Nat,
+    /// Memoized [`RsaPublicKey::key_id`]. Every certificate idealization
+    /// names both the issuer and subject keys, so without the memo the
+    /// hot path re-hashes and re-hexes the modulus on every decision.
+    /// Identity (`PartialEq`/`Hash`) and serialization ignore it.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    id: std::sync::OnceLock<String>,
+}
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+impl std::hash::Hash for RsaPublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.e.hash(state);
+    }
 }
 
 impl RsaPublicKey {
     /// Creates a public key from raw components.
     #[must_use]
     pub fn new(n: Nat, e: Nat) -> Self {
-        RsaPublicKey { n, e }
+        RsaPublicKey {
+            n,
+            e,
+            id: std::sync::OnceLock::new(),
+        }
     }
 
     /// The modulus `N`.
@@ -44,13 +69,19 @@ impl RsaPublicKey {
 
     /// The key id: `SHA-256(N || e)` in hex, exactly the "hash of N and the
     /// public exponent e" the paper uses to identify a shared key (§3.2).
+    /// Computed once per key and memoized — idealization names keys by id
+    /// on every certificate, so this sits on the decision hot path.
     #[must_use]
     pub fn key_id(&self) -> String {
-        let mut h = Sha256::new();
-        h.update(&self.n.to_bytes_be());
-        h.update(b"|");
-        h.update(&self.e.to_bytes_be());
-        hex(&h.finalize())
+        self.id
+            .get_or_init(|| {
+                let mut h = Sha256::new();
+                h.update(&self.n.to_bytes_be());
+                h.update(b"|");
+                h.update(&self.e.to_bytes_be());
+                hex(&h.finalize())
+            })
+            .clone()
     }
 
     /// Verifies `sig` over `msg`: checks `sig^e mod N == FDH(msg)`.
@@ -60,6 +91,44 @@ impl RsaPublicKey {
             return false;
         }
         sig.s.modpow(&self.e, &self.n) == fdh::encode(msg, &self.n)
+    }
+
+    /// Like [`RsaPublicKey::verify`], but through a shared
+    /// [`crate::precomp::VerifierPrecomp`] when one is supplied: the
+    /// Montgomery context for `N` is built once and reused, and with
+    /// `recurring = true` the signature residue additionally gets (or
+    /// reuses) a fixed-base ladder — the right setting for standing
+    /// certificates that are re-presented on every request. Accepts and
+    /// rejects exactly the same `(msg, sig)` pairs as the plain path.
+    #[must_use]
+    pub fn verify_with(
+        &self,
+        precomp: Option<&crate::precomp::VerifierPrecomp>,
+        recurring: bool,
+        msg: &[u8],
+        sig: &RsaSignature,
+    ) -> bool {
+        match precomp.and_then(|p| p.for_key(&self.n, &self.e)) {
+            Some(mp) => {
+                if sig.s.is_zero() || sig.s >= self.n {
+                    return false;
+                }
+                mp.verify(&fdh::encode(msg, &self.n), &sig.s, recurring)
+            }
+            None => self.verify(msg, sig),
+        }
+    }
+
+    /// The `(FDH digest, signature residue)` pair a batch verifier checks
+    /// for this key: [`crate::batch::verify_batch`] accepts item `i` iff
+    /// `sig^e ≡ h (mod N)` with `sig` in range — the same predicate
+    /// [`RsaPublicKey::verify`] decides.
+    #[must_use]
+    pub fn batch_item(&self, msg: &[u8], sig: &RsaSignature) -> crate::batch::BatchItem {
+        crate::batch::BatchItem {
+            h: fdh::encode(msg, &self.n),
+            sig: sig.s.clone(),
+        }
     }
 }
 
@@ -118,7 +187,10 @@ impl RsaPublicKey {
                 "modulus too small for encryption".into(),
             ));
         }
-        let payload_per_block = modulus_bytes - 9;
+        // The length field is one byte, so a block can carry at most 255
+        // payload bytes no matter how wide the modulus is (moduli ≥ ~2121
+        // bits would otherwise overflow the `u8` length and panic).
+        let payload_per_block = (modulus_bytes - 9).min(255);
         let mut blocks = Vec::new();
         let chunks: Vec<&[u8]> = if msg.is_empty() {
             vec![&[][..]]
@@ -244,6 +316,36 @@ impl RsaKeyPair {
                 crt,
             });
         }
+    }
+
+    /// Assembles a key pair from two known primes (skipping the prime
+    /// search). This is how tests exercise RSA sizes whose prime search
+    /// would be prohibitively slow (e.g. 4096-bit moduli).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidParameters`] if `p == q` or
+    /// `gcd(e, (p-1)(q-1)) != 1`.
+    pub fn from_primes(p: Nat, q: Nat) -> Result<Self, CryptoError> {
+        if p == q || p.is_zero() || q.is_zero() || p.is_one() || q.is_one() {
+            return Err(CryptoError::InvalidParameters(
+                "need two distinct primes > 1".into(),
+            ));
+        }
+        let e = Nat::from(PUBLIC_EXPONENT);
+        let n = &p * &q;
+        let phi = &(&p - &Nat::one()) * &(&q - &Nat::one());
+        let d = e.modinv(&phi).ok_or_else(|| {
+            CryptoError::InvalidParameters("public exponent not invertible mod phi".into())
+        })?;
+        let crt = CrtParams::derive(&d, &p, &q);
+        Ok(RsaKeyPair {
+            public: RsaPublicKey::new(n, e),
+            d,
+            p,
+            q,
+            crt,
+        })
     }
 
     /// The public half.
@@ -489,6 +591,37 @@ mod tests {
         assert!(ct.block_count() > 1);
         assert_eq!(kp.decrypt(&ct).expect("decrypt"), msg);
     }
+
+    #[test]
+    fn wide_modulus_encrypt_caps_block_payload() {
+        // Regression: with a 4096-bit modulus, `modulus_bytes - 9` = 502
+        // used to overflow the one-byte length field and panic in
+        // `u8::try_from`. Blocks are now capped at 255 payload bytes.
+        // Fixed 2048-bit primes — a 4096-bit prime search is far too slow.
+        let p: Nat = P_2048.parse().expect("p");
+        let q: Nat = Q_2048.parse().expect("q");
+        let kp = RsaKeyPair::from_primes(p, q).expect("from_primes");
+        assert!(kp.public().modulus().bit_len() >= 4095);
+        let mut rng = StdRng::seed_from_u64(40);
+        for msg in [&b"short"[..], &[0x5au8; 700]] {
+            let ct = kp.public().encrypt(&mut rng, msg).expect("encrypt");
+            assert_eq!(kp.decrypt(&ct).expect("decrypt"), msg);
+        }
+        // 700 bytes at ≤255 per block needs at least 3 blocks.
+        let ct = kp.public().encrypt(&mut rng, &[1u8; 700]).expect("encrypt");
+        assert!(ct.block_count() >= 3);
+    }
+
+    #[test]
+    fn from_primes_rejects_degenerate_inputs() {
+        let p = Nat::from(65_539u64); // prime
+        assert!(RsaKeyPair::from_primes(p.clone(), p.clone()).is_err());
+        assert!(RsaKeyPair::from_primes(p, Nat::one()).is_err());
+    }
+
+    const P_2048: &str = "27103645358824024953839486658618473063979572936846093152521807758073520106861345748273914845707917892562930489258573312718015930073323481103957782149481134752661315998340710658490409342266046380321244654677891218645127674020759094187220008345964970833710882310258608087433739380993185206305190802517055071302282435096650748604647965412106278325978650086922553971234347167279063557652461492444797108190271673076215376840230687304387501224522116717808228813724412354506706732839502562431193404124237699647976334127139081174612487907462811309564321341044575708084789343261022567088760544373096687776333536360633614267339";
+
+    const Q_2048: &str = "19392149477145514375889813178220910675003966902213025233556788081673026864784025530577589765174335811871629927469820240941746765461892289819458120348684768345797726261208553586239002194396952521401303571573017062321138725027054112134817070243312256062283676997332906737378885195628861793279543224013614051313095656871600599980412045123841161314848806763384493429604486251306157779349842402256654854051199975641040681239488072902673921439097980882486823509807931784155986087420843909781823455126131212575594639196074188625477884970862596961885038830371770048284847154874553359959891249558811042777354021570266076322679";
 
     #[test]
     fn deterministic_for_seed() {

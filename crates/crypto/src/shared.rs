@@ -40,6 +40,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::fdh;
+use crate::precomp::ModulusPrecomp;
 use crate::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature, PUBLIC_EXPONENT};
 use crate::CryptoError;
 
@@ -104,6 +105,19 @@ impl SharedPublicKey {
     #[must_use]
     pub fn verify(&self, msg: &[u8], sig: &RsaSignature) -> bool {
         self.public.verify(msg, sig)
+    }
+
+    /// Like [`SharedPublicKey::verify`], through a shared verifier
+    /// precomputation cache (see [`RsaPublicKey::verify_with`]).
+    #[must_use]
+    pub fn verify_with(
+        &self,
+        precomp: Option<&crate::precomp::VerifierPrecomp>,
+        recurring: bool,
+        msg: &[u8],
+        sig: &RsaSignature,
+    ) -> bool {
+        self.public.verify_with(precomp, recurring, msg, sig)
     }
 }
 
@@ -413,8 +427,17 @@ fn keygen_party(
         }
         let mut correction = None;
         let mut candidate_sig = product;
+        // One shared Montgomery context for the whole search: the old
+        // per-candidate `modpow` rebuilt the context (two divisions) on
+        // every r. The check itself is the batch-verification leaf
+        // (`ModulusPrecomp::verify`).
+        let calib = ModulusPrecomp::standalone(&modulus, &e);
         for r in 0..n as u64 {
-            if candidate_sig.modpow(&e, &modulus) == h {
+            let found = match &calib {
+                Some(mp) => mp.verify(&h, &candidate_sig, false),
+                None => candidate_sig.modpow(&e, &modulus) == h,
+            };
+            if found {
                 correction = Some(r);
                 break;
             }

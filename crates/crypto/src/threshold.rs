@@ -23,7 +23,9 @@
 use jaap_bigint::{Int, Nat};
 use rand::RngCore;
 
+use crate::batch;
 use crate::fdh;
+use crate::precomp::ModulusPrecomp;
 use crate::rsa::{RsaKeyPair, RsaPublicKey, RsaSignature};
 use crate::shamir::integer::{self, IntShare};
 use crate::shared::{KeyShare, SharedPublicKey};
@@ -245,22 +247,92 @@ pub fn combine(
     }
     let modulus = public.public.modulus();
     let h = fdh::encode(msg, modulus);
+    let e = public.public.exponent();
+    let delta = integer::delta(public.n);
+    let delta2 = &delta * &delta;
+    let Some(mp) = ModulusPrecomp::standalone(modulus, e) else {
+        return combine_reference(public, msg, shares, &subset, &h, &delta2);
+    };
+    let ctx = mp.context();
 
-    // w = Π Sⱼ^{Δλⱼ} · H^{Δ²·correction} = H^{Δ²·d}
-    let mut w = Nat::one();
+    // w = Π Sⱼ^{Δλⱼ} · H^{Δ²·correction} = H^{Δ²·d}, as one Straus
+    // multi-exponentiation: the Δ-scaled Lagrange exponents are wide, so
+    // sharing a single squaring chain across the m shares (plus the
+    // correction term) is where the recombination speedup comes from.
+    // Negative exponents invert the base first, as in the serial path.
+    let mut terms: Vec<(Nat, Nat)> = Vec::with_capacity(public.m + 1);
     for s in shares.iter().take(public.m) {
         let coeff = integer::lagrange_delta(&subset, s.index, public.n);
+        let base = if coeff.is_negative() {
+            s.value.modinv(modulus).ok_or(CryptoError::NotInvertible)?
+        } else {
+            s.value.clone()
+        };
+        terms.push((base, coeff.magnitude().clone()));
+    }
+    if public.correction != 0 {
+        terms.push((h.clone(), &delta2 * &Nat::from(public.correction)));
+    }
+    let pairs: Vec<(&Nat, &Nat)> = terms.iter().map(|(b, x)| (b, x)).collect();
+    let w = ctx.multi_modpow(&pairs);
+
+    // s = w^a · H^b where a·Δ² + b·e = 1 — a two-term multi-exp.
+    let (g, a, b) = delta2.ext_gcd(e);
+    if !g.is_one() {
+        return Err(CryptoError::BadShares(
+            "gcd(Δ², e) != 1 — unsupported parameters".into(),
+        ));
+    }
+    let mut fin: Vec<(Nat, Nat)> = Vec::with_capacity(2);
+    for (exp, base) in [(&a, &w), (&b, &h)] {
+        let base = if exp.is_negative() {
+            base.modinv(modulus).ok_or(CryptoError::NotInvertible)?
+        } else {
+            base.clone()
+        };
+        fin.push((base, exp.magnitude().clone()));
+    }
+    let fin_pairs: Vec<(&Nat, &Nat)> = fin.iter().map(|(x, y)| (x, y)).collect();
+    let sig = RsaSignature::from_value(ctx.multi_modpow(&fin_pairs));
+    // Self-check via the batch machinery (one-item batch = exact check);
+    // bad shares must always land here as SelfCheckFailed, never panic.
+    let checked = batch::verify_batch(
+        &mp,
+        &[batch::BatchItem {
+            h,
+            sig: sig.value().clone(),
+        }],
+        0,
+        false,
+    );
+    if checked.results == [true] {
+        Ok(sig)
+    } else {
+        Err(CryptoError::SelfCheckFailed)
+    }
+}
+
+/// The pre-multi-exp reference combination (kept for moduli outside the
+/// Montgomery domain, which honest RSA parameters never produce).
+fn combine_reference(
+    public: &ThresholdPublic,
+    msg: &[u8],
+    shares: &[ThresholdSigShare],
+    subset: &[usize],
+    h: &Nat,
+    delta2: &Nat,
+) -> Result<RsaSignature, CryptoError> {
+    let modulus = public.public.modulus();
+    let mut w = Nat::one();
+    for s in shares.iter().take(public.m) {
+        let coeff = integer::lagrange_delta(subset, s.index, public.n);
         let factor = apply_int_exponent(&coeff, &s.value, modulus)?;
         w = w.mulm(&factor, modulus);
     }
-    let delta = integer::delta(public.n);
-    let delta2 = &delta * &delta;
     if public.correction != 0 {
-        let corr_exp = &delta2 * &Nat::from(public.correction);
+        let corr_exp = delta2 * &Nat::from(public.correction);
         w = w.mulm(&h.modpow(&corr_exp, modulus), modulus);
     }
-
-    // s = w^a · H^b where a·Δ² + b·e = 1.
     let e = public.public.exponent();
     let (g, a, b) = delta2.ext_gcd(e);
     if !g.is_one() {
@@ -269,7 +341,7 @@ pub fn combine(
         ));
     }
     let wa = apply_int_exponent(&a, &w, modulus)?;
-    let hb = apply_int_exponent(&b, &h, modulus)?;
+    let hb = apply_int_exponent(&b, h, modulus)?;
     let sig = RsaSignature::from_value(wa.mulm(&hb, modulus));
     if public.verify(msg, &sig) {
         Ok(sig)
@@ -458,6 +530,35 @@ mod tests {
             combine(&public, b"m", &ss),
             Err(CryptoError::SelfCheckFailed)
         );
+    }
+
+    mod bad_share_robustness {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// Arbitrarily corrupted share values must surface as
+            /// `SelfCheckFailed` (or `NotInvertible` for non-residues) —
+            /// never as a panic — and an accepted result must verify.
+            #[test]
+            fn combine_never_panics_on_random_bad_shares(
+                victim in 0usize..2,
+                limbs in proptest::collection::vec(any::<u64>(), 0..6),
+            ) {
+                let (public, shares) = dealt(2, 3, 50);
+                let mut ss = sig_shares(&shares, &[0, 1], b"m");
+                ss[victim].value = Nat::from_limbs(limbs);
+                match combine(&public, b"m", &ss) {
+                    Ok(sig) => prop_assert!(public.verify(b"m", &sig)),
+                    Err(e) => prop_assert!(matches!(
+                        e,
+                        CryptoError::SelfCheckFailed | CryptoError::NotInvertible
+                    )),
+                }
+            }
+        }
     }
 
     #[test]

@@ -132,6 +132,35 @@ impl ThresholdAttributeCertificate {
         }
     }
 
+    /// Like [`ThresholdAttributeCertificate::verify`], through a shared
+    /// verifier precomputation cache (`recurring = true` — standing certs
+    /// earn fixed-base ladders). Accepts/rejects identically to `verify`.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::BadSignature`] if verification fails.
+    pub fn verify_with(
+        &self,
+        aa_key: &SharedPublicKey,
+        precomp: Option<&jaap_crypto::precomp::VerifierPrecomp>,
+    ) -> Result<(), PkiError> {
+        let body = Self::body_bytes(
+            &self.issuer,
+            &self.subject,
+            &self.group,
+            self.validity,
+            self.timestamp,
+        );
+        if aa_key.verify_with(precomp, true, &body, &self.signature) {
+            Ok(())
+        } else {
+            Err(PkiError::BadSignature(format!(
+                "threshold attribute certificate for {} by {}",
+                self.group, self.issuer
+            )))
+        }
+    }
+
     /// The idealized certificate:
     /// `⟨AA says_tAA (CP_{m,n} ⇒ [tb,te] G)⟩_{K_AA⁻¹}`.
     #[must_use]
@@ -206,6 +235,36 @@ impl AttributeCertificate {
             self.timestamp,
         );
         if aa_key.verify(&body, &self.signature) {
+            Ok(())
+        } else {
+            Err(PkiError::BadSignature(format!(
+                "attribute certificate for {} by {}",
+                self.subject, self.issuer
+            )))
+        }
+    }
+
+    /// Like [`AttributeCertificate::verify`], through a shared verifier
+    /// precomputation cache (`recurring = true`). Accepts/rejects
+    /// identically to `verify`.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::BadSignature`] if verification fails.
+    pub fn verify_with(
+        &self,
+        aa_key: &SharedPublicKey,
+        precomp: Option<&jaap_crypto::precomp::VerifierPrecomp>,
+    ) -> Result<(), PkiError> {
+        let body = Self::body_bytes(
+            &self.issuer,
+            &self.subject,
+            &self.subject_key,
+            &self.group,
+            self.validity,
+            self.timestamp,
+        );
+        if aa_key.verify_with(precomp, true, &body, &self.signature) {
             Ok(())
         } else {
             Err(PkiError::BadSignature(format!(

@@ -71,6 +71,36 @@ impl IdentityCertificate {
         }
     }
 
+    /// Like [`IdentityCertificate::verify`], but through a shared verifier
+    /// precomputation cache with `recurring = true`: standing certificates
+    /// are re-presented on every request, so their signature residues earn
+    /// fixed-base ladders. Accepts/rejects identically to `verify`.
+    ///
+    /// # Errors
+    ///
+    /// [`PkiError::BadSignature`] if verification fails.
+    pub fn verify_with(
+        &self,
+        issuer_key: &RsaPublicKey,
+        precomp: Option<&jaap_crypto::precomp::VerifierPrecomp>,
+    ) -> Result<(), PkiError> {
+        let body = Self::body_bytes(
+            &self.issuer,
+            &self.subject,
+            &self.subject_key,
+            self.validity,
+            self.timestamp,
+        );
+        if issuer_key.verify_with(precomp, true, &body, &self.signature) {
+            Ok(())
+        } else {
+            Err(PkiError::BadSignature(format!(
+                "identity certificate for {} by {}",
+                self.subject, self.issuer
+            )))
+        }
+    }
+
     /// The idealized certificate (paper §4.2):
     /// `⟨CA says_tCA (K_P ⇒ [tb,te] P)⟩_{K_CA⁻¹}`.
     #[must_use]

@@ -12,8 +12,11 @@
 //!   This is the boundary where "crypto says the signature is valid"
 //!   becomes "`P received ⟨… ⟩_{K⁻¹}`" in the logic.
 
+use std::sync::Arc;
+
 use jaap_core::engine::TrustAssumptions;
 use jaap_core::syntax::{Message, Subject, Time};
+use jaap_crypto::precomp::VerifierPrecomp;
 use jaap_crypto::rsa::RsaPublicKey;
 use jaap_crypto::shared::SharedPublicKey;
 
@@ -28,6 +31,13 @@ pub struct TrustStore {
     cas: Vec<(String, RsaPublicKey)>,
     aa: Option<AaEntry>,
     ras: Vec<(String, String, RsaPublicKey)>,
+    /// Shared verifier precomputation (DESIGN §5h). Lives *inside* the
+    /// store so a decision snapshot's trust-store `Arc` carries its
+    /// tables with it: a trust-store swap or key rotation hashes to new
+    /// `(N, e)` entries and can never serve a stale table. Clones share
+    /// the cache (keys are pure functions of the key material, so
+    /// sharing across stores is always sound).
+    precomp: Arc<VerifierPrecomp>,
 }
 
 #[derive(Debug, Clone)]
@@ -46,7 +56,14 @@ impl TrustStore {
             cas: Vec::new(),
             aa: None,
             ras: Vec::new(),
+            precomp: Arc::new(VerifierPrecomp::new()),
         }
+    }
+
+    /// The store's shared verifier precomputation cache.
+    #[must_use]
+    pub fn precomp(&self) -> &Arc<VerifierPrecomp> {
+        &self.precomp
     }
 
     /// Trusts a domain CA for identity certificates.
@@ -125,10 +142,35 @@ impl TrustStore {
     /// [`PkiError::UnknownIssuer`] if the CA is not trusted;
     /// [`PkiError::BadSignature`] on verification failure.
     pub fn idealize_identity(&self, cert: &IdentityCertificate) -> Result<Message, PkiError> {
+        self.idealize_identity_with(cert, false, false)
+    }
+
+    /// [`TrustStore::idealize_identity`] with explicit crypto-path knobs:
+    /// `use_precomp` routes the signature check through the store's
+    /// [`VerifierPrecomp`]; `sig_prechecked` skips the signature check
+    /// entirely because the caller already verified it cryptographically
+    /// (a batch combined check) — issuer resolution still runs, so an
+    /// untrusted issuer is rejected identically either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrustStore::idealize_identity`].
+    pub fn idealize_identity_with(
+        &self,
+        cert: &IdentityCertificate,
+        use_precomp: bool,
+        sig_prechecked: bool,
+    ) -> Result<Message, PkiError> {
         let key = self
             .ca_key(&cert.issuer)
             .ok_or_else(|| PkiError::UnknownIssuer(cert.issuer.clone()))?;
-        cert.verify(key)?;
+        if !sig_prechecked {
+            if use_precomp {
+                cert.verify_with(key, Some(&self.precomp))?;
+            } else {
+                cert.verify(key)?;
+            }
+        }
         Ok(cert.idealize(key))
     }
 
@@ -157,12 +199,33 @@ impl TrustStore {
         &self,
         cert: &ThresholdAttributeCertificate,
     ) -> Result<Message, PkiError> {
+        self.idealize_threshold_attribute_with(cert, false, false)
+    }
+
+    /// [`TrustStore::idealize_threshold_attribute`] with crypto-path
+    /// knobs; see [`TrustStore::idealize_identity_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TrustStore::idealize_identity`].
+    pub fn idealize_threshold_attribute_with(
+        &self,
+        cert: &ThresholdAttributeCertificate,
+        use_precomp: bool,
+        sig_prechecked: bool,
+    ) -> Result<Message, PkiError> {
         let aa = self
             .aa
             .as_ref()
             .filter(|e| e.name == cert.issuer)
             .ok_or_else(|| PkiError::UnknownIssuer(cert.issuer.clone()))?;
-        cert.verify(&aa.key)?;
+        if !sig_prechecked {
+            if use_precomp {
+                cert.verify_with(&aa.key, Some(&self.precomp))?;
+            } else {
+                cert.verify(&aa.key)?;
+            }
+        }
         Ok(cert.idealize(&aa.key))
     }
 
@@ -172,12 +235,33 @@ impl TrustStore {
     ///
     /// See [`TrustStore::idealize_identity`].
     pub fn idealize_attribute(&self, cert: &AttributeCertificate) -> Result<Message, PkiError> {
+        self.idealize_attribute_with(cert, false, false)
+    }
+
+    /// [`TrustStore::idealize_attribute`] with crypto-path knobs; see
+    /// [`TrustStore::idealize_identity_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TrustStore::idealize_identity`].
+    pub fn idealize_attribute_with(
+        &self,
+        cert: &AttributeCertificate,
+        use_precomp: bool,
+        sig_prechecked: bool,
+    ) -> Result<Message, PkiError> {
         let aa = self
             .aa
             .as_ref()
             .filter(|e| e.name == cert.issuer)
             .ok_or_else(|| PkiError::UnknownIssuer(cert.issuer.clone()))?;
-        cert.verify(&aa.key)?;
+        if !sig_prechecked {
+            if use_precomp {
+                cert.verify_with(&aa.key, Some(&self.precomp))?;
+            } else {
+                cert.verify(&aa.key)?;
+            }
+        }
         Ok(cert.idealize(&aa.key))
     }
 
