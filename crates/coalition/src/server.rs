@@ -138,7 +138,8 @@ impl CryptoOutcome {
 
 /// Per-request view of the batch pre-pass
 /// ([`CoalitionServer::batch_precheck`]): which presented certificates
-/// were already vouched by the combined small-exponents checks. Vouchers
+/// were already vouched — screened by the combined small-exponents
+/// checks and confirmed by exact settlement or bisection. Vouchers
 /// are positional — the pre-pass inspected the exact artifact at that
 /// position — so the per-request phase does no hashing to consult them.
 /// A vouched certificate skips its individual verification inside
@@ -293,16 +294,21 @@ pub struct CoalitionServer {
     crypto_precomp: bool,
     /// Small-exponents randomized batch signature verification across the
     /// requests of one [`CoalitionServer::verify_batch`] call (off by
-    /// default). Verdicts are identical to serial verification: a failed
-    /// combined check falls back to bisection with exact per-item leaf
-    /// checks.
+    /// default). Verdicts are identical to serial verification: a passing
+    /// combined screen is settled with exact per-item checks and a failed
+    /// one falls back to bisection with exact per-item leaf checks.
     batch_verify: bool,
     /// Precomp cache hits already mirrored into the registry (the shared
     /// cache's counters are monotone; each mirror pushes the delta).
     precomp_mirrored: u64,
-    /// Seeds the per-batch random weights of batch verification. Separate
-    /// from `rng` so enabling batching never perturbs the response
-    /// encryption stream.
+    /// Seeds the per-batch random weights of batch verification. Seeded
+    /// from OS entropy, never a constant: the weights are security
+    /// parameters of the combined screen, and a submitter who can predict
+    /// them can steer batches into worst-case bisection work (verdicts
+    /// stay exact regardless — settlement confirms every screened item).
+    /// Separate from `rng` so enabling batching never perturbs the
+    /// response encryption stream, and so replaying a journal (which
+    /// re-derives `rng`-driven state) never depends on weight draws.
     batch_rng: StdRng,
     /// Pre-resolved instrument handles; `None` keeps the request path free
     /// of metrics work entirely.
@@ -373,7 +379,7 @@ impl CoalitionServer {
             crypto_precomp: false,
             batch_verify: false,
             precomp_mirrored: 0,
-            batch_rng: StdRng::seed_from_u64(0xBA7C4),
+            batch_rng: StdRng::from_os_rng(),
             metrics: None,
             memo_mirrored: MemoStats::default(),
             journal: None,
@@ -588,9 +594,10 @@ impl CoalitionServer {
     /// Enables/disables small-exponents batch signature verification for
     /// [`CoalitionServer::verify_batch`]: certificates sharing a modulus
     /// (and statements sharing a signer key) across the whole batch are
-    /// checked with one randomly weighted combined exponentiation,
-    /// bisecting on failure so verdicts — and therefore decisions and
-    /// audit lines — stay identical to serial verification.
+    /// screened with one randomly weighted combined exponentiation —
+    /// settled with exact per-item checks on a pass, bisected on a
+    /// failure — so verdicts, and therefore decisions and audit lines,
+    /// stay identical to serial verification for every weight draw.
     pub fn set_batch_verify(&mut self, on: bool) {
         self.touch();
         let _ = self.journal_append(&JournalRecord::Config(
@@ -997,10 +1004,11 @@ impl CoalitionServer {
     /// The batch pre-pass behind [`CoalitionServer::set_batch_verify`]:
     /// groups every presented certificate by issuer across the whole
     /// batch, deduplicates byte-identical presentations, runs one
-    /// randomly weighted combined verification per issuer group
-    /// ([`batch::verify_batch`], bisecting on failure, warm residues
-    /// leaf-checked over their ladders), and returns per-request
-    /// positional vouchers for exactly the signatures that passed.
+    /// randomly weighted combined screen per issuer group
+    /// ([`batch::verify_batch`] — screened signatures settle with exact
+    /// per-item checks, failures bisect, warm residues leaf-check over
+    /// their ladders), and returns per-request positional vouchers for
+    /// exactly the signatures that passed an exact check.
     /// Signatures that fail — or whose issuer cannot be resolved — are
     /// left unvouched and take the serial path, reproducing the serial
     /// error verbatim. Request statements are *not* batched: they are

@@ -179,6 +179,51 @@ fn forged_signatures_in_a_batch_are_pinned_to_their_requests() {
     );
 }
 
+/// Review regression (±1 subgroup of `Z_N*`): replacing a signature `s`
+/// with `N - s` flips `s^e` to `-h`, and an *even* number of flips inside
+/// one issuer group cancels out of any parity-fixed weighted product. Both
+/// AA-issued certificates in the batch (write AC + read AC — the one
+/// multi-item combined check) are mauled this way; the exact settlement of
+/// screened items must deny every request with the serial denial.
+#[test]
+fn even_count_minus_s_mauls_are_denied_exactly() {
+    let mut slow = coalition(76);
+    let mut fast = coalition(76);
+    let registry = fast.enable_metrics();
+    fast.set_crypto_precomp(true);
+    fast.set_batch_verify(true);
+
+    let store = slow.trust_store();
+    let n = store.aa_key().expect("aa key").rsa().modulus().clone();
+    let mut reqs = batch(&slow);
+    // The read request pulls the read AC into the AA's group alongside
+    // the write AC, so the group holds exactly two (deduped) items.
+    reqs.push(
+        slow.build_request(&["User_D2"], Operation::new("read", "Object O"))
+            .expect("read request"),
+    );
+    for req in &mut reqs {
+        for tc in &mut req.threshold_certs {
+            let mauled = &n - tc.signature.value();
+            tc.signature = jaap_crypto::rsa::RsaSignature::from_value(mauled);
+        }
+    }
+
+    let d_slow = slow.server_mut().verify_batch(&reqs, 2);
+    let d_fast = fast.server_mut().verify_batch(&reqs, 2);
+    assert_decisions_eq(&d_slow, &d_fast);
+    for (i, d) in d_fast.iter().enumerate() {
+        assert!(!d.granted, "request {i}: mauled AC must be denied");
+    }
+    // The multi-item combined check actually ran on the batching side.
+    assert!(
+        registry
+            .counter_value("server.crypto.batch_verifies")
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
 /// Satellite (cache discipline): a batch-vouched certificate never enters
 /// the verification cache — only individually verified ones do.
 #[test]

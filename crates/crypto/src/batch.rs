@@ -1,5 +1,5 @@
-//! Small-exponents randomized batch verification (Bellare–Garay–Rabin)
-//! with bisection fallback.
+//! Small-exponents randomized batch *screening* (Bellare–Garay–Rabin)
+//! with bisection fallback and exact per-item settlement.
 //!
 //! To verify k FDH signatures `(hᵢ, sᵢ)` against one public key `(N, e)`,
 //! draw random nonzero weights `rᵢ` and test the single equation
@@ -9,21 +9,38 @@
 //! ```
 //!
 //! Both products run through [`MontgomeryContext::multi_modpow`] (one
-//! shared squaring chain), so the whole batch costs roughly one 32-bit
-//! multi-exponentiation plus one `^e` instead of k full verifies.
+//! shared squaring chain). The weights are essential to the screen's
+//! discriminating power — a weightless product check cannot even tell
+//! swapped signatures apart (`s₁ ↔ s₂` leaves `Π sᵢ` unchanged) — and
+//! with independent full-range `λ`-bit weights (`λ = 32` here) the
+//! combined equality binds every item to `sᵢ^e ≡ ±hᵢ` except with
+//! probability `~2^{-λ}`.
 //!
-//! **Soundness.** The weights are essential: a weightless product check
-//! accepts any permutation of valid signatures (swap `s₁ ↔ s₂` and the
-//! product is unchanged). With independent random `rᵢ` of `λ` bits, a
-//! batch containing any invalid signature passes with probability at most
-//! `2^{-λ+1}` (the standard small-exponents bound); here `λ = 32`. The
-//! weights come from a caller-seeded RNG so replays are reproducible.
+//! **Why the screen can never be the accept authority in `Z_N*`.** The
+//! group `Z_N*` contains `-1`, an element of order 2 that anyone can
+//! compute without factoring `N`. Replacing a valid signature `s` with
+//! `N - s` multiplies the combined left-hand side by `(-1)^{rᵢ·e}`, so
+//! the cheat survives the combined equality whenever the weight parities
+//! over the flipped items cancel: with probability 1 if the parities are
+//! fixed (e.g. weights forced odd — a bug this module once had), and
+//! still with probability 1/2 per check even with secret full-range
+//! weights, because one group equation leaks only one parity bit about
+//! the sign vector. No product-based test in `Z_N*` can do better — the
+//! standard `2^{-λ}` small-exponents bound assumes a group of prime
+//! order, which `Z_N*` is not.
 //!
-//! **Byte-identical results.** On a combined-check failure the batch is
-//! bisected; single-item leaves run the exact serial check
-//! `sᵢ^e ≡ hᵢ`, so the accept/reject vector equals the serial path's
-//! (up to the negligible false-accept bound above) and a single bad
-//! signature is pinned at `O(log k)` combined checks.
+//! **Exact settlement.** Verdicts therefore never come from the combined
+//! check alone. A passing screen is *settled*: every screened item is
+//! confirmed with the exact serial equation `sᵢ^e ≡ hᵢ` before being
+//! reported valid. For recurring residues that confirmation runs over
+//! the fixed-base ladder the item must build anyway to go warm — about
+//! two Montgomery multiplies on top of the squaring chain — so
+//! settlement is nearly free on the path that matters. A failing screen
+//! bisects; single-item leaves run the same exact equation. Either way
+//! the accept/reject vector equals the serial path's **unconditionally**,
+//! for every weight sequence, including adversarially known ones: the
+//! weights bound wasted work (how quickly a bad batch is localized),
+//! never the verdicts.
 //!
 //! [`MontgomeryContext::multi_modpow`]: jaap_bigint::MontgomeryContext::multi_modpow
 
@@ -47,17 +64,27 @@ pub struct BatchItem {
 pub struct BatchOutcome {
     /// `results[i]` ⟺ item `i` verifies (same verdicts as serial).
     pub results: Vec<bool>,
-    /// Combined (multi-item) checks performed.
+    /// Combined (multi-item) screening checks performed.
     pub combined_checks: u64,
     /// Combined checks that failed and fell back to bisection.
     pub fallbacks: u64,
     /// Single-item exact checks performed (bisection leaves).
     pub leaf_checks: u64,
+    /// Exact per-item confirmations of screened (combined-pass) items.
+    pub settle_checks: u64,
 }
 
-/// Verifies `items` against the key behind `mp` in one combined check,
-/// bisecting on failure. `seed` drives the weight RNG; any value is
-/// sound, and equal seeds reproduce identical work counters.
+/// Verifies `items` against the key behind `mp`: one combined screening
+/// check, exact per-item settlement on a pass, bisection on a failure.
+///
+/// `seed` drives the weight RNG. The verdicts are exact for **any** seed
+/// (see the module docs — every reported accept was individually
+/// confirmed), so fixed seeds in tests are safe; but the seed should
+/// still be unpredictable to whoever submitted the signatures
+/// (`rand::SeedableRng::from_os_rng`-derived, as the coalition server
+/// does), because weight-aware adversaries can otherwise steer the
+/// screen toward worst-case bisection work. Equal seeds reproduce
+/// identical work counters.
 ///
 /// `recurring` marks the signature residues as recurring bases (standing
 /// certificates re-presented on every request; leave it off for one-shot
@@ -68,9 +95,10 @@ pub struct BatchOutcome {
 ///   check is two Montgomery multiplies, far below the ~30-multiply
 ///   marginal share of a combined product, so re-combining warm bases
 ///   would only slow the batch down;
-/// * the remaining cold items run the combined check, and on acceptance
-///   their ladders are built (one squaring chain each, amortized against
-///   every future presentation) so the next batch takes the warm path.
+/// * the remaining cold items run the combined screen, and their exact
+///   settlement (or bisection leaf) checks build their ladders (one
+///   squaring chain each, amortized against every future presentation)
+///   so the next batch takes the warm path.
 #[must_use]
 pub fn verify_batch(
     mp: &ModulusPrecomp,
@@ -103,22 +131,20 @@ pub fn verify_batch(
         }
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    // 32-bit odd weights: nonzero by construction; oddness costs nothing
-    // and the cheat probability stays ~2⁻³¹.
+    // Full-range nonzero 32-bit weights. Parities must stay free: any
+    // fixed parity (the old `| 1`) lets `-1 ∈ Z_N*` cancel out of the
+    // combined product deterministically (module docs). Zero is
+    // resampled so no item rides the screen unweighted.
     let weights: Vec<Nat> = cold
         .iter()
-        .map(|_| Nat::from(u64::from(rng.next_u32() | 1)))
+        .map(|_| loop {
+            let w = rng.next_u32();
+            if w != 0 {
+                break Nat::from(u64::from(w));
+            }
+        })
         .collect();
     check(mp, items, &cold, &weights, recurring, &mut out);
-    if recurring {
-        // Accepted cold items earn their ladders now (bisection leaves
-        // already built theirs inside `ModulusPrecomp::verify`).
-        for &i in &cold {
-            if out.results[i] && !mp.has_window(&items[i].sig) {
-                let _ = mp.window(&items[i].sig);
-            }
-        }
-    }
     out
 }
 
@@ -158,8 +184,15 @@ fn check(
     let rhs = ctx.multi_modpow(&h_pairs);
     out.combined_checks += 1;
     if lhs == rhs {
+        // The combined equality only binds each item to `sᵢ^e ≡ ±hᵢ`
+        // (the -1 subgroup of Z_N* can cancel across the weighted
+        // product — module docs), so it screens rather than accepts:
+        // settle every item with the exact serial equation. Recurring
+        // residues settle over the fixed-base ladder they must build
+        // anyway to go warm, so the confirmation is ~2 multiplies.
         for &i in idx {
-            out.results[i] = true;
+            out.settle_checks += 1;
+            out.results[i] = mp.verify(&items[i].h, &items[i].sig, recurring);
         }
         return;
     }
@@ -207,25 +240,31 @@ mod tests {
         assert_eq!(out.combined_checks, 1);
         assert_eq!(out.fallbacks, 0);
         assert_eq!(out.leaf_checks, 0);
+        // Every screened accept is individually confirmed.
+        assert_eq!(out.settle_checks, 8);
     }
 
     #[test]
     fn warm_bases_skip_the_combined_check() {
         let (mp, items) = setup(8);
-        // Cold pass: one combined check, which builds the ladders.
+        // Cold pass: one combined screen, settled exactly — the
+        // settlement checks build the ladders.
         let cold = verify_batch(&mp, &items, 1, true);
         assert_eq!(cold.combined_checks, 1);
         assert_eq!(cold.leaf_checks, 0);
+        assert_eq!(cold.settle_checks, 8);
         // Warm pass: every base is known, so each item is an exact leaf
         // check over its ladder — no combined product at all.
         let warm = verify_batch(&mp, &items, 1, true);
         assert!(warm.results.iter().all(|&r| r));
         assert_eq!(warm.combined_checks, 0);
         assert_eq!(warm.leaf_checks, 8);
+        assert_eq!(warm.settle_checks, 0);
         // One-shot residues never earn ladders and always combine.
         let oneshot = verify_batch(&mp, &items, 1, false);
         assert_eq!(oneshot.combined_checks, 1);
         assert_eq!(oneshot.leaf_checks, 0);
+        assert_eq!(oneshot.settle_checks, 8);
     }
 
     #[test]
@@ -239,6 +278,45 @@ mod tests {
         assert!(out.fallbacks >= 1, "combined check must fail");
         // Bisection needs only O(log k) leaf checks, not k.
         assert!(out.leaf_checks <= 4, "got {}", out.leaf_checks);
+        // Every verdict came from exactly one exact check.
+        assert_eq!(out.leaf_checks + out.settle_checks, 8);
+    }
+
+    #[test]
+    fn minus_s_maul_is_rejected_for_every_seed() {
+        // REVIEW regression: -1 has order 2 in Z_N*, so replacing an
+        // *even* number of valid signatures s with N - s cancels out of
+        // the weighted product whenever the flipped weights' parities
+        // sum to zero — with the old forced-odd weights, always. The
+        // screen may pass or fail depending on the seed; the verdicts
+        // must reject the mauled items either way (settlement on a
+        // pass, bisection on a failure), in both residue modes.
+        let (mp, mut items) = setup(8);
+        let n = mp.context().modulus().clone();
+        for i in [2usize, 6] {
+            items[i].sig = &n - &items[i].sig;
+        }
+        let (mut screened, mut bisected) = (0u32, 0u32);
+        for seed in 0..16u64 {
+            for recurring in [false, true] {
+                let out = verify_batch(&mp, &items, seed, recurring);
+                for (i, &r) in out.results.iter().enumerate() {
+                    assert_eq!(r, i != 2 && i != 6, "item {i}, seed {seed}");
+                }
+                if !recurring {
+                    if out.fallbacks == 0 {
+                        screened += 1;
+                    } else {
+                        bisected += 1;
+                    }
+                }
+            }
+        }
+        // With free weight parities both screen outcomes occur across
+        // the seeds (each has probability 1/2 per draw); the screened
+        // case is the one the old code falsely accepted.
+        assert!(screened > 0, "no seed exercised settle-side rejection");
+        assert!(bisected > 0, "no seed exercised bisection rejection");
     }
 
     #[test]
@@ -267,6 +345,7 @@ mod tests {
         let out = verify_batch(&mp, &items, 4, false);
         assert_eq!(out.results, vec![false, true, false, true]);
         assert_eq!(out.fallbacks, 0, "in-range items pass in one check");
+        assert_eq!(out.settle_checks, 2, "only in-range items settle");
     }
 
     mod serial_equivalence {

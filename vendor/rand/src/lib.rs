@@ -2,12 +2,15 @@
 //!
 //! The build environment has no network access, so the workspace vendors a
 //! minimal, API-compatible subset of `rand` 0.9: the [`RngCore`] and
-//! [`SeedableRng`] traits and a deterministic [`rngs::StdRng`] built on
-//! xoshiro256++ seeded via SplitMix64. Statistical quality is more than
-//! adequate for simulation and for Miller–Rabin candidate generation; it is
-//! NOT a cryptographically secure generator, which matches the repository's
-//! existing "research reproduction, not production crypto" caveat
-//! (DESIGN.md §7).
+//! [`SeedableRng`] traits, a deterministic [`rngs::StdRng`] built on
+//! xoshiro256++ seeded via SplitMix64, and an [`rngs::OsRng`] entropy
+//! source (with [`SeedableRng::from_os_rng`]) for seeds that must be
+//! unpredictable — security-parameter draws such as batch-verification
+//! weights seed from it, never from a constant. `StdRng`'s statistical
+//! quality is more than adequate for simulation and for Miller–Rabin
+//! candidate generation; it is NOT a cryptographically secure generator,
+//! which matches the repository's existing "research reproduction, not
+//! production crypto" caveat (DESIGN.md §7).
 
 /// A source of random `u32`/`u64` values and byte fills.
 ///
@@ -41,6 +44,17 @@ pub trait SeedableRng: Sized {
     /// Builds the generator from a full seed.
     fn from_seed(seed: Self::Seed) -> Self;
 
+    /// Builds the generator from operating-system entropy
+    /// ([`rngs::OsRng`]), matching upstream `rand` 0.9's
+    /// `SeedableRng::from_os_rng`. Use this whenever the seed must be
+    /// unpredictable to an adversary (e.g. batch-verification weights);
+    /// `seed_from_u64` is for reproducible simulation only.
+    fn from_os_rng() -> Self {
+        let mut seed = Self::Seed::default();
+        rngs::OsRng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+
     /// Builds the generator from a `u64`, expanding it with SplitMix64
     /// exactly like upstream `rand` does.
     fn seed_from_u64(mut state: u64) -> Self {
@@ -63,6 +77,65 @@ pub mod rngs {
     //! Concrete generators.
 
     use super::{RngCore, SeedableRng};
+
+    /// Operating-system entropy source: reads `/dev/urandom`, falling
+    /// back to process-local entropy (`RandomState`'s per-process random
+    /// keys mixed with the clock and a call counter) on platforms or
+    /// sandboxes where the device is unavailable. Never blocks, never
+    /// panics. Unlike [`StdRng`] the output is not reproducible — that is
+    /// the point: use it to seed generators whose stream must be
+    /// unpredictable to an adversary.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct OsRng;
+
+    impl OsRng {
+        fn fill(dest: &mut [u8]) {
+            use std::io::Read;
+            if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+                if f.read_exact(dest).is_ok() {
+                    return;
+                }
+            }
+            // Fallback: each `RandomState` draws fresh per-process OS
+            // entropy for its keys; hashing a monotone counter and the
+            // wall clock through it yields a distinct unpredictable
+            // stream per call without the device.
+            use std::collections::hash_map::RandomState;
+            use std::hash::{BuildHasher, Hasher};
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static CALLS: AtomicU64 = AtomicU64::new(0);
+            let state = RandomState::new();
+            let nonce = CALLS.fetch_add(1, Ordering::Relaxed);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0);
+            for (i, chunk) in dest.chunks_mut(8).enumerate() {
+                let mut h = state.build_hasher();
+                h.write_u64(nonce);
+                h.write_u64(nanos);
+                h.write_u64(i as u64);
+                let word = h.finish().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut buf = [0u8; 8];
+            Self::fill(&mut buf);
+            u64::from_le_bytes(buf)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            Self::fill(dest);
+        }
+    }
 
     /// Deterministic standard generator: xoshiro256++.
     #[derive(Debug, Clone)]
@@ -159,6 +232,25 @@ mod tests {
         let dynref: &mut dyn RngCore = &mut rng;
         let _ = dynref.next_u32();
         let _ = dynref.next_u64();
+    }
+
+    #[test]
+    fn os_rng_streams_diverge() {
+        use super::rngs::OsRng;
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        OsRng.fill_bytes(&mut a);
+        OsRng.fill_bytes(&mut b);
+        assert_ne!(a, b, "two entropy draws must not repeat");
+        assert_ne!(a, [0u8; 32]);
+    }
+
+    #[test]
+    fn from_os_rng_instances_diverge() {
+        let mut a = StdRng::from_os_rng();
+        let mut b = StdRng::from_os_rng();
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "entropy-seeded generators must diverge");
     }
 
     #[test]
