@@ -1,0 +1,286 @@
+//! Experiment E21: million-principal scale — the persistent indexed
+//! cert/CRL/ACL store under an open-loop load generator.
+//!
+//! A certified population of N principals (identity + `G_read` attribute
+//! certificates) is persisted into a file-backed [`CertStore`] attached
+//! to the coalition server, then driven at a **fixed arrival rate** with
+//! Zipf-distributed principal popularity, membership churn, and periodic
+//! CRL revocation storms (see `jaap_bench::loadgen`). Latency is
+//! scheduled-arrival → completion, so open-loop queueing delay is priced
+//! rather than hidden.
+//!
+//! The run *fails* unless every offered request is served, the achieved
+//! rate sustains the profile's floor, and the store's resident footprint
+//! (page cache + unflushed tail, mirrored by the `store.resident_bytes`
+//! gauge) stays under the configured budget — the bounded-memory claim
+//! the paged cold tier exists to make.
+//!
+//! The full profile encodes the target of the experiment — 10⁶
+//! certified principals at a sustained 10⁵ decisions/sec — and is meant
+//! for a large multi-core box; CI runs the smoke profile (10⁴
+//! principals) which asserts the same invariants at a scaled-down rate.
+//!
+//! Set `E21_PROFILE=smoke` for the seconds-scale run (CI).
+//!
+//! Machine-readable record: one line, grep `"^E21_JSON "`.
+
+use criterion::{criterion_group, Criterion};
+use jaap_bench::loadgen::{
+    assert_store_covers_population, run_open_loop, LoadgenConfig, Population,
+};
+use jaap_bench::{standard_coalition, table_header};
+use jaap_coalition::server::CapacityConfig;
+use jaap_store::{CertStore, Column, StoreConfig};
+use jaap_wal::{FileStore, SyncPolicy};
+
+fn smoke() -> bool {
+    std::env::var("E21_PROFILE").is_ok_and(|v| v == "smoke")
+}
+
+struct Profile {
+    name: &'static str,
+    principals: usize,
+    key_pool: usize,
+    key_bits: usize,
+    requests: usize,
+    rate_per_sec: f64,
+    /// Required sustained decision throughput (decisions/sec).
+    min_rps: f64,
+    store: StoreConfig,
+    capacities: CapacityConfig,
+}
+
+impl Profile {
+    /// Resident-memory budget the run must stay under: the page budget,
+    /// one flush threshold of unflushed tail, plus one page of slack for
+    /// a span mid-read.
+    fn resident_budget(&self) -> u64 {
+        (self.store.cache_pages as u64 + 1) * self.store.page_size
+            + self.store.flush_threshold as u64
+    }
+}
+
+fn profile() -> Profile {
+    if smoke() {
+        Profile {
+            name: "smoke",
+            principals: 10_000,
+            key_pool: 96,
+            key_bits: 192,
+            requests: 6_000,
+            rate_per_sec: 3_000.0,
+            min_rps: 2_000.0,
+            store: StoreConfig {
+                page_size: 16 * 1024,
+                cache_pages: 32,
+                flush_threshold: 64 * 1024,
+            },
+            capacities: CapacityConfig {
+                replay: 4_096,
+                verify_cache: Some(4_096),
+                derivation_memo: Some(4_096),
+                store_cache_pages: Some(32),
+                ..CapacityConfig::default()
+            },
+        }
+    } else {
+        Profile {
+            name: "full",
+            principals: 1_000_000,
+            key_pool: 1_024,
+            key_bits: 192,
+            requests: 3_000_000,
+            rate_per_sec: 100_000.0,
+            min_rps: 100_000.0,
+            store: StoreConfig {
+                page_size: 64 * 1024,
+                cache_pages: 256,
+                flush_threshold: 256 * 1024,
+            },
+            capacities: CapacityConfig::million_principals(),
+        }
+    }
+}
+
+fn print_sweep() {
+    let p = profile();
+    let dir = std::env::temp_dir().join(format!("jaap-e21-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let log_path = dir.join("certstore.log");
+    // SyncPolicy::Never: E21 prices lookup/decision throughput; fsync
+    // pricing is E18's `fsync` sweep.
+    let medium = FileStore::with_sync_policy(&log_path, SyncPolicy::Never).expect("file store");
+    let store = CertStore::open(Box::new(medium), p.store).expect("open store");
+
+    let mut c = standard_coalition(p.key_bits, 0xE21);
+    let registry = c.enable_metrics();
+    c.server_mut()
+        .attach_cert_store(store.clone())
+        .expect("attach store");
+    c.server_mut().apply_capacity_config(&p.capacities);
+    c.server_mut().set_verification_cache(true);
+    c.server_mut().set_crypto_precomp(true);
+    // Open-loop offered load is logically distinct per arrival; replay
+    // dedup would serve Zipf-hot repeats from the replay window and
+    // price nothing.
+    c.server_mut().set_replay_protection(false);
+
+    let setup_started = std::time::Instant::now();
+    let mut population =
+        Population::certify(&c, &store, p.principals, p.key_pool, p.key_bits, 0xE21 + 1);
+    store.flush().expect("flush certified population");
+    let setup_s = setup_started.elapsed().as_secs_f64();
+    let log_bytes = std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0);
+
+    let config = LoadgenConfig {
+        requests: p.requests,
+        rate_per_sec: p.rate_per_sec,
+        zipf_exponent: 1.1,
+        churn_every: p.requests / 12,
+        storm_every: p.requests / 6,
+        tick_every: 512,
+        seed: 0xE21 + 2,
+    };
+    let report = run_open_loop(&mut c, &store, &mut population, &config);
+
+    table_header(
+        &format!(
+            "E21: open-loop load over {} certified principals ({} profile)",
+            p.principals, p.name
+        ),
+        &[
+            "offered rps",
+            "achieved rps",
+            "served",
+            "granted",
+            "denied",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+            "max us",
+            "resident KiB",
+        ],
+    );
+    println!(
+        "{:.0} | {:.0} | {} | {} | {} | {} | {} | {} | {} | {}",
+        report.offered_rps,
+        report.achieved_rps,
+        report.served,
+        report.granted,
+        report.denied,
+        report.p50_us,
+        report.p99_us,
+        report.p999_us,
+        report.max_us,
+        report.resident_peak_bytes / 1024,
+    );
+
+    // The experiment's invariants, asserted in-bench.
+    assert_eq!(report.served, p.requests, "open-loop drivers never drop");
+    assert!(
+        report.achieved_rps >= p.min_rps,
+        "achieved {:.0} rps is below the {} profile floor of {:.0}",
+        report.achieved_rps,
+        p.name,
+        p.min_rps
+    );
+    let budget = p.resident_budget();
+    assert!(
+        report.resident_peak_bytes <= budget,
+        "store resident peak {} exceeds budget {budget}",
+        report.resident_peak_bytes
+    );
+    let gauge = registry.gauge_value("store.resident_bytes").unwrap_or(-1);
+    assert!(
+        gauge >= 0 && (gauge as u64) <= budget,
+        "store.resident_bytes gauge {gauge} outside [0, {budget}]"
+    );
+    assert!(
+        report.granted > report.denied,
+        "the Zipf head must dominate: {} granted vs {} denied",
+        report.granted,
+        report.denied
+    );
+    assert!(report.churned > 0, "churn must mint principals");
+    assert!(report.storms > 0, "revocation storms must fire");
+    assert!(
+        report.p999_us >= report.p99_us && report.p99_us >= report.p50_us,
+        "latency quantiles must be monotone"
+    );
+    assert_store_covers_population(&store, &population);
+    let store_reads = registry.counter_value("store.reads").unwrap_or(0);
+    let store_misses = registry.counter_value("store.misses").unwrap_or(0);
+    assert!(
+        store_reads >= 2 * report.served as u64,
+        "every request fetches both certificate rows from the store"
+    );
+    assert!(
+        store_misses > 0,
+        "the Zipf cold tail must reach the cold tier"
+    );
+
+    println!(
+        "E21_JSON {{\"experiment\":\"e21_store_scale\",\"profile\":\"{}\",\"cores\":{},\"principals\":{},\"key_bits\":{},\"requests\":{},\"offered_rps\":{:.0},\"achieved_rps\":{:.0},\"min_rps\":{:.0},\"served\":{},\"granted\":{},\"denied\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{},\"resident_peak_bytes\":{},\"resident_budget_bytes\":{},\"store_reads\":{},\"store_misses\":{},\"page_evictions\":{},\"log_bytes\":{},\"setup_s\":{:.1},\"churned\":{},\"storms\":{},\"population\":{}}}",
+        p.name,
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        p.principals,
+        p.key_bits,
+        p.requests,
+        report.offered_rps,
+        report.achieved_rps,
+        p.min_rps,
+        report.served,
+        report.granted,
+        report.denied,
+        report.p50_us,
+        report.p99_us,
+        report.p999_us,
+        report.max_us,
+        report.resident_peak_bytes,
+        budget,
+        store_reads,
+        store_misses,
+        registry.counter_value("store.page_evictions").unwrap_or(0),
+        log_bytes,
+        setup_s,
+        report.churned,
+        report.storms,
+        report.population,
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e21_store_scale");
+    let store = CertStore::in_memory(StoreConfig {
+        page_size: 4 * 1024,
+        cache_pages: 8,
+        flush_threshold: 16 * 1024,
+    });
+    let coalition = standard_coalition(192, 0xE21 + 9);
+    let population = Population::certify(&coalition, &store, 512, 24, 192, 0xE21 + 9);
+    store.flush().expect("flush");
+    group.bench_function("hot_identity_lookup", |b| {
+        b.iter(|| store.identity_by_subject(population.name(0)).expect("get"));
+    });
+    group.bench_function("cold_tail_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 97) % 512;
+            store.identity_by_subject(population.name(i)).expect("get")
+        });
+    });
+    assert_eq!(store.len(Column::IdentitySubject), 512);
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_sweep();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

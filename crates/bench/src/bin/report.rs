@@ -17,6 +17,18 @@ use jaap_crypto::{collusion, joint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// First numeric value following `"key":` in a flat JSON record — enough
+/// for the single-level bench records this binary reads, with no JSON
+/// dependency.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &src[src.find(&needle)? + needle.len()..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out = String::new();
     writeln!(out, "# REPORT — regenerated experiment tables\n")?;
@@ -170,6 +182,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "| {} | {:?} | {} | {} |",
             r.domain_count, r.rekey_wall, r.certs_revoked, r.certs_reissued
         )?;
+    }
+
+    // E13→E21 trajectory: one headline number per committed bench record
+    // (`BENCH_e*.json`, written by the CI smoke runs), so the report shows
+    // how the stack's performance story developed without re-running the
+    // long benches.
+    writeln!(out, "\n## E13→E21 — committed bench-record trajectory\n")?;
+    writeln!(out, "| record | headline |")?;
+    writeln!(out, "|---|---|")?;
+    for (file, label, key, unit) in [
+        (
+            "BENCH_e13.json",
+            "E13 journal recovery",
+            "recover_ms",
+            " ms",
+        ),
+        ("BENCH_e14.json", "E14 decision throughput", "rps", " rps"),
+        (
+            "BENCH_e15.json",
+            "E15 observability overhead",
+            "overhead_pct",
+            " %",
+        ),
+        (
+            "BENCH_e16.json",
+            "E16 warm logic speedup (memo on)",
+            "warm_logic_speedup",
+            "x",
+        ),
+        (
+            "BENCH_e17.json",
+            "E17 journaled decision rate",
+            "journaled_rps",
+            " rps",
+        ),
+        (
+            "BENCH_e18.json",
+            "E18 log shipping",
+            "ship_us_per_record",
+            " us/record",
+        ),
+        (
+            "BENCH_e19.json",
+            "E19 sharded baseline",
+            "baseline_rps",
+            " rps",
+        ),
+        ("BENCH_e20.json", "E20 crypto-path speedup", "speedup", "x"),
+        (
+            "BENCH_e21.json",
+            "E21 open-loop sustained rate",
+            "achieved_rps",
+            " rps",
+        ),
+    ] {
+        match std::fs::read_to_string(file) {
+            Ok(src) => {
+                let shown = json_number(&src, key)
+                    .map_or_else(|| "?".to_string(), |v| format!("{v}{unit}"));
+                writeln!(out, "| {label} | {shown} |")?;
+            }
+            Err(_) => writeln!(out, "| {label} | (record not committed) |")?,
+        }
+    }
+    if let Ok(src) = std::fs::read_to_string("BENCH_e21.json") {
+        if let (Some(p99), Some(resident), Some(principals)) = (
+            json_number(&src, "p99_us"),
+            json_number(&src, "resident_peak_bytes"),
+            json_number(&src, "principals"),
+        ) {
+            writeln!(
+                out,
+                "| E21 detail | {principals} principals, p99 {p99} us, \
+                 resident peak {:.0} KiB |",
+                resident / 1024.0
+            )?;
+        }
     }
 
     std::fs::write("REPORT.md", &out)?;

@@ -1,5 +1,7 @@
 //! Shared helpers for the experiment benches (see EXPERIMENTS.md).
 
+pub mod loadgen;
+
 use jaap_coalition::scenario::{Coalition, CoalitionBuilder};
 
 /// Builds the standard Figure 1 coalition used across benches.

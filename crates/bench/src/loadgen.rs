@@ -1,0 +1,523 @@
+//! Open-loop load generator over a persistent certified population (E21).
+//!
+//! Builds a synthetic coalition population of N principals — each with a
+//! CA-issued identity certificate and an AA-issued `G_read` attribute
+//! certificate — persisted into a [`CertStore`], then drives the server
+//! at a **fixed arrival rate**: request *i* is scheduled at
+//! `start + i/λ` regardless of how fast the server drains, and latency
+//! is measured from the scheduled arrival to completion, so queueing
+//! delay under overload is visible (the open-loop discipline; a
+//! closed-loop driver would hide it by slowing its own offer rate).
+//!
+//! Principal popularity is Zipf-distributed: the hot head stays warm in
+//! the verify cache and page cache while the cold tail forces the store
+//! to page certificate bodies in from its cold tier — the working-set
+//! split the paged store exists for. Membership churn mints fresh
+//! principals mid-run, and revocation storms push CRLs revoking
+//! cold-tail principals through the server at fixed intervals.
+//!
+//! Every principal signs with a **unique modulus**: prime search at
+//! population scale would dominate setup, so a small pool of `key_pool`
+//! generated keypairs is factored into `2·key_pool` distinct primes and
+//! each principal's keypair is derived from a distinct prime *pair* via
+//! [`RsaKeyPair::from_primes`] (one modular inverse per principal, no
+//! prime search). Uniqueness matters: the belief engine binds each key
+//! to the principal it speaks for, so sharing keys across principals
+//! silently clobbers earlier bindings and denies them.
+
+use std::time::{Duration, Instant};
+
+use jaap_bigint::Nat;
+use jaap_coalition::request::{statement_bytes, JointAccessRequest, WireStatement};
+use jaap_coalition::scenario::Coalition;
+use jaap_core::certs::Validity;
+use jaap_core::protocol::Operation;
+use jaap_core::syntax::{GroupId, Time};
+use jaap_crypto::rsa::RsaKeyPair;
+use jaap_obs::Histogram;
+use jaap_pki::{AttributeCertificate, CrlEntry, IdentityCertificate, ThresholdSubject};
+use jaap_store::{CertStore, Column};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The object every generated request reads (registered by the standard
+/// coalition builder).
+pub const OBJECT: &str = "Object O";
+
+/// Group the population's attribute certificates grant (readable on
+/// `Object O` in the standard ACL).
+pub const GROUP: &str = "G_read";
+
+/// Zipf sampler over ranks `0..n` via a precomputed CDF and binary
+/// search — O(log n) per draw, no floating-point harmonic recomputation
+/// on the hot path.
+#[derive(Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `s` (s = 0 is
+    /// uniform; s ≈ 1 is the classic web-popularity skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over an empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Maps a uniform draw in `[0, 1)` to a rank in `0..n`.
+    #[must_use]
+    pub fn sample(&self, uniform: f64) -> usize {
+        self.cdf
+            .partition_point(|&c| c < uniform)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from the vendored generator.
+fn uniform(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The synthetic certified population: principal names, the prime pool
+/// their moduli are combined from, and one derived keypair each.
+#[derive(Debug)]
+pub struct Population {
+    names: Vec<String>,
+    primes: Vec<Nat>,
+    keys: Vec<RsaKeyPair>,
+    validity: Validity,
+}
+
+impl Population {
+    /// Issues identity + `G_read` attribute certificates for `n`
+    /// principals (round-robin across the coalition's CAs) and persists
+    /// every certificate into `store`. Prime search is amortised: only
+    /// `key_pool` keypairs are generated; their `2·key_pool` factors
+    /// seed the prime pool every principal's unique modulus is combined
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on issuance or store failure (benches treat both as
+    /// fatal), or when the prime pool is too small for `n` unique
+    /// moduli (raise `key_pool`).
+    #[must_use]
+    pub fn certify(
+        coalition: &Coalition,
+        store: &CertStore,
+        n: usize,
+        key_pool: usize,
+        key_bits: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = Nat::from(jaap_crypto::rsa::PUBLIC_EXPONENT);
+        let mut primes: Vec<Nat> = Vec::with_capacity(2 * key_pool.max(1));
+        for _ in 0..key_pool.max(1) {
+            let pair = RsaKeyPair::generate(&mut rng, key_bits).expect("pool keypair");
+            let (p, q) = pair.factors();
+            for prime in [p.clone(), q.clone()] {
+                // Keep only primes with e ∤ (p-1) so every pairing has
+                // gcd(e, phi) = 1 and `from_primes` cannot fail.
+                if !(&prime - &Nat::one()).rem_nat(&e).is_zero() && !primes.contains(&prime) {
+                    primes.push(prime);
+                }
+            }
+        }
+        let validity = Validity::new(Time(0), Time(1_000_000));
+        let mut pop = Population {
+            names: Vec::with_capacity(n),
+            primes,
+            keys: Vec::with_capacity(n),
+            validity,
+        };
+        for _ in 0..n {
+            pop.mint(coalition, store);
+        }
+        pop
+    }
+
+    /// Derives the unique keypair for principal `i`: the `i`-th distinct
+    /// unordered pair of pool primes, walked as (offset, gap) so no two
+    /// principals share a modulus. A pool of `m` primes covers
+    /// `m·⌊(m-1)/2⌋` principals.
+    fn derive_keypair(&self, i: usize) -> RsaKeyPair {
+        let m = self.primes.len();
+        let a = i % m;
+        let gap = 1 + i / m;
+        assert!(
+            gap <= (m - 1) / 2,
+            "prime pool of {m} exhausted at principal {i}; raise key_pool"
+        );
+        let b = (a + gap) % m;
+        RsaKeyPair::from_primes(self.primes[a].clone(), self.primes[b].clone())
+            .expect("filtered primes always combine")
+    }
+
+    /// Mints one more principal (identity + attribute certificate into
+    /// the store) — the churn path. Returns its index.
+    pub fn mint(&mut self, coalition: &Coalition, store: &CertStore) -> usize {
+        let i = self.names.len();
+        let name = format!("P{i:07}");
+        self.keys.push(self.derive_keypair(i));
+        let key = self.keys[i].public().clone();
+        let domains = coalition.domains();
+        let ca = domains[i % domains.len()].ca();
+        let id = ca
+            .issue_identity(&name, &key, self.validity, Time(1))
+            .expect("issue identity");
+        let grant = coalition
+            .aa()
+            .issue_attribute_certificate(&name, &key, GroupId::new(GROUP), self.validity, Time(6))
+            .expect("issue attribute certificate");
+        store.put_identity_cert(&id).expect("store identity");
+        store.put_attribute_cert(&grant).expect("store grant");
+        self.names.push(name);
+        i
+    }
+
+    /// Number of certified principals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no principals have been certified.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The principal name at `index`.
+    #[must_use]
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// The keypair principal `index` signs with.
+    #[must_use]
+    pub fn keypair(&self, index: usize) -> &RsaKeyPair {
+        &self.keys[index]
+    }
+
+    /// Builds a read request for principal `index`, fetching its
+    /// certificate bodies back out of the indexed store — the lookup the
+    /// experiment prices: hot principals come from resident pages, the
+    /// cold tail forces a cold-tier read.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store is missing the principal's rows.
+    #[must_use]
+    pub fn build_read(&self, store: &CertStore, index: usize, at: Time) -> JointAccessRequest {
+        let name = &self.names[index];
+        let id: IdentityCertificate = store
+            .identity_by_subject(name)
+            .expect("store read")
+            .expect("identity row");
+        let grant: AttributeCertificate = store
+            .attribute_grant(name, GROUP)
+            .expect("store read")
+            .expect("grant row");
+        let operation = Operation::new("read", OBJECT);
+        let body = statement_bytes(name, &operation, at);
+        let signature = self.keypair(index).sign(&body).expect("statement sign");
+        JointAccessRequest {
+            identity_certs: vec![id],
+            threshold_certs: vec![],
+            attribute_certs: vec![grant],
+            statements: vec![WireStatement {
+                principal: name.clone(),
+                at,
+                signature,
+            }],
+            operation,
+            at,
+        }
+    }
+
+    /// A single-member threshold subject for principal `index` (the form
+    /// CRL entries carry).
+    #[must_use]
+    pub fn crl_subject(&self, index: usize) -> ThresholdSubject {
+        ThresholdSubject::new(
+            vec![(
+                self.names[index].clone(),
+                self.keypair(index).public().clone(),
+            )],
+            1,
+        )
+        .expect("single-member subject")
+    }
+}
+
+/// Open-loop driver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Requests to offer.
+    pub requests: usize,
+    /// Fixed arrival rate (requests per second).
+    pub rate_per_sec: f64,
+    /// Zipf exponent over the principal population.
+    pub zipf_exponent: f64,
+    /// Mint one fresh principal every this many requests (0 = off).
+    pub churn_every: usize,
+    /// Admit one CRL revoking a cold-tail principal every this many
+    /// requests (0 = off).
+    pub storm_every: usize,
+    /// Advance the server clock every this many requests (keeps request
+    /// timestamps moving like a live system's).
+    pub tick_every: usize,
+    /// Driver RNG seed.
+    pub seed: u64,
+}
+
+/// What one open-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests served (always equals the configured count — open-loop
+    /// backlog is absorbed as queueing latency, never dropped).
+    pub served: usize,
+    /// Requests granted.
+    pub granted: usize,
+    /// Requests denied (revoked cold-tail principals).
+    pub denied: usize,
+    /// Offered arrival rate.
+    pub offered_rps: f64,
+    /// Served throughput over the whole run.
+    pub achieved_rps: f64,
+    /// Scheduled-arrival → completion latency percentiles (µs).
+    pub p50_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// 99.9th percentile latency (µs).
+    pub p999_us: u64,
+    /// Worst observed latency (µs).
+    pub max_us: u64,
+    /// Peak store-resident bytes observed across the run.
+    pub resident_peak_bytes: u64,
+    /// Principals minted mid-run.
+    pub churned: usize,
+    /// CRLs admitted mid-run.
+    pub storms: usize,
+    /// Population indexes the revocation storms struck, in storm order.
+    pub revoked: Vec<usize>,
+    /// Principals certified when the run ended.
+    pub population: usize,
+}
+
+/// Drives `coalition`'s server open-loop against the certified
+/// population. The caller has already attached `store` to the server and
+/// sized its bounds; this function only offers load and measures.
+///
+/// # Panics
+///
+/// Panics on store, signing, or clock failures.
+#[must_use]
+pub fn run_open_loop(
+    coalition: &mut Coalition,
+    store: &CertStore,
+    population: &mut Population,
+    config: &LoadgenConfig,
+) -> LoadgenReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let latency = Histogram::new();
+    let mut granted = 0usize;
+    let mut denied = 0usize;
+    let mut churned = 0usize;
+    let mut storms = 0usize;
+    let mut revoked = Vec::new();
+    let mut crl_seq = 1u64;
+    let mut resident_peak = store.resident_bytes();
+    let mut clock = {
+        let now = coalition.server().now();
+        now.0
+    };
+    let zipf = ZipfSampler::new(population.len(), config.zipf_exponent);
+    let interarrival = Duration::from_secs_f64(1.0 / config.rate_per_sec);
+
+    let start = Instant::now();
+    for i in 0..config.requests {
+        // Open-loop: the i-th arrival is fixed at start + i/λ. If the
+        // server is behind, we do not wait (the backlog shows up as
+        // latency); if it is ahead, we hold the request until its slot.
+        let scheduled = start + interarrival.mul_f64(i as f64);
+        while Instant::now() < scheduled {
+            std::hint::spin_loop();
+        }
+
+        if config.tick_every > 0 && i % config.tick_every == 0 && i > 0 {
+            clock += 1;
+            coalition
+                .server_mut()
+                .advance_clock(Time(clock))
+                .expect("clock");
+        }
+        if config.churn_every > 0 && i % config.churn_every == 0 && i > 0 {
+            population.mint(coalition, store);
+            churned += 1;
+        }
+        if config.storm_every > 0 && i % config.storm_every == 0 && i > 0 {
+            // Revoke a cold-tail principal from G_read: the CRL is
+            // journaled store-before-effect, anchors the revocation
+            // column, and invalidates any cached verifications.
+            let cold = population.len() - 1 - (storms % 16);
+            let crl = coalition
+                .ra()
+                .issue_crl(
+                    crl_seq,
+                    Time(clock),
+                    vec![CrlEntry {
+                        subject: population.crl_subject(cold),
+                        group: GroupId::new(GROUP),
+                        revoked_from: Time(clock),
+                    }],
+                )
+                .expect("issue crl");
+            coalition.server_mut().admit_crl(&crl).expect("admit crl");
+            crl_seq += 1;
+            storms += 1;
+            revoked.push(cold);
+        }
+
+        let principal = zipf.sample(uniform(&mut rng));
+        let at = coalition.server().now();
+        let request = population.build_read(store, principal, at);
+        let decision = coalition.server_mut().handle_request(&request);
+        if decision.granted {
+            granted += 1;
+        } else {
+            denied += 1;
+        }
+        latency.record_duration(scheduled.elapsed());
+
+        if i % 256 == 0 {
+            resident_peak = resident_peak.max(store.resident_bytes());
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    resident_peak = resident_peak.max(store.resident_bytes());
+
+    let snap = latency.snapshot();
+    LoadgenReport {
+        served: config.requests,
+        granted,
+        denied,
+        offered_rps: config.rate_per_sec,
+        achieved_rps: config.requests as f64 / elapsed,
+        p50_us: snap.p50 / 1_000,
+        p99_us: snap.p99 / 1_000,
+        p999_us: snap.p999 / 1_000,
+        max_us: snap.max / 1_000,
+        resident_peak_bytes: resident_peak,
+        churned,
+        storms,
+        revoked,
+        population: population.len(),
+    }
+}
+
+/// Sanity check the caller can run after a drive: the store holds a row
+/// pair per certified principal and its indexes agree with its log.
+///
+/// # Panics
+///
+/// Panics when the store lost rows or an index diverged.
+pub fn assert_store_covers_population(store: &CertStore, population: &Population) {
+    assert!(
+        store.len(Column::IdentitySubject) >= population.len(),
+        "store holds {} identity rows for {} principals",
+        store.len(Column::IdentitySubject),
+        population.len()
+    );
+    assert!(
+        store.len(Column::AttributeGrant) >= population.len(),
+        "store holds {} grant rows for {} principals",
+        store.len(Column::AttributeGrant),
+        population.len()
+    );
+    store.verify_integrity().expect("store index consistency");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_coalition;
+    use jaap_store::StoreConfig;
+
+    #[test]
+    fn zipf_prefers_the_head() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        const DRAWS: usize = 4000;
+        for _ in 0..DRAWS {
+            if z.sample(uniform(&mut rng)) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.1 the top-10 ranks carry roughly half the mass; the
+        // loose bound just proves the skew is real.
+        assert!(
+            head > DRAWS / 4,
+            "only {head}/{DRAWS} draws hit the top 10 ranks"
+        );
+        assert_eq!(ZipfSampler::new(5, 1.0).sample(0.999_999), 4);
+        assert_eq!(ZipfSampler::new(5, 1.0).sample(0.0), 0);
+    }
+
+    #[test]
+    fn certified_population_grants_reads_through_the_store() {
+        let mut c = standard_coalition(192, 0xE21);
+        let store = CertStore::in_memory(StoreConfig::default());
+        c.server_mut()
+            .attach_cert_store(store.clone())
+            .expect("attach");
+        let mut pop = Population::certify(&c, &store, 24, 8, 192, 0xE21);
+        let config = LoadgenConfig {
+            requests: 48,
+            rate_per_sec: 50_000.0,
+            zipf_exponent: 1.1,
+            churn_every: 16,
+            storm_every: 20,
+            tick_every: 8,
+            seed: 3,
+        };
+        let report = run_open_loop(&mut c, &store, &mut pop, &config);
+        assert_eq!(report.served, 48);
+        assert_eq!(report.granted + report.denied, 48);
+        assert!(report.granted > 0, "hot principals must grant");
+        assert!(report.churned > 0 && report.storms > 0);
+        assert_eq!(report.population, 24 + report.churned);
+        assert!(report.p999_us >= report.p99_us && report.p99_us >= report.p50_us);
+        assert_store_covers_population(&store, &pop);
+        // A storm-revoked cold-tail principal is denied from the
+        // revocation effective time onwards, while an untouched
+        // principal keeps granting.
+        let struck = *report.revoked.last().expect("storms fired");
+        let at = c.server().now();
+        let req = pop.build_read(&store, struck, at);
+        let d = c.server_mut().handle_request(&req);
+        assert!(!d.granted, "revoked principal must be denied");
+        let untouched = (0..pop.len())
+            .find(|i| !report.revoked.contains(i))
+            .expect("someone survived");
+        let req = pop.build_read(&store, untouched, at);
+        let d = c.server_mut().handle_request(&req);
+        assert!(d.granted, "unrevoked principal must still grant");
+    }
+}

@@ -36,6 +36,7 @@ use std::time::Instant;
 use jaap_core::syntax::Time;
 use jaap_obs::Histogram;
 use jaap_pki::TrustStore;
+use jaap_store::CertStore;
 use parking_lot::Mutex;
 
 use crate::cache::VerifyCache;
@@ -71,10 +72,21 @@ pub struct DecisionSnapshot {
     precomp: bool,
     /// Pre-resolved crypto-latency histogram, when metrics are attached.
     crypto_ns: Option<Arc<Histogram>>,
+    /// The persistent cert/CRL/ACL store handle (internally synchronized,
+    /// cloneable), when one is attached. Travels with the snapshot so
+    /// readers can page in cold certificate bodies without the writer
+    /// lock.
+    cert_store: Option<CertStore>,
+    /// The store epoch captured at publish — the store analogue of
+    /// `version`: any store mutation bumps it, so a reader can tell
+    /// whether index state moved since this snapshot was taken.
+    store_epoch: u64,
 }
 
 impl DecisionSnapshot {
     fn capture(server: &CoalitionServer) -> Self {
+        let cert_store = server.cert_store_handle();
+        let store_epoch = cert_store.as_ref().map_or(0, CertStore::epoch);
         DecisionSnapshot {
             version: server.state_version(),
             at: server.now(),
@@ -83,6 +95,8 @@ impl DecisionSnapshot {
             verify_cache: server.verify_cache_handle(),
             precomp: server.crypto_precomp(),
             crypto_ns: server.crypto_histogram(),
+            cert_store,
+            store_epoch,
         }
     }
 
@@ -90,6 +104,18 @@ impl DecisionSnapshot {
     #[must_use]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The persistent cert/CRL/ACL store handle, when one is attached.
+    #[must_use]
+    pub fn cert_store(&self) -> Option<&CertStore> {
+        self.cert_store.as_ref()
+    }
+
+    /// The store epoch captured at publish (0 when no store is attached).
+    #[must_use]
+    pub fn store_epoch(&self) -> u64 {
+        self.store_epoch
     }
 
     /// The server clock captured at publish.

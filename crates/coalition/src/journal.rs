@@ -66,6 +66,8 @@ pub enum ConfigKind {
     CryptoPrecomp,
     /// [`crate::server::CoalitionServer::set_batch_verify`].
     BatchVerify,
+    /// [`crate::server::CoalitionServer::set_verify_cache_capacity`].
+    VerifyCacheCapacity,
 }
 
 impl ConfigKind {
@@ -81,6 +83,7 @@ impl ConfigKind {
             ConfigKind::DerivationMemoCapacity => 8,
             ConfigKind::CryptoPrecomp => 9,
             ConfigKind::BatchVerify => 10,
+            ConfigKind::VerifyCacheCapacity => 11,
         }
     }
 
@@ -96,6 +99,7 @@ impl ConfigKind {
             8 => ConfigKind::DerivationMemoCapacity,
             9 => ConfigKind::CryptoPrecomp,
             10 => ConfigKind::BatchVerify,
+            11 => ConfigKind::VerifyCacheCapacity,
             other => {
                 return Err(CoalitionError::Journal(format!(
                     "unknown config kind {other}"

@@ -80,6 +80,8 @@ pub enum CoalitionError {
     Config(String),
     /// The durable journal failed (storage error, undecodable record).
     Journal(String),
+    /// The persistent certificate store failed.
+    Store(String),
 }
 
 impl core::fmt::Display for CoalitionError {
@@ -89,6 +91,7 @@ impl core::fmt::Display for CoalitionError {
             CoalitionError::Pki(e) => write!(f, "pki: {e}"),
             CoalitionError::Config(m) => write!(f, "configuration: {m}"),
             CoalitionError::Journal(m) => write!(f, "journal: {m}"),
+            CoalitionError::Store(m) => write!(f, "store: {m}"),
         }
     }
 }
@@ -104,6 +107,12 @@ impl From<CryptoError> for CoalitionError {
 impl From<PkiError> for CoalitionError {
     fn from(e: PkiError) -> Self {
         CoalitionError::Pki(e)
+    }
+}
+
+impl From<jaap_store::StoreError> for CoalitionError {
+    fn from(e: jaap_store::StoreError) -> Self {
+        CoalitionError::Store(e.to_string())
     }
 }
 

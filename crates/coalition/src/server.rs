@@ -35,6 +35,7 @@ use jaap_crypto::rsa::{RsaCiphertext, RsaPublicKey, RsaSignature};
 use jaap_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use jaap_pki::attribute::AttributeRevocation;
 use jaap_pki::{key_name, IdentityRevocation, TrustStore};
+use jaap_store::CertStore;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -173,6 +174,57 @@ pub const DEFAULT_REPLAY_CAPACITY: usize = 1024;
 /// [`CoalitionServer::set_audit_capacity`].
 pub const DEFAULT_AUDIT_CAPACITY: usize = 8192;
 
+/// One coherent sizing of every bounded structure the server owns —
+/// replay window, audit log, verification cache, derivation memo, and the
+/// persistent store's cold-tier page budget. The scattered per-structure
+/// setters remain, but population-scale runs should size everything
+/// through one of these so no single bound silently becomes the
+/// working-set bottleneck. [`CapacityConfig::default`] reproduces the
+/// historical defaults exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityConfig {
+    /// Replay-protection `seen` bound ([`DEFAULT_REPLAY_CAPACITY`]).
+    pub replay: usize,
+    /// Audit-log bound ([`DEFAULT_AUDIT_CAPACITY`]).
+    pub audit: usize,
+    /// Verification-cache bound; `None` keeps the crate default
+    /// ([`cache::DEFAULT_CACHE_CAPACITY`]).
+    pub verify_cache: Option<usize>,
+    /// Derivation-memo bound; `None` keeps the engine default (1024).
+    pub derivation_memo: Option<usize>,
+    /// Cold-tier page budget for an attached [`CertStore`]; `None` keeps
+    /// the store's configured budget.
+    pub store_cache_pages: Option<usize>,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> Self {
+        CapacityConfig {
+            replay: DEFAULT_REPLAY_CAPACITY,
+            audit: DEFAULT_AUDIT_CAPACITY,
+            verify_cache: None,
+            derivation_memo: None,
+            store_cache_pages: None,
+        }
+    }
+}
+
+impl CapacityConfig {
+    /// A sizing tuned for ≥10⁶ certified principals: wide replay and
+    /// verify-cache windows so the Zipf-hot population stays warm, a
+    /// larger memo, and a bigger (still bounded) cold-tier page budget.
+    #[must_use]
+    pub fn million_principals() -> Self {
+        CapacityConfig {
+            replay: 65_536,
+            audit: DEFAULT_AUDIT_CAPACITY,
+            verify_cache: Some(65_536),
+            derivation_memo: Some(65_536),
+            store_cache_pages: Some(256),
+        }
+    }
+}
+
 /// Registry handles for the §4.3 pipeline, pre-resolved once when a
 /// registry is attached ([`CoalitionServer::set_metrics`]) so the per-request
 /// path touches atomics only. With no registry attached the server performs
@@ -284,6 +336,16 @@ pub struct CoalitionServer {
     /// Optional certificate-verification memoization (off by default so
     /// benchmarks measure real verification work).
     verify_cache: Option<VerifyCache>,
+    /// Capacity the verification cache is (re)created with; `None` keeps
+    /// the crate default. Journaled so recovery rebuilds the same bound.
+    verify_cache_capacity: Option<usize>,
+    /// Optional persistent, indexed cert/CRL/ACL store
+    /// ([`CoalitionServer::attach_cert_store`]). When attached, every
+    /// admission writes its row to the store *before* the in-memory
+    /// effect — store-before-effect, composing with the journal's
+    /// WAL-before-effect — so a restarted server can rebuild its entire
+    /// certified population from the store's indexes.
+    cert_store: Option<CertStore>,
     /// Fixed-base window precomputation for the crypto phase (off by
     /// default so benchmarks measure uncached exponentiation). The tables
     /// themselves live inside the trust store's shared
@@ -376,6 +438,8 @@ impl CoalitionServer {
             seen_order: VecDeque::new(),
             seen_capacity: DEFAULT_REPLAY_CAPACITY,
             verify_cache: None,
+            verify_cache_capacity: None,
+            cert_store: None,
             crypto_precomp: false,
             batch_verify: false,
             precomp_mirrored: 0,
@@ -432,6 +496,41 @@ impl CoalitionServer {
         self.verify_cache.clone()
     }
 
+    /// Attaches a persistent cert/CRL/ACL store. From here on, CRLs,
+    /// revocations, ACL rows and first-seen request certificates are
+    /// written to the store before their in-memory effect (store-before-
+    /// effect). Existing objects' ACL rows are backfilled so the store
+    /// reflects the server's current policy surface.
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Store`] if the backfill write fails.
+    pub fn attach_cert_store(&mut self, store: CertStore) -> Result<(), CoalitionError> {
+        for obj in &self.objects {
+            store.put_acl(&obj.name, &obj.acl)?;
+        }
+        if let Some(m) = &self.metrics {
+            store.set_metrics(&m.registry);
+        }
+        self.cert_store = Some(store);
+        // Bump the state version so concurrent front-ends republish their
+        // snapshot with the store handle aboard.
+        self.touch();
+        Ok(())
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn cert_store(&self) -> Option<&CertStore> {
+        self.cert_store.as_ref()
+    }
+
+    /// A cloneable handle on the attached store (for decision snapshots;
+    /// handles share one index and one lock-free epoch counter).
+    pub(crate) fn cert_store_handle(&self) -> Option<CertStore> {
+        self.cert_store.clone()
+    }
+
     /// The pre-resolved crypto-phase histogram, when metrics are attached
     /// (snapshots record crypto latency off the writer lock).
     pub(crate) fn crypto_histogram(&self) -> Option<Arc<Histogram>> {
@@ -449,6 +548,9 @@ impl CoalitionServer {
             name: name.clone(),
             acl: acl.clone(),
         });
+        if let Some(cs) = &self.cert_store {
+            let _ = cs.put_acl(&name, &acl);
+        }
         self.objects.push(CoalitionObject {
             name,
             acl,
@@ -479,6 +581,9 @@ impl CoalitionServer {
             name: name.into(),
             acl: acl.clone(),
         })?;
+        if let Some(cs) = &self.cert_store {
+            cs.put_acl(name, &acl)?;
+        }
         let obj = self
             .objects
             .iter_mut()
@@ -560,7 +665,10 @@ impl CoalitionServer {
         ));
         if on {
             if self.verify_cache.is_none() {
-                let cache = VerifyCache::new();
+                let cache = match self.verify_cache_capacity {
+                    Some(capacity) => VerifyCache::with_capacity(Some(capacity)),
+                    None => VerifyCache::new(),
+                };
                 if let Some(m) = &self.metrics {
                     cache.set_metrics(Some(&m.registry));
                 }
@@ -569,6 +677,30 @@ impl CoalitionServer {
         } else {
             self.verify_cache = None;
         }
+    }
+
+    /// Sizes the certificate-verification cache (`None` restores the
+    /// crate default, [`cache::DEFAULT_CACHE_CAPACITY`]). Applies to the
+    /// live cache immediately, evicting oldest entries if the new bound
+    /// is already exceeded, and to any cache created later by
+    /// [`CoalitionServer::set_verification_cache`].
+    pub fn set_verify_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.touch();
+        let encoded = capacity.and_then(|c| i64::try_from(c).ok()).unwrap_or(-1);
+        let _ = self.journal_append(&JournalRecord::Config(
+            ConfigKind::VerifyCacheCapacity,
+            encoded,
+        ));
+        self.verify_cache_capacity = capacity;
+        if let Some(cache) = &self.verify_cache {
+            cache.set_capacity(Some(capacity.unwrap_or(cache::DEFAULT_CACHE_CAPACITY)));
+        }
+    }
+
+    /// The configured verification-cache bound (`None` = crate default).
+    #[must_use]
+    pub fn verify_cache_capacity(&self) -> Option<usize> {
+        self.verify_cache_capacity
     }
 
     /// Enables/disables fixed-base window precomputation in the crypto
@@ -632,6 +764,9 @@ impl CoalitionServer {
         if let Some(cache) = &self.verify_cache {
             cache.set_metrics(registry);
         }
+        if let (Some(cs), Some(registry)) = (&self.cert_store, registry) {
+            cs.set_metrics(registry);
+        }
     }
 
     /// Turns the engine's derivation memo on or off (off by default, which
@@ -682,6 +817,23 @@ impl CoalitionServer {
         ));
         self.seen_capacity = capacity.max(1);
         self.trim_seen();
+    }
+
+    /// Applies one [`CapacityConfig`] across every bounded structure: the
+    /// replay window, audit log, verification cache, derivation memo, and
+    /// (when a [`CertStore`] is attached) the cold-tier page budget. Each
+    /// bound goes through its journaled setter, so recovery rebuilds the
+    /// same sizing.
+    pub fn apply_capacity_config(&mut self, config: &CapacityConfig) {
+        self.set_replay_protection_capacity(config.replay);
+        self.set_audit_capacity(config.audit);
+        self.set_verify_cache_capacity(config.verify_cache);
+        if config.derivation_memo.is_some() {
+            self.set_derivation_memo_capacity(config.derivation_memo);
+        }
+        if let (Some(pages), Some(cs)) = (config.store_cache_pages, &self.cert_store) {
+            cs.set_cache_pages(pages);
+        }
     }
 
     /// Re-bounds the audit log (default [`DEFAULT_AUDIT_CAPACITY`]),
@@ -761,8 +913,12 @@ impl CoalitionServer {
         self.touch();
         // Write-ahead: the CRL is durable before any entry takes effect, so
         // recovery replays exactly this admission loop — including a
-        // partial admission when an entry fails mid-list.
+        // partial admission when an entry fails mid-list. The persistent
+        // store's anchor row lands under the same discipline.
         self.journal_append(&JournalRecord::Crl(crl.clone()))?;
+        if let Some(cs) = &self.cert_store {
+            cs.put_crl(crl)?;
+        }
         for msg in &messages {
             self.engine
                 .admit_certificate(msg)
@@ -803,6 +959,9 @@ impl CoalitionServer {
         let msg = self.store.idealize_attribute_revocation(rev)?;
         self.touch();
         self.journal_append(&JournalRecord::AttributeRevocation(rev.clone()))?;
+        if let Some(cs) = &self.cert_store {
+            cs.put_attribute_revocation(rev)?;
+        }
         self.engine
             .admit_certificate(&msg)
             .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
@@ -825,6 +984,9 @@ impl CoalitionServer {
         let msg = self.store.idealize_identity_revocation(rev)?;
         self.touch();
         self.journal_append(&JournalRecord::IdentityRevocation(rev.clone()))?;
+        if let Some(cs) = &self.cert_store {
+            cs.put_identity_revocation(rev)?;
+        }
         self.engine
             .admit_certificate(&msg)
             .map_err(|e| CoalitionError::Config(format!("revocation not admitted: {e}")))?;
@@ -1255,6 +1417,19 @@ impl CoalitionServer {
                 threshold: req.threshold_certs.clone(),
                 attribute: req.attribute_certs.clone(),
             });
+            // First sight of these certificate bodies: persist them so the
+            // indexed store accumulates the certified population.
+            if let Some(cs) = &self.cert_store {
+                for cert in &req.identity_certs {
+                    let _ = cs.put_identity_cert(cert);
+                }
+                for cert in &req.threshold_certs {
+                    let _ = cs.put_threshold_cert(cert);
+                }
+                for cert in &req.attribute_certs {
+                    let _ = cs.put_attribute_cert(cert);
+                }
+            }
         }
         let version_bump = granted
             && req.operation.action == "write"
@@ -1574,6 +1749,14 @@ impl CoalitionServer {
                     .unwrap_or(-1),
             ));
         }
+        if self.verify_cache.is_some() {
+            records.push(JournalRecord::Config(
+                ConfigKind::VerifyCacheCapacity,
+                self.verify_cache_capacity
+                    .and_then(|c| i64::try_from(c).ok())
+                    .unwrap_or(-1),
+            ));
+        }
         if let Some(window) = self.revocation_recency {
             records.push(JournalRecord::Config(ConfigKind::RecencyWindow, window));
         }
@@ -1674,7 +1857,11 @@ impl CoalitionServer {
         // of the pre-crash process) and restart the verify cache empty.
         server.engine.invalidate_derived_state();
         if server.verify_cache.is_some() {
-            let cache = VerifyCache::new();
+            // Restart empty, but at the journaled capacity bound.
+            let cache = match server.verify_cache_capacity {
+                Some(capacity) => VerifyCache::with_capacity(Some(capacity)),
+                None => VerifyCache::new(),
+            };
             if let Some(m) = &server.metrics {
                 cache.set_metrics(Some(&m.registry));
             }
@@ -1775,6 +1962,10 @@ impl CoalitionServer {
             ConfigKind::DerivationMemoCapacity => {
                 let capacity = (value >= 0).then(|| usize::try_from(value).unwrap_or(usize::MAX));
                 self.set_derivation_memo_capacity(capacity);
+            }
+            ConfigKind::VerifyCacheCapacity => {
+                let capacity = (value >= 0).then(|| usize::try_from(value).unwrap_or(usize::MAX));
+                self.set_verify_cache_capacity(capacity);
             }
             ConfigKind::CryptoPrecomp => self.set_crypto_precomp(value != 0),
             ConfigKind::BatchVerify => self.set_batch_verify(value != 0),

@@ -142,6 +142,29 @@ impl ShardedCoalition {
         Ok(())
     }
 
+    /// Attaches a persistent cert/CRL/ACL store to shard `i` through its
+    /// single writer (store-before-effect composes with the shard's
+    /// WAL-before-effect; the attach backfills existing ACL rows and
+    /// republishes the shard's snapshot so readers see the store handle).
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::Config`] for an out-of-range shard;
+    /// [`CoalitionError::Store`] when the backfill fails.
+    pub fn attach_cert_store(
+        &mut self,
+        shard: usize,
+        store: jaap_store::CertStore,
+    ) -> Result<(), CoalitionError> {
+        if shard >= self.shards.len() {
+            return Err(CoalitionError::Config(format!(
+                "no shard {shard} (have {})",
+                self.shards.len()
+            )));
+        }
+        self.shards[shard].with_writer(|s| s.attach_cert_store(store))
+    }
+
     /// Attaches per-shard instruments `server.shard.{i}.{decisions,granted,
     /// fanout_admissions}` to the router and a scoped `shard.{i}.`-prefixed
     /// registry view to each shard server (so the full `server.*` pipeline

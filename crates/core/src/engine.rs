@@ -136,12 +136,25 @@ pub struct Engine {
     assumptions: TrustAssumptions,
     /// Positive key-ownership beliefs: `K ⇒ S` with validity window.
     key_beliefs: Vec<(KeyId, Subject, TimeRef, Belief)>,
+    /// Dense-id index over `key_beliefs` by key, in admission order.
+    /// Beliefs only accumulate, so the index is append-only.
+    key_beliefs_by_key: HashMap<KeyId, Vec<u32>>,
     /// Positive membership beliefs: `S ⇒ G` with validity window.
     membership_beliefs: Vec<(Subject, GroupId, TimeRef, Belief)>,
+    /// Dense-id index over `membership_beliefs` by group.
+    memberships_by_group: HashMap<GroupId, Vec<u32>>,
+    /// Signer-directed dense-id index: `(group, principal named in the
+    /// member subject)` → positions in `membership_beliefs`. Lookup cost
+    /// scales with one principal's memberships, never the group roster.
+    memberships_by_member: HashMap<(GroupId, PrincipalId), Vec<u32>>,
     /// Revoked memberships: `(S, G, from)` — believe-until-revoked.
     revoked_memberships: Vec<(Subject, GroupId, Time)>,
+    /// Dense-id index over `revoked_memberships` by group.
+    membership_revocations_by_group: HashMap<GroupId, Vec<u32>>,
     /// Revoked keys: `(K, S, from)`.
     revoked_keys: Vec<(KeyId, Subject, Time)>,
+    /// Dense-id index over `revoked_keys` by key.
+    key_revocations_by_key: HashMap<KeyId, Vec<u32>>,
     /// Freshness acceptance window (ticks) for certificate timestamps.
     freshness_window: i64,
     /// Count of axiom applications performed (experiment E8 metric).
@@ -179,9 +192,14 @@ impl Engine {
             now: assumptions.t_star,
             assumptions,
             key_beliefs: Vec::new(),
+            key_beliefs_by_key: HashMap::new(),
             membership_beliefs: Vec::new(),
+            memberships_by_group: HashMap::new(),
+            memberships_by_member: HashMap::new(),
             revoked_memberships: Vec::new(),
+            membership_revocations_by_group: HashMap::new(),
             revoked_keys: Vec::new(),
+            key_revocations_by_key: HashMap::new(),
             freshness_window: i64::MAX,
             axiom_count: 0,
             interner: Interner::new(),
@@ -579,9 +597,19 @@ impl Engine {
         if negated {
             let (from, _) = when.bounds();
             if self.remember_admission(&body) {
+                let id = u32::try_from(self.revoked_keys.len()).expect("revocation id fits u32");
+                self.key_revocations_by_key
+                    .entry(subject_key.clone())
+                    .or_default()
+                    .push(id);
                 self.revoked_keys.push((subject_key, subject, from));
             }
         } else if self.remember_admission(&body) {
+            let id = u32::try_from(self.key_beliefs.len()).expect("belief id fits u32");
+            self.key_beliefs_by_key
+                .entry(subject_key.clone())
+                .or_default()
+                .push(id);
             self.key_beliefs.push((
                 subject_key,
                 subject,
@@ -653,9 +681,26 @@ impl Engine {
         if negated {
             let (from, _) = when.bounds();
             if self.remember_admission(&body) {
+                let id =
+                    u32::try_from(self.revoked_memberships.len()).expect("revocation id fits u32");
+                self.membership_revocations_by_group
+                    .entry(group.clone())
+                    .or_default()
+                    .push(id);
                 self.revoked_memberships.push((subject, group, from));
             }
         } else if self.remember_admission(&body) {
+            let id = u32::try_from(self.membership_beliefs.len()).expect("belief id fits u32");
+            self.memberships_by_group
+                .entry(group.clone())
+                .or_default()
+                .push(id);
+            for principal in named_principals(&subject) {
+                self.memberships_by_member
+                    .entry((group.clone(), principal))
+                    .or_default()
+                    .push(id);
+            }
             self.membership_beliefs.push((
                 subject,
                 group,
@@ -674,17 +719,20 @@ impl Engine {
     #[must_use]
     pub fn key_belief_at(&self, key: &KeyId, t: Time) -> Option<(&Subject, &Belief)> {
         let revoked_from = self
-            .revoked_keys
-            .iter()
-            .filter(|(k, _, _)| k == key)
-            .map(|(_, _, from)| *from)
+            .key_revocations_by_key
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(|&id| self.revoked_keys[id as usize].2)
             .min();
         if revoked_from.is_some_and(|from| t >= from) {
             return None;
         }
-        self.key_beliefs
+        self.key_beliefs_by_key
+            .get(key)?
             .iter()
-            .find(|(k, _, when, _)| k == key && when.covers(t))
+            .map(|&id| &self.key_beliefs[id as usize])
+            .find(|(_, _, when, _)| when.covers(t))
             .map(|(_, s, _, b)| (s, b))
     }
 
@@ -692,20 +740,54 @@ impl Engine {
     /// revoked — believe-until-revoked, §4.3).
     #[must_use]
     pub fn membership_belief_at(&self, group: &GroupId, t: Time) -> Option<(&Subject, &Belief)> {
-        self.membership_beliefs
+        self.memberships_by_group
+            .get(group)?
             .iter()
+            .map(|&id| &self.membership_beliefs[id as usize])
             .find(|(subject, g, when, _)| {
-                g == group && when.covers(t) && !self.is_membership_revoked(subject, g, t)
+                when.covers(t) && !self.is_membership_revoked(subject, g, t)
             })
             .map(|(s, _, _, b)| (s, b))
     }
 
+    /// Every membership belief `S ⇒ G` whose subject *names* `member` —
+    /// single, key-bound, compound, or threshold — with its validity
+    /// window. Served from the signer-directed dense-id index, so the
+    /// cost scales with that principal's own memberships rather than the
+    /// group's roster (the lookup the million-principal path depends on).
+    #[must_use]
+    pub fn memberships_naming(
+        &self,
+        group: &GroupId,
+        member: &PrincipalId,
+    ) -> Vec<(&Subject, &TimeRef, &Belief)> {
+        self.memberships_by_member
+            .get(&(group.clone(), member.clone()))
+            .into_iter()
+            .flatten()
+            .map(|&id| {
+                let (subject, _, when, belief) = &self.membership_beliefs[id as usize];
+                (subject, when, belief)
+            })
+            .collect()
+    }
+
     /// `true` if `S ⇒ G` has been revoked at or before `t`.
+    ///
+    /// Revocation subjects match modulo the degenerate 1-of-1 threshold
+    /// wrapper: CRL entries arrive in threshold form on the wire even
+    /// when the grant they revoke was a single-subject certificate
+    /// (`P|K ⇒ G`), and `{P|K}_{1,1}` names exactly the same signer.
     #[must_use]
     pub fn is_membership_revoked(&self, subject: &Subject, group: &GroupId, t: Time) -> bool {
-        self.revoked_memberships
-            .iter()
-            .any(|(s, g, from)| s == subject && g == group && t >= *from)
+        self.membership_revocations_by_group
+            .get(group)
+            .is_some_and(|ids| {
+                ids.iter().any(|&id| {
+                    let (s, _, from) = &self.revoked_memberships[id as usize];
+                    t >= *from && subjects_equivalent(s, subject)
+                })
+            })
     }
 
     /// Applies A38 to conclude `G says_t X` from a believed threshold
@@ -907,6 +989,47 @@ impl Engine {
     }
 }
 
+/// Every principal name appearing anywhere in a subject — the keys the
+/// signer-directed membership index files the subject under.
+fn named_principals(subject: &Subject) -> Vec<PrincipalId> {
+    fn walk(subject: &Subject, out: &mut Vec<PrincipalId>) {
+        match subject {
+            Subject::Principal(p) => {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+            Subject::Compound(members) | Subject::Threshold { members, .. } => {
+                for m in members {
+                    walk(m, out);
+                }
+            }
+            Subject::Bound(inner, _) => walk(inner, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk(subject, &mut out);
+    out
+}
+
+/// Structural equality modulo degenerate 1-of-1 thresholds: `{S}_{1,1}`
+/// requires exactly the signature `S` requires, so a revocation naming
+/// either form strikes the other.
+fn subjects_equivalent(a: &Subject, b: &Subject) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a, b) {
+        (Subject::Threshold { members, m: 1 }, other)
+        | (other, Subject::Threshold { members, m: 1 })
+            if members.len() == 1 =>
+        {
+            subjects_equivalent(&members[0], other)
+        }
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1099,6 +1222,47 @@ mod tests {
             .is_none());
         assert!(e
             .membership_belief_at(&GroupId::new("G_write"), Time(50))
+            .is_none());
+    }
+
+    #[test]
+    fn singleton_threshold_revocation_strikes_bound_membership() {
+        // CRL entries arrive as {P|K}_{1,1} on the wire even when the
+        // grant was a single-subject certificate P|K ⇒ G; the revocation
+        // must strike the bound form all the same.
+        let mut a = assumptions();
+        a.own_key(KeyId::new("K_RA"), Subject::principal("RA"));
+        let mut e = Engine::new("P", a);
+        e.advance_clock(Time(10)).expect("clock");
+        let bound = Subject::principal("User_D1").bound(KeyId::new("K_u1"));
+        let ac = Certs::attribute(
+            "AA",
+            aa_key(),
+            bound.clone(),
+            GroupId::new("G_read"),
+            Time(6),
+            Validity::new(Time(0), Time(100)),
+        );
+        e.admit_certificate(&ac).expect("admit");
+        assert!(e
+            .membership_belief_at(&GroupId::new("G_read"), Time(10))
+            .is_some());
+        e.advance_clock(Time(12)).expect("clock");
+        let rev = Certs::attribute_revocation(
+            "RA",
+            KeyId::new("K_RA"),
+            Subject::threshold(vec![bound.clone()], 1),
+            GroupId::new("G_read"),
+            Time(12),
+            Time(12),
+        );
+        e.admit_certificate(&rev).expect("revocation");
+        assert!(e.is_membership_revoked(&bound, &GroupId::new("G_read"), Time(12)));
+        assert!(e
+            .membership_belief_at(&GroupId::new("G_read"), Time(11))
+            .is_some());
+        assert!(e
+            .membership_belief_at(&GroupId::new("G_read"), Time(12))
             .is_none());
     }
 

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use crate::axioms::Axiom;
 use crate::derivation::{Derivation, Rule};
-use crate::engine::Engine;
+use crate::engine::{Belief, Engine};
 use crate::syntax::{Formula, GroupId, KeyId, Message, PrincipalId, Subject, Time};
 use crate::LogicError;
 
@@ -339,48 +339,73 @@ pub fn authorize_uncached(
     }
     let mut last_err = String::new();
     for group in candidates {
-        let Some((subject, belief)) = engine
-            .membership_belief_at(group, request.at)
-            .map(|(s, b)| (s.clone(), b.clone()))
-        else {
-            last_err = format!("no valid membership in {group} at {}", request.at);
-            continue;
-        };
-        // Validity must also cover the decision time (paper: tb' <= t1 and
-        // t6 <= te').
-        if engine.membership_belief_at(group, engine.now()).is_none() {
-            last_err = format!(
-                "membership in {group} expired or revoked by {}",
-                engine.now()
-            );
+        // Signer-directed candidate search: only a membership whose
+        // subject names one of the request's signers can complete
+        // A34/A35/A38, so candidates come from the engine's
+        // (group, principal) index — never a scan of the group's full
+        // roster. Each candidate's validity must cover both the claimed
+        // time and the decision time (paper: tb' <= t1 and t6 <= te'),
+        // and survive revocation at both.
+        let mut rows: Vec<(Subject, Belief)> = Vec::new();
+        let mut valid_at_claim = false;
+        for (principal, _, _) in &signers {
+            for (subject, when, belief) in engine.memberships_naming(group, principal) {
+                if !when.covers(request.at)
+                    || engine.is_membership_revoked(subject, group, request.at)
+                {
+                    continue;
+                }
+                valid_at_claim = true;
+                if !when.covers(engine.now())
+                    || engine.is_membership_revoked(subject, group, engine.now())
+                    || rows.iter().any(|(s, _)| s == subject)
+                {
+                    continue;
+                }
+                rows.push((subject.clone(), belief.clone()));
+            }
+        }
+        if rows.is_empty() {
+            last_err = if valid_at_claim {
+                format!(
+                    "membership in {group} expired or revoked by {}",
+                    engine.now()
+                )
+            } else {
+                format!(
+                    "no valid membership in {group} names a request signer at {}",
+                    request.at
+                )
+            };
             continue;
         }
-        match conclude_group_says(engine, &subject, group, request, signers.clone()) {
-            Ok(group_says) => {
-                let _ = belief; // membership derivation is embedded in group_says
-                let grant = Formula::Prop(format!(
-                    "access approved: {} via {group}",
-                    request.operation
-                ));
-                let acl_node = Derivation {
-                    conclusion: grant,
-                    rule: Rule::SideCondition(format!(
-                        "({group}, {}) ∈ ACL and validity covers [{}, {}]",
-                        request.operation,
-                        request.at,
-                        engine.now()
-                    )),
-                    premises: vec![group_says],
-                };
-                return AccessDecision {
-                    granted: true,
-                    reason: None,
-                    derivation: Some(Arc::new(acl_node)),
-                    group: Some(group.clone()),
-                    axiom_applications: engine.axiom_applications() - cost_before,
-                };
+        for (subject, belief) in rows {
+            match conclude_group_says(engine, &subject, &belief, group, request, signers.clone()) {
+                Ok(group_says) => {
+                    let grant = Formula::Prop(format!(
+                        "access approved: {} via {group}",
+                        request.operation
+                    ));
+                    let acl_node = Derivation {
+                        conclusion: grant,
+                        rule: Rule::SideCondition(format!(
+                            "({group}, {}) ∈ ACL and validity covers [{}, {}]",
+                            request.operation,
+                            request.at,
+                            engine.now()
+                        )),
+                        premises: vec![group_says],
+                    };
+                    return AccessDecision {
+                        granted: true,
+                        reason: None,
+                        derivation: Some(Arc::new(acl_node)),
+                        group: Some(group.clone()),
+                        axiom_applications: engine.axiom_applications() - cost_before,
+                    };
+                }
+                Err(e) => last_err = e.to_string(),
             }
-            Err(e) => last_err = e.to_string(),
         }
     }
     AccessDecision::denied(
@@ -394,18 +419,15 @@ pub fn authorize_uncached(
 fn conclude_group_says(
     engine: &mut Engine,
     subject: &Subject,
+    membership: &Belief,
     group: &GroupId,
     request: &AccessRequest,
     signers: Vec<(PrincipalId, KeyId, Arc<Derivation>)>,
 ) -> Result<Arc<Derivation>, LogicError> {
     let payload = request.operation.payload();
-    let membership = engine
-        .membership_belief_at(group, request.at)
-        .map(|(_, b)| b.clone())
-        .ok_or_else(|| LogicError::NotDerivable(format!("no membership for {group}")))?;
     match subject {
         Subject::Threshold { .. } => {
-            engine.apply_a38(&membership, subject, group, engine.now(), &payload, signers)
+            engine.apply_a38(membership, subject, group, engine.now(), &payload, signers)
         }
         Subject::Bound(inner, key) => {
             // A35: Q|K ⇒ G ∧ K ⇒ Q ∧ Q says ⟨X⟩_{K⁻¹} ⊃ G says X.
@@ -424,7 +446,7 @@ fn conclude_group_says(
             Ok(Derivation::by_axiom(
                 conclusion,
                 Axiom::A35,
-                vec![membership.derivation, signer.2],
+                vec![Arc::clone(&membership.derivation), signer.2],
             )
             .share())
         }
@@ -440,7 +462,7 @@ fn conclude_group_says(
             Ok(Derivation::by_axiom(
                 conclusion,
                 Axiom::A34,
-                vec![membership.derivation, signer.2],
+                vec![Arc::clone(&membership.derivation), signer.2],
             )
             .share())
         }
@@ -590,6 +612,63 @@ mod tests {
         let decision = authorize(&mut e, &request, &acl);
         assert!(decision.granted, "reason: {:?}", decision.reason);
         assert_eq!(decision.group, Some(GroupId::new("G_read")));
+    }
+
+    #[test]
+    fn every_member_of_a_large_group_can_authorize() {
+        // Regression: with many believed memberships in one group, the
+        // derivation must try the membership naming the request's signer,
+        // not whichever membership was admitted first. (Found at 10⁴
+        // principals in E21, where all but the first member were denied.)
+        let (mut e, acl) = scenario();
+        let op = Operation::new("read", "Object O");
+        for i in 1..=3 {
+            let member = Subject::principal(format!("User_D{i}")).bound(k(&format!("K_u{i}")));
+            let request = AccessRequest {
+                identity_certs: vec![id_cert(i)],
+                attribute_certs: vec![Certs::attribute(
+                    "AA",
+                    k("K_AA"),
+                    member,
+                    GroupId::new("G_read"),
+                    Time(6),
+                    Validity::new(Time(0), Time(100)),
+                )],
+                signed_statements: vec![SignedStatement::new(
+                    format!("User_D{i}"),
+                    k(&format!("K_u{i}")),
+                    &op,
+                    Time(9),
+                )],
+                operation: op.clone(),
+                at: Time(9),
+            };
+            let decision = authorize(&mut e, &request, &acl);
+            assert!(decision.granted, "member {i} denied: {:?}", decision.reason);
+        }
+        // Later requests carry only the signer's own certificates, yet
+        // the engine now believes three G_read memberships; each signer
+        // must still be matched to their own.
+        for i in (1..=3).rev() {
+            let request = AccessRequest {
+                identity_certs: vec![id_cert(i)],
+                attribute_certs: vec![],
+                signed_statements: vec![SignedStatement::new(
+                    format!("User_D{i}"),
+                    k(&format!("K_u{i}")),
+                    &op,
+                    Time(9),
+                )],
+                operation: op.clone(),
+                at: Time(9),
+            };
+            let decision = authorize(&mut e, &request, &acl);
+            assert!(
+                decision.granted,
+                "believed member {i} denied: {:?}",
+                decision.reason
+            );
+        }
     }
 
     #[test]

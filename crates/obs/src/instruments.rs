@@ -170,6 +170,7 @@ impl Histogram {
             p50: quantile(&buckets, count, 0.50),
             p90: quantile(&buckets, count, 0.90),
             p99: quantile(&buckets, count, 0.99),
+            p999: quantile(&buckets, count, 0.999),
             buckets,
         }
     }
@@ -214,6 +215,10 @@ pub struct HistogramSnapshot {
     pub p90: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// 99.9th-percentile estimate — the open-loop load experiments' tail
+    /// metric. Same conservative rule: the bucket upper bound at rank
+    /// `clamp(ceil(0.999·count), 1, count)`.
+    pub p999: u64,
     /// Non-empty buckets as `(inclusive upper bound, count)` pairs.
     pub buckets: Vec<(u64, u64)>,
 }
@@ -299,6 +304,28 @@ mod tests {
         assert_eq!(s.p50, 3);
         // p99: rank 6 lands in the 1000 bucket (upper 1023).
         assert_eq!(s.p99, 1023);
+        // p999: rank 6 too — at small counts the tail quantiles coincide.
+        assert_eq!(s.p999, 1023);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_scale() {
+        let h = Histogram::new();
+        // 9989 fast events, 10 slow, 1 very slow: p99 stays in the fast
+        // bucket, p999 lands in the slow one, max sees the straggler.
+        for _ in 0..9989 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        h.record(10_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p99, 127);
+        assert_eq!(s.p999, 131_071);
+        assert_eq!(s.max, 10_000_000);
+        // Conservative rule: never below the true quantile's bucket.
+        assert!(s.p999 >= 100_000);
     }
 
     #[test]
@@ -308,6 +335,7 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 0);
         assert_eq!(s.p50, 0);
+        assert_eq!(s.p999, 0);
         assert!(s.buckets.is_empty());
         assert_eq!(s.mean(), 0.0);
     }

@@ -149,7 +149,7 @@ impl MetricsRegistry {
     /// Shape:
     /// `{"counters":{name:value,...},"gauges":{...},"histograms":{name:
     /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,
-    /// "p99":..,"buckets":[[upper,count],...]},...}}`
+    /// "p99":..,"p999":..,"buckets":[[upper,count],...]},...}}`
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
@@ -183,7 +183,7 @@ impl MetricsRegistry {
                 let s = h.snapshot();
                 let _ = write!(
                     out,
-                    "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                    "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
                     json_string(name),
                     s.count,
                     s.sum,
@@ -192,7 +192,8 @@ impl MetricsRegistry {
                     s.mean(),
                     s.p50,
                     s.p90,
-                    s.p99
+                    s.p99,
+                    s.p999
                 );
                 for (j, (upper, count)) in s.buckets.iter().enumerate() {
                     if j > 0 {
@@ -262,6 +263,7 @@ mod tests {
         assert!(json.contains("\"a.first\":1"));
         assert!(json.contains("\"depth\":-4"));
         assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"p999\":1023"));
         assert!(json.contains("\"buckets\":[[7,1],[1023,1]]"));
     }
 

@@ -1,0 +1,311 @@
+//! Canonical byte encoding for store records.
+//!
+//! Every row the store persists is one [`StoreRecord`], encoded with the
+//! same length-prefixed TLV discipline as the server journal but under
+//! its *own* domain string (`jaap-store-record-v1`), so store bytes can
+//! never be confused with journal bytes even though both live in
+//! `jaap-wal` frames.
+
+use jaap_core::certs::Validity;
+use jaap_core::protocol::Acl;
+use jaap_core::syntax::{GroupId, Time};
+use jaap_crypto::rsa::{RsaPublicKey, RsaSignature};
+use jaap_pki::encoding::{Decoder, Encoder};
+use jaap_pki::{
+    AttributeCertificate, AttributeRevocation, Crl, CrlEntry, IdentityCertificate,
+    IdentityRevocation, ThresholdAttributeCertificate, ThresholdSubject,
+};
+
+use crate::StoreError;
+
+/// Domain separator for store record bytes.
+const DOMAIN: &str = "jaap-store-record-v1";
+
+/// One persisted row. The enum tag doubles as the column discriminant:
+/// each variant lands in exactly one column family (see
+/// [`crate::Column`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreRecord {
+    /// A CA-signed identity certificate (certs-by-subject column, with a
+    /// certs-by-issuer secondary index).
+    IdentityCert(IdentityCertificate),
+    /// A jointly-signed threshold attribute certificate (group column).
+    ThresholdCert(ThresholdAttributeCertificate),
+    /// A single-subject attribute certificate (grant column, keyed by
+    /// subject and group).
+    AttributeCert(AttributeCertificate),
+    /// An identity revocation (revocations column).
+    IdentityRevocation(IdentityRevocation),
+    /// An attribute revocation (revocations column).
+    AttributeRevocation(AttributeRevocation),
+    /// A full CRL, anchored by sequence number.
+    CrlAnchor(Crl),
+    /// One object's ACL row.
+    AclRow {
+        /// The object the ACL protects.
+        object: String,
+        /// The disjunction of `(group, action)` permissions.
+        acl: Acl,
+    },
+}
+
+impl StoreRecord {
+    /// The canonical encoding.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new(DOMAIN);
+        match self {
+            StoreRecord::IdentityCert(cert) => {
+                e.put_u64(1);
+                put_identity_cert(&mut e, cert);
+            }
+            StoreRecord::ThresholdCert(cert) => {
+                e.put_u64(2);
+                put_threshold_cert(&mut e, cert);
+            }
+            StoreRecord::AttributeCert(cert) => {
+                e.put_u64(3);
+                put_attribute_cert(&mut e, cert);
+            }
+            StoreRecord::IdentityRevocation(rev) => {
+                e.put_u64(4);
+                e.put_str(&rev.issuer);
+                e.put_str(&rev.subject);
+                put_key(&mut e, &rev.subject_key);
+                e.put_i64(rev.revoked_from.0);
+                e.put_i64(rev.timestamp.0);
+                put_sig(&mut e, &rev.signature);
+            }
+            StoreRecord::AttributeRevocation(rev) => {
+                e.put_u64(5);
+                e.put_str(&rev.issuer);
+                put_subject(&mut e, &rev.subject);
+                e.put_str(rev.group.as_str());
+                e.put_i64(rev.revoked_from.0);
+                e.put_i64(rev.timestamp.0);
+                put_sig(&mut e, &rev.signature);
+            }
+            StoreRecord::CrlAnchor(crl) => {
+                e.put_u64(6);
+                e.put_str(&crl.issuer);
+                e.put_u64(crl.sequence);
+                e.put_i64(crl.timestamp.0);
+                e.put_list(crl.entries.len());
+                for entry in &crl.entries {
+                    put_subject(&mut e, &entry.subject);
+                    e.put_str(entry.group.as_str());
+                    e.put_i64(entry.revoked_from.0);
+                }
+                put_sig(&mut e, &crl.signature);
+            }
+            StoreRecord::AclRow { object, acl } => {
+                e.put_u64(7);
+                e.put_str(object);
+                e.put_list(acl.entries().len());
+                for entry in acl.entries() {
+                    e.put_str(entry.group.as_str());
+                    e.put_str(&entry.action);
+                }
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes one record; rejects trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on any malformed encoding.
+    pub fn decode(bytes: &[u8]) -> Result<StoreRecord, StoreError> {
+        let mut d = Decoder::new(bytes, DOMAIN).map_err(codec_err)?;
+        let record = match d.take_u64().map_err(codec_err)? {
+            1 => StoreRecord::IdentityCert(take_identity_cert(&mut d)?),
+            2 => StoreRecord::ThresholdCert(take_threshold_cert(&mut d)?),
+            3 => StoreRecord::AttributeCert(take_attribute_cert(&mut d)?),
+            4 => StoreRecord::IdentityRevocation(IdentityRevocation {
+                issuer: d.take_str().map_err(codec_err)?,
+                subject: d.take_str().map_err(codec_err)?,
+                subject_key: take_key(&mut d)?,
+                revoked_from: take_time(&mut d)?,
+                timestamp: take_time(&mut d)?,
+                signature: take_sig(&mut d)?,
+            }),
+            5 => StoreRecord::AttributeRevocation(AttributeRevocation {
+                issuer: d.take_str().map_err(codec_err)?,
+                subject: take_subject(&mut d)?,
+                group: GroupId::new(&d.take_str().map_err(codec_err)?),
+                revoked_from: take_time(&mut d)?,
+                timestamp: take_time(&mut d)?,
+                signature: take_sig(&mut d)?,
+            }),
+            6 => {
+                let issuer = d.take_str().map_err(codec_err)?;
+                let sequence = d.take_u64().map_err(codec_err)?;
+                let timestamp = take_time(&mut d)?;
+                let count = d.take_list().map_err(codec_err)?;
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    entries.push(CrlEntry {
+                        subject: take_subject(&mut d)?,
+                        group: GroupId::new(&d.take_str().map_err(codec_err)?),
+                        revoked_from: take_time(&mut d)?,
+                    });
+                }
+                StoreRecord::CrlAnchor(Crl {
+                    issuer,
+                    sequence,
+                    timestamp,
+                    entries,
+                    signature: take_sig(&mut d)?,
+                })
+            }
+            7 => {
+                let object = d.take_str().map_err(codec_err)?;
+                let count = d.take_list().map_err(codec_err)?;
+                let mut acl = Acl::new();
+                for _ in 0..count {
+                    let group = GroupId::new(&d.take_str().map_err(codec_err)?);
+                    let action = d.take_str().map_err(codec_err)?;
+                    acl.permit(group, action);
+                }
+                StoreRecord::AclRow { object, acl }
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown record tag {other}")));
+            }
+        };
+        if !d.is_empty() {
+            return Err(StoreError::Corrupt("trailing bytes after record".into()));
+        }
+        Ok(record)
+    }
+}
+
+fn codec_err(e: jaap_pki::PkiError) -> StoreError {
+    StoreError::Corrupt(format!("undecodable record: {e}"))
+}
+
+fn put_key(e: &mut Encoder, key: &RsaPublicKey) {
+    e.put_bytes(&key.modulus().to_bytes_be());
+    e.put_bytes(&key.exponent().to_bytes_be());
+}
+
+fn take_key(d: &mut Decoder<'_>) -> Result<RsaPublicKey, StoreError> {
+    let n = jaap_bigint::Nat::from_bytes_be(&d.take_bytes().map_err(codec_err)?);
+    let exp = jaap_bigint::Nat::from_bytes_be(&d.take_bytes().map_err(codec_err)?);
+    Ok(RsaPublicKey::new(n, exp))
+}
+
+fn put_sig(e: &mut Encoder, sig: &RsaSignature) {
+    e.put_bytes(&sig.value().to_bytes_be());
+}
+
+fn take_sig(d: &mut Decoder<'_>) -> Result<RsaSignature, StoreError> {
+    Ok(RsaSignature::from_value(jaap_bigint::Nat::from_bytes_be(
+        &d.take_bytes().map_err(codec_err)?,
+    )))
+}
+
+fn put_validity(e: &mut Encoder, v: &Validity) {
+    e.put_i64(v.begin.0);
+    e.put_i64(v.end.0);
+}
+
+fn take_validity(d: &mut Decoder<'_>) -> Result<Validity, StoreError> {
+    let begin = take_time(d)?;
+    let end = take_time(d)?;
+    if begin > end {
+        return Err(StoreError::Corrupt(format!(
+            "inverted validity window [{begin:?}, {end:?}]"
+        )));
+    }
+    Ok(Validity { begin, end })
+}
+
+fn take_time(d: &mut Decoder<'_>) -> Result<Time, StoreError> {
+    Ok(Time(d.take_i64().map_err(codec_err)?))
+}
+
+fn put_subject(e: &mut Encoder, subject: &ThresholdSubject) {
+    e.put_u64(subject.m as u64);
+    e.put_list(subject.members.len());
+    for (name, key) in &subject.members {
+        e.put_str(name);
+        put_key(e, key);
+    }
+}
+
+fn take_subject(d: &mut Decoder<'_>) -> Result<ThresholdSubject, StoreError> {
+    let m = usize::try_from(d.take_u64().map_err(codec_err)?)
+        .map_err(|_| StoreError::Corrupt("threshold overflows usize".into()))?;
+    let count = d.take_list().map_err(codec_err)?;
+    let mut members = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let name = d.take_str().map_err(codec_err)?;
+        members.push((name, take_key(d)?));
+    }
+    ThresholdSubject::new(members, m)
+        .map_err(|e| StoreError::Corrupt(format!("undecodable subject: {e}")))
+}
+
+fn put_identity_cert(e: &mut Encoder, cert: &IdentityCertificate) {
+    e.put_str(&cert.issuer);
+    e.put_str(&cert.subject);
+    put_key(e, &cert.subject_key);
+    put_validity(e, &cert.validity);
+    e.put_i64(cert.timestamp.0);
+    put_sig(e, &cert.signature);
+}
+
+fn take_identity_cert(d: &mut Decoder<'_>) -> Result<IdentityCertificate, StoreError> {
+    Ok(IdentityCertificate {
+        issuer: d.take_str().map_err(codec_err)?,
+        subject: d.take_str().map_err(codec_err)?,
+        subject_key: take_key(d)?,
+        validity: take_validity(d)?,
+        timestamp: take_time(d)?,
+        signature: take_sig(d)?,
+    })
+}
+
+fn put_threshold_cert(e: &mut Encoder, cert: &ThresholdAttributeCertificate) {
+    e.put_str(&cert.issuer);
+    put_subject(e, &cert.subject);
+    e.put_str(cert.group.as_str());
+    put_validity(e, &cert.validity);
+    e.put_i64(cert.timestamp.0);
+    put_sig(e, &cert.signature);
+}
+
+fn take_threshold_cert(d: &mut Decoder<'_>) -> Result<ThresholdAttributeCertificate, StoreError> {
+    Ok(ThresholdAttributeCertificate {
+        issuer: d.take_str().map_err(codec_err)?,
+        subject: take_subject(d)?,
+        group: GroupId::new(&d.take_str().map_err(codec_err)?),
+        validity: take_validity(d)?,
+        timestamp: take_time(d)?,
+        signature: take_sig(d)?,
+    })
+}
+
+fn put_attribute_cert(e: &mut Encoder, cert: &AttributeCertificate) {
+    e.put_str(&cert.issuer);
+    e.put_str(&cert.subject);
+    put_key(e, &cert.subject_key);
+    e.put_str(cert.group.as_str());
+    put_validity(e, &cert.validity);
+    e.put_i64(cert.timestamp.0);
+    put_sig(e, &cert.signature);
+}
+
+fn take_attribute_cert(d: &mut Decoder<'_>) -> Result<AttributeCertificate, StoreError> {
+    Ok(AttributeCertificate {
+        issuer: d.take_str().map_err(codec_err)?,
+        subject: d.take_str().map_err(codec_err)?,
+        subject_key: take_key(d)?,
+        group: GroupId::new(&d.take_str().map_err(codec_err)?),
+        validity: take_validity(d)?,
+        timestamp: take_time(d)?,
+        signature: take_sig(d)?,
+    })
+}

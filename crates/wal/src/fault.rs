@@ -20,6 +20,10 @@ pub struct StoreFaultPlan {
     pub bit_flip_prob: f64,
     /// Probability a read returns the log minus a random suffix.
     pub short_read_prob: f64,
+    /// Probability a `reset` (tmp-write + rename) is lost wholesale: the
+    /// crash lands after the rename but before the parent directory entry
+    /// reaches the medium, so recovery sees the *old* log resurrected.
+    pub reset_lost_prob: f64,
 }
 
 impl StoreFaultPlan {
@@ -31,6 +35,7 @@ impl StoreFaultPlan {
             torn_write_prob: 0.0,
             bit_flip_prob: 0.0,
             short_read_prob: 0.0,
+            reset_lost_prob: 0.0,
         }
     }
 
@@ -55,6 +60,13 @@ impl StoreFaultPlan {
         self
     }
 
+    /// Sets the lost-reset probability (the un-fsynced-directory window).
+    #[must_use]
+    pub fn with_reset_lost(mut self, p: f64) -> Self {
+        self.reset_lost_prob = p;
+        self
+    }
+
     /// Checks all probabilities are in `[0, 1]`.
     ///
     /// # Errors
@@ -65,6 +77,7 @@ impl StoreFaultPlan {
             ("torn_write_prob", self.torn_write_prob),
             ("bit_flip_prob", self.bit_flip_prob),
             ("short_read_prob", self.short_read_prob),
+            ("reset_lost_prob", self.reset_lost_prob),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(WalError::InvalidPlan(format!("{name} = {p} not in [0, 1]")));
@@ -83,6 +96,8 @@ pub struct FaultStats {
     pub bit_flips: u64,
     /// Reads that lost a suffix.
     pub short_reads: u64,
+    /// Resets whose rename never became durable (old log resurrected).
+    pub lost_resets: u64,
 }
 
 /// A store wrapper that injects the planned faults.
@@ -152,6 +167,13 @@ impl<S: JournalStore> JournalStore for FaultyStore<S> {
     }
 
     fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        if self.plan.reset_lost_prob > 0.0 && self.roll() < self.plan.reset_lost_prob {
+            // Crash window after rename, before the directory fsync: the
+            // caller believes the rewrite landed, but the medium still
+            // holds the pre-reset image.
+            self.stats.lost_resets += 1;
+            return Ok(());
+        }
         self.inner.reset(bytes)
     }
 
@@ -240,6 +262,31 @@ mod tests {
         let parsed = parse_log(&store.into_inner().snapshot());
         assert!(parsed.records.is_empty());
         assert!(matches!(parsed.tail, Tail::Truncated { .. }));
+    }
+
+    #[test]
+    fn lost_reset_resurrects_the_old_log_image() {
+        let mut store = FaultyStore::new(
+            MemStore::new(),
+            StoreFaultPlan::seeded(11).with_reset_lost(1.0),
+        )
+        .expect("plan");
+        for i in 0..4u8 {
+            store.append(&frame_record(&[i; 8])).expect("append");
+        }
+        let pre_reset = store.read().expect("read");
+        // The caller sees a successful compaction...
+        store.reset(&frame_record(b"snapshot")).expect("reset");
+        assert_eq!(store.stats().lost_resets, 1);
+        // ...but the medium still holds the pre-rename image: exactly the
+        // crash window an un-fsynced parent directory leaves open. The
+        // resurrected image is still a *valid* log (the old one), so
+        // recovery lands on a consistent earlier state, not garbage.
+        let resurrected = store.read().expect("read");
+        assert_eq!(resurrected, pre_reset);
+        let parsed = parse_log(&resurrected);
+        assert_eq!(parsed.records.len(), 4);
+        assert_eq!(parsed.tail, Tail::Clean);
     }
 
     #[test]

@@ -49,6 +49,25 @@ pub trait JournalStore: std::fmt::Debug + Send {
     fn is_empty(&self) -> Result<bool, WalError> {
         Ok(self.len()? == 0)
     }
+
+    /// Reads `len` bytes starting at `offset`, for paged cold-tier
+    /// readers that must not materialise the whole log. Reading past the
+    /// end returns the available suffix (possibly empty) rather than an
+    /// error, mirroring `pread` semantics.
+    ///
+    /// The default implementation materialises the whole log via
+    /// [`JournalStore::read`]; stores with random access (files) should
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] if the backing medium fails.
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>, WalError> {
+        let bytes = self.read()?;
+        let start = offset.min(bytes.len() as u64) as usize;
+        let end = offset.saturating_add(len).min(bytes.len() as u64) as usize;
+        Ok(bytes[start..end].to_vec())
+    }
 }
 
 /// In-memory store over a shared buffer. Cloning yields a second handle on
@@ -105,6 +124,13 @@ impl JournalStore for MemStore {
     fn len(&self) -> Result<u64, WalError> {
         Ok(self.bytes.lock().expect("journal buffer lock").len() as u64)
     }
+
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>, WalError> {
+        let bytes = self.bytes.lock().expect("journal buffer lock");
+        let start = offset.min(bytes.len() as u64) as usize;
+        let end = offset.saturating_add(len).min(bytes.len() as u64) as usize;
+        Ok(bytes[start..end].to_vec())
+    }
 }
 
 /// When a [`FileStore`] pushes appends past the OS page cache with
@@ -126,11 +152,19 @@ pub enum SyncPolicy {
 /// sibling temp file and renames it into place so a crash during snapshot
 /// compaction leaves either the old log or the new one, never a mix.
 /// Durability against power loss is governed by [`SyncPolicy`].
+///
+/// Rename atomicity alone is not enough: until the *parent directory*
+/// entry is fsynced, a power cut can resurrect the pre-rename log (the
+/// rename lived only in the directory's dirty page). `reset` therefore
+/// fsyncs the parent directory after the rename, and the constructor does
+/// the same after creating a fresh log file, whenever the sync policy
+/// asks for durability at all.
 #[derive(Debug)]
 pub struct FileStore {
     path: PathBuf,
     sync: SyncPolicy,
     appends_since_sync: u32,
+    dir_syncs: u64,
 }
 
 impl FileStore {
@@ -152,14 +186,19 @@ impl FileStore {
     /// [`WalError::Io`] if the file cannot be created.
     pub fn with_sync_policy(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self, WalError> {
         let path = path.as_ref().to_path_buf();
-        if !path.exists() {
-            std::fs::File::create(&path).map_err(|e| WalError::Io(e.to_string()))?;
-        }
-        Ok(FileStore {
+        let mut store = FileStore {
             path,
             sync,
             appends_since_sync: 0,
-        })
+            dir_syncs: 0,
+        };
+        if !store.path.exists() {
+            std::fs::File::create(&store.path).map_err(|e| WalError::Io(e.to_string()))?;
+            // A freshly created file is only durable once its directory
+            // entry is, too.
+            store.sync_parent_dir()?;
+        }
+        Ok(store)
     }
 
     /// The log's path.
@@ -172,6 +211,28 @@ impl FileStore {
     #[must_use]
     pub fn sync_policy(&self) -> SyncPolicy {
         self.sync
+    }
+
+    /// How many times the parent directory has been fsynced (file
+    /// creation and every durable `reset`) — observable evidence for the
+    /// crash-after-rename tests.
+    #[must_use]
+    pub fn dir_syncs(&self) -> u64 {
+        self.dir_syncs
+    }
+
+    fn sync_parent_dir(&mut self) -> Result<(), WalError> {
+        if self.sync == SyncPolicy::Never {
+            return Ok(());
+        }
+        let parent = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let dir = std::fs::File::open(&parent).map_err(|e| WalError::Io(e.to_string()))?;
+        dir.sync_all().map_err(|e| WalError::Io(e.to_string()))?;
+        self.dir_syncs += 1;
+        Ok(())
     }
 
     fn should_sync(&mut self) -> bool {
@@ -218,6 +279,9 @@ impl JournalStore for FileStore {
             let file = std::fs::File::open(&self.path).map_err(|e| WalError::Io(e.to_string()))?;
             file.sync_all().map_err(|e| WalError::Io(e.to_string()))?;
         }
+        // The rename itself lives in the directory entry: without this
+        // fsync a crash can resurrect the pre-rename log image.
+        self.sync_parent_dir()?;
         self.appends_since_sync = 0;
         Ok(())
     }
@@ -226,6 +290,26 @@ impl JournalStore for FileStore {
         std::fs::metadata(&self.path)
             .map(|m| m.len())
             .map_err(|e| WalError::Io(e.to_string()))
+    }
+
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>, WalError> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = std::fs::File::open(&self.path).map_err(|e| WalError::Io(e.to_string()))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| WalError::Io(e.to_string()))?;
+        let mut buf = vec![0u8; usize::try_from(len).map_err(|e| WalError::Io(e.to_string()))?];
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let n = file
+                .read(&mut buf[filled..])
+                .map_err(|e| WalError::Io(e.to_string()))?;
+            if n == 0 {
+                break; // short read past EOF: return the available suffix
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+        Ok(buf)
     }
 }
 
@@ -321,6 +405,10 @@ impl<S: JournalStore> JournalStore for TeeStore<S> {
     fn len(&self) -> Result<u64, WalError> {
         self.inner.len()
     }
+
+    fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>, WalError> {
+        self.inner.read_range(offset, len)
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +466,53 @@ mod tests {
             assert_eq!(s.read().expect("read"), vec![0, 1, 2, 3, 4, 5, 6]);
             let _ = std::fs::remove_file(&path);
         }
+    }
+
+    #[test]
+    fn read_range_clamps_to_log_end() {
+        let mut s = MemStore::new();
+        s.append(b"0123456789").expect("append");
+        assert_eq!(s.read_range(2, 4).expect("range"), b"2345");
+        assert_eq!(s.read_range(8, 10).expect("range"), b"89");
+        assert_eq!(s.read_range(20, 4).expect("range"), b"");
+    }
+
+    #[test]
+    fn file_store_read_range_matches_mem_semantics() {
+        let dir = std::env::temp_dir().join(format!("jaap-wal-range-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::new(&path).expect("open");
+        s.append(b"0123456789").expect("append");
+        assert_eq!(s.read_range(2, 4).expect("range"), b"2345");
+        assert_eq!(s.read_range(8, 10).expect("range"), b"89");
+        assert_eq!(s.read_range(20, 4).expect("range"), b"");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_store_fsyncs_directory_on_create_and_reset() {
+        let dir = std::env::temp_dir().join(format!("jaap-wal-dirsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::new(&path).expect("open");
+        assert_eq!(s.dir_syncs(), 1, "creation must make the entry durable");
+        s.append(b"abc").expect("append");
+        s.reset(b"zz").expect("reset");
+        assert_eq!(s.dir_syncs(), 2, "rename must be followed by a dir fsync");
+        // Re-opening an existing log needs no directory work.
+        let reopened = FileStore::new(&path).expect("reopen");
+        assert_eq!(reopened.dir_syncs(), 0);
+        // `Never` opts out of directory durability along with file fsyncs.
+        let lazy_path = dir.join("lazy.wal");
+        let _ = std::fs::remove_file(&lazy_path);
+        let mut lazy = FileStore::with_sync_policy(&lazy_path, SyncPolicy::Never).expect("open");
+        lazy.reset(b"x").expect("reset");
+        assert_eq!(lazy.dir_syncs(), 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&lazy_path);
     }
 
     #[test]
