@@ -180,7 +180,7 @@ fn run_batch_sweep(
     for &cache in &[false, true] {
         for &workers in worker_counts {
             c.reset_server();
-            c.set_verification_cache(cache);
+            c.set_verification_cache(cache).expect("config");
             let started = Instant::now();
             let decisions = c.server_mut().verify_batch(&requests, workers);
             let elapsed = started.elapsed();

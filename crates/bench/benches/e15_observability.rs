@@ -93,9 +93,11 @@ fn measure_overhead(bits: usize, workers: usize, n_requests: usize, rounds: u32)
 fn observed_scenario(bits: usize) -> String {
     let mut c = standard_coalition(bits, 0xE15 + 1);
     let registry = c.enable_metrics();
-    c.server_mut().set_replay_protection(true);
-    c.server_mut().set_replay_protection_capacity(4);
-    c.set_verification_cache(true);
+    c.server_mut().set_replay_protection(true).expect("config");
+    c.server_mut()
+        .set_replay_protection_capacity(4)
+        .expect("config");
+    c.set_verification_cache(true).expect("config");
 
     // Cached + replayed decisions: repeats hit the verification cache, the
     // literal duplicate hits the replay window, and the tiny window evicts.

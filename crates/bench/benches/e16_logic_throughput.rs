@@ -84,8 +84,8 @@ fn measure_cell(
     workers: usize,
 ) -> Cell {
     c.reset_server();
-    c.set_verification_cache(true);
-    c.set_derivation_memo(memo);
+    c.set_verification_cache(true).expect("config");
+    c.set_derivation_memo(memo).expect("config");
     let registry = c.enable_metrics();
 
     // Cold pass: every decision derives (and, with the memo on, stores).
@@ -213,18 +213,18 @@ fn bench(c: &mut Criterion) {
         .build()
         .expect("coalition");
     coalition.advance_time(Time(20)).expect("clock");
-    coalition.set_verification_cache(true);
+    coalition.set_verification_cache(true).expect("config");
     let req = coalition
         .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
         .expect("request");
 
     let mut group = c.benchmark_group("e16_logic_throughput");
-    coalition.set_derivation_memo(false);
+    coalition.set_derivation_memo(false).expect("config");
     coalition.server_mut().handle_request(&req);
     group.bench_function("warm_decision_rederived", |b| {
         b.iter(|| coalition.server_mut().handle_request(&req));
     });
-    coalition.set_derivation_memo(true);
+    coalition.set_derivation_memo(true).expect("config");
     coalition.server_mut().handle_request(&req);
     group.bench_function("warm_decision_memoized", |b| {
         b.iter(|| coalition.server_mut().handle_request(&req));

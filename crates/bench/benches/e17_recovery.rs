@@ -106,14 +106,18 @@ fn assert_probe(
 fn measure_cell(c: &mut Coalition, requests: &[JointAccessRequest], audit_cap: usize) -> Cell {
     // Reference pass: no journal.
     c.reset_server();
-    c.server_mut().set_audit_capacity(audit_cap);
+    c.server_mut()
+        .set_audit_capacity(audit_cap)
+        .expect("config");
     let (plain_rps, plain_grants) = run_pass(c, requests);
     let probe = &requests[0];
     let live_probe = c.server_mut().handle_request(probe);
 
     // Journaled pass: identical workload, WAL-before-effect.
     c.reset_server();
-    c.server_mut().set_audit_capacity(audit_cap);
+    c.server_mut()
+        .set_audit_capacity(audit_cap)
+        .expect("config");
     let store = MemStore::new();
     let handle = store.clone();
     c.server_mut()

@@ -57,7 +57,7 @@ fn shard_server(c: &Coalition, i: usize) -> CoalitionServer {
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
     acl.permit(GroupId::new("G_read"), "read");
-    server.add_object(shard_object(i), acl);
+    server.add_object(shard_object(i), acl).expect("add object");
     server.advance_clock(Time(10)).expect("clock");
     server
 }

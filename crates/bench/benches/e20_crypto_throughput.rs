@@ -59,8 +59,8 @@ fn warm_pass(
 ) -> Pass {
     c.reset_server(); // resets the flags too — re-apply per arm below
     if accelerated {
-        c.set_crypto_precomp(true);
-        c.set_batch_verify(true);
+        c.set_crypto_precomp(true).expect("config");
+        c.set_batch_verify(true).expect("config");
     }
     let warm = c.server_mut().verify_batch(requests, workers);
     assert!(warm.iter().all(|d| d.granted), "all requests must grant");
@@ -220,8 +220,8 @@ fn print_sweep() {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e20_crypto_throughput");
     let mut accel = standard_coalition(192, 0xE20 + 1);
-    accel.set_crypto_precomp(true);
-    accel.set_batch_verify(true);
+    accel.set_crypto_precomp(true).expect("config");
+    accel.set_batch_verify(true).expect("config");
     let req = accel
         .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
         .expect("request");

@@ -74,6 +74,7 @@ fn profile() -> Profile {
                 page_size: 16 * 1024,
                 cache_pages: 32,
                 flush_threshold: 64 * 1024,
+                ..StoreConfig::default()
             },
             capacities: CapacityConfig {
                 replay: 4_096,
@@ -96,6 +97,7 @@ fn profile() -> Profile {
                 page_size: 64 * 1024,
                 cache_pages: 256,
                 flush_threshold: 256 * 1024,
+                ..StoreConfig::default()
             },
             capacities: CapacityConfig::million_principals(),
         }
@@ -117,13 +119,15 @@ fn print_sweep() {
     c.server_mut()
         .attach_cert_store(store.clone())
         .expect("attach store");
-    c.server_mut().apply_capacity_config(&p.capacities);
-    c.server_mut().set_verification_cache(true);
-    c.server_mut().set_crypto_precomp(true);
+    c.server_mut()
+        .apply_capacity_config(&p.capacities)
+        .expect("config");
+    c.server_mut().set_verification_cache(true).expect("config");
+    c.server_mut().set_crypto_precomp(true).expect("config");
     // Open-loop offered load is logically distinct per arrival; replay
     // dedup would serve Zipf-hot repeats from the replay window and
     // price nothing.
-    c.server_mut().set_replay_protection(false);
+    c.server_mut().set_replay_protection(false).expect("config");
 
     let setup_started = std::time::Instant::now();
     let mut population =
@@ -135,6 +139,8 @@ fn print_sweep() {
     let config = LoadgenConfig {
         requests: p.requests,
         rate_per_sec: p.rate_per_sec,
+        burst: None,
+        deadline: None,
         zipf_exponent: 1.1,
         churn_every: p.requests / 12,
         storm_every: p.requests / 6,
@@ -257,6 +263,7 @@ fn bench(c: &mut Criterion) {
         page_size: 4 * 1024,
         cache_pages: 8,
         flush_threshold: 16 * 1024,
+        ..StoreConfig::default()
     });
     let coalition = standard_coalition(192, 0xE21 + 9);
     let population = Population::certify(&coalition, &store, 512, 24, 192, 0xE21 + 9);

@@ -65,7 +65,7 @@ fn print_tables() {
     );
     for logic in [true, false] {
         let mut c = standard_coalition(256, 33);
-        c.server_mut().set_logic_checking(logic);
+        c.server_mut().set_logic_checking(logic).expect("config");
         let start = Instant::now();
         let iters = 50;
         let mut apps = 0;
@@ -113,7 +113,7 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("authorize_write_2of3_crypto_only", |b| {
         let mut c = standard_coalition(192, 36);
-        c.server_mut().set_logic_checking(false);
+        c.server_mut().set_logic_checking(false).expect("config");
         b.iter(|| c.request_write(&["User_D1", "User_D2"]).expect("req"));
     });
     group.bench_function("authorize_write_4of7", |b| {

@@ -184,11 +184,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
 
-    // E13→E21 trajectory: one headline number per committed bench record
+    // E13→E22 trajectory: one headline number per committed bench record
     // (`BENCH_e*.json`, written by the CI smoke runs), so the report shows
     // how the stack's performance story developed without re-running the
     // long benches.
-    writeln!(out, "\n## E13→E21 — committed bench-record trajectory\n")?;
+    writeln!(out, "\n## E13→E22 — committed bench-record trajectory\n")?;
     writeln!(out, "| record | headline |")?;
     writeln!(out, "|---|---|")?;
     for (file, label, key, unit) in [
@@ -236,6 +236,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "achieved_rps",
             " rps",
         ),
+        (
+            "BENCH_e22.json",
+            "E22 overdriven goodput",
+            "overdrive_goodput_rps",
+            " rps",
+        ),
     ] {
         match std::fs::read_to_string(file) {
             Ok(src) => {
@@ -257,6 +263,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "| E21 detail | {principals} principals, p99 {p99} us, \
                  resident peak {:.0} KiB |",
                 resident / 1024.0
+            )?;
+        }
+    }
+    if let Ok(src) = std::fs::read_to_string("BENCH_e22.json") {
+        if let (Some(shed), Some(p99), Some(probes)) = (
+            json_number(&src, "overdrive_shed_overloaded"),
+            json_number(&src, "overdrive_p99_us"),
+            json_number(&src, "probes_matched"),
+        ) {
+            writeln!(
+                out,
+                "| E22 detail | {shed} typed Overloaded sheds under 2x \
+                 overdrive, accepted p99 {p99} us, {probes} recovery twin \
+                 probes identical |"
             )?;
         }
     }

@@ -1,6 +1,7 @@
 //! Shared helpers for the experiment benches (see EXPERIMENTS.md).
 
 pub mod loadgen;
+pub mod overload;
 
 use jaap_coalition::scenario::{Coalition, CoalitionBuilder};
 

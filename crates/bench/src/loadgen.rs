@@ -247,6 +247,7 @@ impl Population {
             }],
             operation,
             at,
+            deadline: None,
         }
     }
 
@@ -265,13 +266,61 @@ impl Population {
     }
 }
 
+/// Square-wave overdrive: arrival rates alternate every `half_period`
+/// between the configured base rate and `overdrive x` that rate. The E22
+/// overload experiment drives 2x bursts against a server calibrated at
+/// its single-rate capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstProfile {
+    /// Multiplier applied to the base rate during the high half-period.
+    pub overdrive: f64,
+    /// Length of each half-period (low, then high, then low, ...).
+    pub half_period: Duration,
+}
+
+/// Precomputes open-loop arrival offsets: request `i` is offered at
+/// `start + offsets[i]` no matter how fast the server drains (the
+/// open-loop discipline). With a burst profile the offsets follow the
+/// square wave; without one they are a constant-rate lattice.
+#[must_use]
+pub fn arrival_schedule(
+    requests: usize,
+    rate_per_sec: f64,
+    burst: Option<&BurstProfile>,
+) -> Vec<Duration> {
+    let mut out = Vec::with_capacity(requests);
+    let mut t = 0.0f64;
+    for _ in 0..requests {
+        let rate = match burst {
+            Some(b) => {
+                let phase = (t / b.half_period.as_secs_f64()) as u64;
+                if phase % 2 == 1 {
+                    rate_per_sec * b.overdrive
+                } else {
+                    rate_per_sec
+                }
+            }
+            None => rate_per_sec,
+        };
+        out.push(Duration::from_secs_f64(t));
+        t += 1.0 / rate;
+    }
+    out
+}
+
 /// Open-loop driver parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadgenConfig {
     /// Requests to offer.
     pub requests: usize,
-    /// Fixed arrival rate (requests per second).
+    /// Base arrival rate (requests per second).
     pub rate_per_sec: f64,
+    /// Square-wave overdrive bursts layered on the base rate (`None` =
+    /// constant rate).
+    pub burst: Option<BurstProfile>,
+    /// Per-request deadline budget, measured from the *scheduled*
+    /// arrival — queueing delay spends it. `None` = no deadlines.
+    pub deadline: Option<Duration>,
     /// Zipf exponent over the principal population.
     pub zipf_exponent: f64,
     /// Mint one fresh principal every this many requests (0 = off).
@@ -296,6 +345,11 @@ pub struct LoadgenReport {
     pub granted: usize,
     /// Requests denied (revoked cold-tail principals).
     pub denied: usize,
+    /// Requests shed with a typed `DeadlineExceeded` outcome (budget gone
+    /// at a phase boundary) — Indeterminate, not policy denials.
+    pub shed_deadline: usize,
+    /// Requests shed for any other typed reason (overload, poisoned).
+    pub shed_other: usize,
     /// Offered arrival rate.
     pub offered_rps: f64,
     /// Served throughput over the whole run.
@@ -348,14 +402,17 @@ pub fn run_open_loop(
         now.0
     };
     let zipf = ZipfSampler::new(population.len(), config.zipf_exponent);
-    let interarrival = Duration::from_secs_f64(1.0 / config.rate_per_sec);
+    let mut shed_deadline = 0usize;
+    let mut shed_other = 0usize;
+    let offsets = arrival_schedule(config.requests, config.rate_per_sec, config.burst.as_ref());
 
     let start = Instant::now();
-    for i in 0..config.requests {
-        // Open-loop: the i-th arrival is fixed at start + i/λ. If the
-        // server is behind, we do not wait (the backlog shows up as
-        // latency); if it is ahead, we hold the request until its slot.
-        let scheduled = start + interarrival.mul_f64(i as f64);
+    for (i, &offset) in offsets.iter().enumerate() {
+        // Open-loop: the i-th arrival is fixed by the precomputed
+        // schedule. If the server is behind, we do not wait (the backlog
+        // shows up as latency); if it is ahead, we hold the request until
+        // its slot.
+        let scheduled = start + offset;
         while Instant::now() < scheduled {
             std::hint::spin_loop();
         }
@@ -396,12 +453,16 @@ pub fn run_open_loop(
 
         let principal = zipf.sample(uniform(&mut rng));
         let at = coalition.server().now();
-        let request = population.build_read(store, principal, at);
+        let mut request = population.build_read(store, principal, at);
+        if let Some(budget) = config.deadline {
+            request = request.with_deadline(scheduled + budget);
+        }
         let decision = coalition.server_mut().handle_request(&request);
-        if decision.granted {
-            granted += 1;
-        } else {
-            denied += 1;
+        match decision.shed {
+            Some(jaap_coalition::server::ShedReason::DeadlineExceeded) => shed_deadline += 1,
+            Some(_) => shed_other += 1,
+            None if decision.granted => granted += 1,
+            None => denied += 1,
         }
         latency.record_duration(scheduled.elapsed());
 
@@ -417,6 +478,8 @@ pub fn run_open_loop(
         served: config.requests,
         granted,
         denied,
+        shed_deadline,
+        shed_other,
         offered_rps: config.rate_per_sec,
         achieved_rps: config.requests as f64 / elapsed,
         p50_us: snap.p50 / 1_000,
@@ -491,6 +554,8 @@ mod tests {
         let config = LoadgenConfig {
             requests: 48,
             rate_per_sec: 50_000.0,
+            burst: None,
+            deadline: None,
             zipf_exponent: 1.1,
             churn_every: 16,
             storm_every: 20,

@@ -29,19 +29,22 @@
 //! against travels *inside* the immutable snapshot `Arc` it evaluates, not
 //! in a separate cell that could be observed mid-publish.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use jaap_core::syntax::Time;
-use jaap_obs::Histogram;
+use jaap_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use jaap_pki::TrustStore;
 use jaap_store::CertStore;
 use parking_lot::Mutex;
 
 use crate::cache::VerifyCache;
 use crate::request::JointAccessRequest;
-use crate::server::{crypto_verify, CoalitionServer, CryptoOutcome, ServerDecision};
+use crate::server::{
+    crypto_verify, AuditEntry, CoalitionServer, CryptoOutcome, ServerDecision, ShedReason,
+};
 use crate::CoalitionError;
 
 /// How many optimistic attempts a decision makes before falling back to
@@ -49,6 +52,47 @@ use crate::CoalitionError;
 /// a mutation landed between snapshot load and commit; under any realistic
 /// admission rate one retry is already rare.
 const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
+
+/// Bounded capacity of the volatile shed-audit ring (oldest lines evicted
+/// first). Shedding exists to protect the server from overload; an
+/// unbounded audit of sheds would reintroduce the unbounded queue it
+/// replaces.
+const SHED_AUDIT_CAPACITY: usize = 1024;
+
+/// Pre-resolved instruments for the lock-free shed path (`server.inflight`,
+/// `server.shed.{overloaded,deadline}`). The shed counters resolve to the
+/// same registry slots as the serial server's, so totals aggregate across
+/// whichever path rejected the request.
+#[derive(Debug)]
+struct GateInstruments {
+    inflight: Arc<Gauge>,
+    shed_overloaded: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+}
+
+/// RAII in-flight permit: decrements the gate count (and gauge) on every
+/// exit path out of a decision, shed or served. Also handed out by
+/// [`ConcurrentServer::acquire_slot`] so drain tooling and benches can
+/// occupy the gate without running a decision.
+pub struct InflightPermit<'a> {
+    count: &'a AtomicUsize,
+    gauge: Option<Arc<Gauge>>,
+}
+
+impl std::fmt::Debug for InflightPermit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InflightPermit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        let now = self.count.fetch_sub(1, Ordering::AcqRel) - 1;
+        if let Some(g) = &self.gauge {
+            g.set(i64::try_from(now).unwrap_or(i64::MAX));
+        }
+    }
+}
 
 /// An immutable view of everything the crypto phase of a decision depends
 /// on, published at a single state version.
@@ -212,6 +256,16 @@ impl SnapshotReader<'_> {
 pub struct ConcurrentServer {
     writer: Mutex<CoalitionServer>,
     published: SnapshotCell,
+    /// In-flight decision count (the admission gate).
+    inflight: AtomicUsize,
+    /// Gate capacity; `0` = unlimited (gate off).
+    inflight_limit: AtomicUsize,
+    /// Lock-free-path instruments, when a registry is attached.
+    gate_metrics: Mutex<Option<Arc<GateInstruments>>>,
+    /// Volatile bounded audit ring for decisions shed off the writer lock —
+    /// the serial audit log cannot record them without taking the very
+    /// lock the shed path exists to avoid.
+    shed_audit: Mutex<VecDeque<AuditEntry>>,
 }
 
 impl ConcurrentServer {
@@ -222,7 +276,121 @@ impl ConcurrentServer {
         ConcurrentServer {
             writer: Mutex::new(server),
             published: SnapshotCell::new(snapshot),
+            inflight: AtomicUsize::new(0),
+            inflight_limit: AtomicUsize::new(0),
+            gate_metrics: Mutex::new(None),
+            shed_audit: Mutex::new(VecDeque::new()),
         }
+    }
+
+    /// Caps concurrent in-flight decisions. At the cap, further requests
+    /// are **rejected** with a typed [`ShedReason::Overloaded`] decision —
+    /// never queued: a queue under sustained overload grows without bound
+    /// and destroys every deadline behind it. `0` disables the gate.
+    pub fn set_inflight_limit(&self, limit: usize) {
+        self.inflight_limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// The configured in-flight cap (`0` = unlimited).
+    #[must_use]
+    pub fn inflight_limit(&self) -> usize {
+        self.inflight_limit.load(Ordering::Relaxed)
+    }
+
+    /// Decisions currently in flight.
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Resolves the lock-free-path instruments (`server.inflight` gauge,
+    /// `server.shed.{overloaded,deadline}` counters) from `registry`. The
+    /// serial server's own pipeline instruments attach separately through
+    /// the writer (`with_writer(|s| s.set_metrics(..))`); shed counters
+    /// resolved from the same registry aggregate across both paths.
+    pub fn set_gate_metrics(&self, registry: &MetricsRegistry) {
+        *self.gate_metrics.lock() = Some(Arc::new(GateInstruments {
+            inflight: registry.gauge("server.inflight"),
+            shed_overloaded: registry.counter("server.shed.overloaded"),
+            shed_deadline: registry.counter("server.shed.deadline"),
+        }));
+    }
+
+    /// The shed-audit ring: decisions shed off the writer lock, oldest
+    /// first (bounded; oldest lines evicted past capacity). Every entry has
+    /// `shed: Some(..)` — Indeterminate outcomes, distinguishable from the
+    /// policy denials in the serial audit log.
+    #[must_use]
+    pub fn shed_audit(&self) -> Vec<AuditEntry> {
+        self.shed_audit.lock().iter().cloned().collect()
+    }
+
+    /// Takes (and holds, until the permit drops) one admission-gate slot
+    /// without running a decision; `None` means the gate is full. Drain
+    /// tooling parks permits to shrink effective capacity, and benches
+    /// use a parked permit to price the reject path deterministically.
+    #[must_use]
+    pub fn acquire_slot(&self) -> Option<InflightPermit<'_>> {
+        let instruments = self.gate_metrics.lock().clone();
+        self.try_enter(instruments.as_ref())
+    }
+
+    /// Tries to take an in-flight slot; `None` means the gate is full.
+    fn try_enter(&self, instruments: Option<&Arc<GateInstruments>>) -> Option<InflightPermit<'_>> {
+        let limit = self.inflight_limit.load(Ordering::Relaxed);
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if limit != 0 && prev >= limit {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        let gauge = instruments.map(|m| Arc::clone(&m.inflight));
+        if let Some(g) = &gauge {
+            g.set(i64::try_from(prev + 1).unwrap_or(i64::MAX));
+        }
+        Some(InflightPermit {
+            count: &self.inflight,
+            gauge,
+        })
+    }
+
+    /// Sheds a request without touching the writer lock: a typed decision,
+    /// a line in the bounded shed-audit ring, and a counter bump. Stamped
+    /// with the published snapshot's clock (the freshest time visible
+    /// without the lock).
+    fn shed_unlocked(
+        &self,
+        req: &JointAccessRequest,
+        reason: ShedReason,
+        detail: &str,
+        instruments: Option<&Arc<GateInstruments>>,
+    ) -> ServerDecision {
+        let entry = AuditEntry {
+            at: self.published.load().at(),
+            principals: req.statements.iter().map(|s| s.principal.clone()).collect(),
+            operation: req.operation.clone(),
+            granted: false,
+            detail: detail.to_string(),
+            cached_checks: 0,
+            retry_trace: None,
+            shed: Some(reason),
+        };
+        {
+            let mut ring = self.shed_audit.lock();
+            if ring.len() == SHED_AUDIT_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(entry);
+        }
+        if let Some(m) = instruments {
+            match reason {
+                ShedReason::Overloaded => m.shed_overloaded.inc(),
+                ShedReason::DeadlineExceeded => m.shed_deadline.inc(),
+                // Poison sheds happen under the writer lock (the serial
+                // server owns that state) and are counted there.
+                ShedReason::JournalPoisoned => {}
+            }
+        }
+        ServerDecision::shed(reason, detail)
     }
 
     /// Unwraps back into the plain server.
@@ -314,6 +482,17 @@ impl ConcurrentServer {
         reader: Option<&mut SnapshotReader<'a>>,
         mid_crypto: &mut dyn FnMut(),
     ) -> ServerDecision {
+        let instruments = self.gate_metrics.lock().clone();
+        // Admission gate: reject at the door, never queue. The rejection
+        // path touches no lock a decision in progress could be holding.
+        let Some(_permit) = self.try_enter(instruments.as_ref()) else {
+            return self.shed_unlocked(
+                req,
+                ShedReason::Overloaded,
+                "in-flight limit reached: request rejected at admission, not queued",
+                instruments.as_ref(),
+            );
+        };
         let mut own_reader;
         let reader = match reader {
             Some(r) => r,
@@ -323,12 +502,32 @@ impl ConcurrentServer {
             }
         };
         for attempt in 0..MAX_OPTIMISTIC_ATTEMPTS {
+            // Pre-crypto deadline gate: don't spend signature work on a
+            // request whose budget is already gone.
+            if req.deadline.is_some_and(|d| Instant::now() >= d) {
+                return self.shed_unlocked(
+                    req,
+                    ShedReason::DeadlineExceeded,
+                    "deadline budget exhausted before the crypto phase",
+                    instruments.as_ref(),
+                );
+            }
             let snapshot = reader.load();
             // Lock-free phase: recency + crypto against the immutable
             // snapshot. No writer can be blocked by this work.
             let outcome = snapshot.evaluate(req);
             if attempt == 0 {
                 mid_crypto();
+            }
+            // Pre-commit deadline gate: the answer would land after the
+            // caller stopped caring — don't take the writer lock for it.
+            if req.deadline.is_some_and(|d| Instant::now() >= d) {
+                return self.shed_unlocked(
+                    req,
+                    ShedReason::DeadlineExceeded,
+                    "deadline budget exhausted before the commit phase",
+                    instruments.as_ref(),
+                );
             }
             let mut server = self.writer.lock();
             if server.state_version() == snapshot.version {

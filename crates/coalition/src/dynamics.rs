@@ -128,7 +128,7 @@ impl Coalition {
         let mut acl = Acl::new();
         acl.permit(GroupId::new("G_write"), "write");
         acl.permit(GroupId::new("G_read"), "read");
-        self.server.add_object(OBJECT_O, acl);
+        self.server.add_object(OBJECT_O, acl)?;
         self.server.advance_clock(old_server.now())?;
 
         // 4. Re-issue the threshold ACs under the new key.

@@ -82,6 +82,13 @@ pub enum CoalitionError {
     Journal(String),
     /// The persistent certificate store failed.
     Store(String),
+    /// The server is fail-stopped: a durability-path write (journal append
+    /// or cert-store put) failed after possibly reaching the medium, so
+    /// in-memory state can no longer be trusted to match the durable log.
+    /// Sticky until [`server::CoalitionServer::recover`] replays the
+    /// durable prefix into a fresh server (fsyncgate semantics: a failed
+    /// fsync is never retried).
+    JournalPoisoned(String),
 }
 
 impl core::fmt::Display for CoalitionError {
@@ -92,6 +99,9 @@ impl core::fmt::Display for CoalitionError {
             CoalitionError::Config(m) => write!(f, "configuration: {m}"),
             CoalitionError::Journal(m) => write!(f, "journal: {m}"),
             CoalitionError::Store(m) => write!(f, "store: {m}"),
+            CoalitionError::JournalPoisoned(m) => {
+                write!(f, "server poisoned (recover() to resume): {m}")
+            }
         }
     }
 }

@@ -98,6 +98,9 @@ struct ReplicaInstruments {
     acked: Arc<Counter>,
     lag: Arc<Gauge>,
     catchups: Arc<Counter>,
+    /// Outbox events refused at the bounded tee (`LogOutbox` cap): typed
+    /// replication lag, healed by the next snapshot catch-up.
+    outbox_saturated: Arc<Counter>,
 }
 
 /// What the primary believes one replica holds.
@@ -123,6 +126,8 @@ pub struct Primary {
     deposed_by: Option<u64>,
     stats: PrimaryStats,
     instruments: Vec<ReplicaInstruments>,
+    /// `LogOutbox::dropped()` already mirrored into the instruments.
+    outbox_dropped_seen: u64,
 }
 
 impl Primary {
@@ -147,6 +152,7 @@ impl Primary {
             deposed_by: None,
             stats: PrimaryStats::default(),
             instruments: Vec::new(),
+            outbox_dropped_seen: 0,
         }
     }
 
@@ -159,6 +165,7 @@ impl Primary {
                 acked: registry.counter(&format!("server.repl.{i}.acked")),
                 lag: registry.gauge(&format!("server.repl.{i}.lag_records")),
                 catchups: registry.counter(&format!("server.repl.{i}.catchups")),
+                outbox_saturated: registry.counter(&format!("server.repl.{i}.outbox_saturated")),
             })
             .collect();
     }
@@ -167,6 +174,17 @@ impl Primary {
     /// the shipping state: appends extend the tail, a reset starts a new
     /// generation with the reset image as its base.
     pub fn absorb(&mut self) {
+        // Mirror events the bounded outbox refused since the last absorb:
+        // each is a tail record every replica will miss until the next
+        // snapshot catch-up, so the saturation counter is the lag signal.
+        let dropped = self.outbox.dropped();
+        if dropped > self.outbox_dropped_seen {
+            let delta = dropped - self.outbox_dropped_seen;
+            self.outbox_dropped_seen = dropped;
+            for ins in &self.instruments {
+                ins.outbox_saturated.add(delta);
+            }
+        }
         for event in self.outbox.drain() {
             match event {
                 TeeEvent::Append(frame) => self.tail.push(frame),

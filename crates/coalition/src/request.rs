@@ -56,6 +56,23 @@ pub struct JointAccessRequest {
     pub operation: Operation,
     /// Submission time `t1`.
     pub at: Time,
+    /// Optional wall-clock deadline budget. The server checks remaining
+    /// budget at phase boundaries (pre-crypto, pre-logic, pre-commit) and
+    /// sheds the request with a typed `DeadlineExceeded` outcome once it
+    /// expires — work the client has given up on is not worth finishing.
+    /// Not part of [`JointAccessRequest::digest`]: the deadline is delivery
+    /// metadata, not request identity, so a retry with a fresh budget still
+    /// hits the replay window.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl JointAccessRequest {
+    /// Returns a copy of this request carrying `deadline`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 impl JointAccessRequest {
@@ -111,6 +128,7 @@ pub fn assemble(
         statements,
         operation,
         at,
+        deadline: None,
     })
 }
 
@@ -238,6 +256,7 @@ pub fn assemble_over_network(
             statements,
             operation,
             at,
+            deadline: None,
         },
         handle.stats(),
     ))

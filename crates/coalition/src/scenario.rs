@@ -156,7 +156,9 @@ impl CoalitionBuilder {
         let mut acl = Acl::new();
         acl.permit(GroupId::new("G_write"), "write");
         acl.permit(GroupId::new("G_read"), "read");
-        server.add_object(OBJECT_O, acl);
+        server
+            .add_object(OBJECT_O, acl)
+            .expect("fresh server has no journal to fail");
         server
             .advance_clock(Time(10))
             .expect("fresh server clock starts at zero");
@@ -298,28 +300,44 @@ impl Coalition {
 
     /// Enables/disables the server's certificate-verification cache
     /// (delegates to [`CoalitionServer::set_verification_cache`]).
-    pub fn set_verification_cache(&mut self, on: bool) {
-        self.server.set_verification_cache(on);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's journal fail-stop error.
+    pub fn set_verification_cache(&mut self, on: bool) -> Result<(), CoalitionError> {
+        self.server.set_verification_cache(on)
     }
 
     /// Enables/disables the engine's derivation memo (delegates to
     /// [`CoalitionServer::set_derivation_memo`]; off by default).
-    pub fn set_derivation_memo(&mut self, on: bool) {
-        self.server.set_derivation_memo(on);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's journal fail-stop error.
+    pub fn set_derivation_memo(&mut self, on: bool) -> Result<(), CoalitionError> {
+        self.server.set_derivation_memo(on)
     }
 
     /// Enables/disables fixed-base precomputation in the server's crypto
     /// phase (delegates to [`CoalitionServer::set_crypto_precomp`]; off by
     /// default).
-    pub fn set_crypto_precomp(&mut self, on: bool) {
-        self.server.set_crypto_precomp(on);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's journal fail-stop error.
+    pub fn set_crypto_precomp(&mut self, on: bool) -> Result<(), CoalitionError> {
+        self.server.set_crypto_precomp(on)
     }
 
     /// Enables/disables batch signature verification for
     /// [`CoalitionServer::verify_batch`] (delegates to
     /// [`CoalitionServer::set_batch_verify`]; off by default).
-    pub fn set_batch_verify(&mut self, on: bool) {
-        self.server.set_batch_verify(on);
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's journal fail-stop error.
+    pub fn set_batch_verify(&mut self, on: bool) -> Result<(), CoalitionError> {
+        self.server.set_batch_verify(on)
     }
 
     /// Turns observability on for the whole coalition: one shared
@@ -379,7 +397,9 @@ impl Coalition {
         let mut acl = Acl::new();
         acl.permit(GroupId::new("G_write"), "write");
         acl.permit(GroupId::new("G_read"), "read");
-        server.add_object(OBJECT_O, acl);
+        server
+            .add_object(OBJECT_O, acl)
+            .expect("fresh server has no journal to fail");
         server
             .advance_clock(now)
             .expect("fresh server clock starts at zero");

@@ -47,7 +47,7 @@ use crate::CoalitionError;
 
 /// A jointly owned coalition object: a name, an ACL, and a write-version
 /// counter (contents are out of scope; policy is the point).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoalitionObject {
     /// Object name (e.g. `"Object O"`).
     pub name: String,
@@ -57,6 +57,23 @@ pub struct CoalitionObject {
     pub version: u64,
     /// The object's contents (returned, encrypted, on granted reads).
     pub content: Vec<u8>,
+}
+
+/// Why a request was shed without a policy evaluation. The XACML lesson
+/// (*The Logic of XACML*): evaluation failure is its own typed outcome —
+/// Indeterminate — never conflated with Deny. A shed request may succeed
+/// verbatim if retried; a policy denial will not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The in-flight admission gate was full: the server refused to queue
+    /// the request rather than let the backlog destroy every deadline.
+    Overloaded,
+    /// The request's deadline budget ran out at a phase boundary
+    /// (pre-crypto, pre-logic, or pre-commit).
+    DeadlineExceeded,
+    /// The server is fail-stopped: a durability-path write failed and
+    /// in-memory state can no longer be trusted to match the durable log.
+    JournalPoisoned,
 }
 
 /// One audit-log line.
@@ -80,6 +97,11 @@ pub struct AuditEntry {
     /// Signing-session retry trace, when the decision followed a degraded
     /// networked signing attempt (timeouts, failovers, re-requests).
     pub retry_trace: Option<String>,
+    /// `Some` when the request was shed (overload, deadline, poisoned
+    /// journal) rather than evaluated: Indeterminate, distinguishable from
+    /// a policy `Deny` in the audit log. Shed lines are volatile — they are
+    /// never journaled and do not survive snapshot compaction.
+    pub shed: Option<ShedReason>,
 }
 
 /// The server's decision on a joint access request.
@@ -109,6 +131,30 @@ pub struct ServerDecision {
     /// the required domains were reachable). Such a request may succeed if
     /// retried later — a policy denial will not.
     pub unavailable: bool,
+    /// `Some` when the request was shed without a policy evaluation
+    /// (overload, deadline budget, poisoned journal). Shed decisions are
+    /// journal-cheap (no WAL record), never enter the replay window, the
+    /// verify cache, or the derivation memo, and always carry
+    /// `unavailable = true`: they are Indeterminate, not Deny.
+    pub shed: Option<ShedReason>,
+}
+
+impl ServerDecision {
+    /// Builds a typed shed decision (Indeterminate, not Deny).
+    #[must_use]
+    pub fn shed(reason: ShedReason, detail: impl Into<String>) -> Self {
+        ServerDecision {
+            granted: false,
+            detail: Some(detail.into()),
+            derivation: None,
+            axiom_applications: 0,
+            signature_checks: 0,
+            cached_signature_checks: 0,
+            response: None,
+            unavailable: true,
+            shed: Some(reason),
+        }
+    }
 }
 
 /// The crypto phase's verified artifacts: idealized certificates and the
@@ -261,6 +307,11 @@ struct ServerMetrics {
     crypto_precomp_hits: Arc<Counter>,
     crypto_batch_verifies: Arc<Counter>,
     crypto_batch_fallbacks: Arc<Counter>,
+    shed_overloaded: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+    shed_poisoned: Arc<Counter>,
+    deadline_slack_ns: Arc<Histogram>,
+    journal_poisoned: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -293,6 +344,11 @@ impl ServerMetrics {
             crypto_precomp_hits: registry.counter("server.crypto.precomp_hits"),
             crypto_batch_verifies: registry.counter("server.crypto.batch_verifies"),
             crypto_batch_fallbacks: registry.counter("server.crypto.batch_fallbacks"),
+            shed_overloaded: registry.counter("server.shed.overloaded"),
+            shed_deadline: registry.counter("server.shed.deadline"),
+            shed_poisoned: registry.counter("server.shed.poisoned"),
+            deadline_slack_ns: registry.histogram("server.deadline.slack_ns"),
+            journal_poisoned: registry.gauge("server.journal.poisoned"),
             registry: registry.clone(),
         }
     }
@@ -399,6 +455,17 @@ pub struct CoalitionServer {
     /// [`CoalitionServer::state_version`], the single version number every
     /// published decision snapshot is validated against.
     local_rev: u64,
+    /// The sticky fail-stop state (fsyncgate semantics): set when a
+    /// durability-path write — journal append, snapshot rewrite, or
+    /// cert-store put — fails after the corresponding WAL record may have
+    /// partially reached the medium. From then on every mutator returns
+    /// [`CoalitionError::JournalPoisoned`] and every decision sheds with
+    /// [`ShedReason::JournalPoisoned`]; the only way forward is
+    /// [`CoalitionServer::recover`], which replays the durable prefix into
+    /// a fresh server. A failed fsync is never retried: the write may or
+    /// may not be on disk, so the in-memory state is no longer known to
+    /// match the log.
+    poisoned: Option<String>,
     rng: StdRng,
 }
 
@@ -451,7 +518,34 @@ impl CoalitionServer {
             snapshot_pending: false,
             memo_capacity: None,
             local_rev: 0,
+            poisoned: None,
             rng: StdRng::seed_from_u64(0x5EC5EC),
+        }
+    }
+
+    /// The sticky fail-stop poison detail, `None` while healthy. See
+    /// [`CoalitionError::JournalPoisoned`].
+    #[must_use]
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Transitions to the sticky fail-stop state (first detail wins) and
+    /// returns the typed error. Mutators and decisions refuse from here on;
+    /// only [`CoalitionServer::recover`] resumes service.
+    fn poison(&mut self, detail: String) -> CoalitionError {
+        let detail = self.poisoned.get_or_insert(detail).clone();
+        if let Some(m) = &self.metrics {
+            m.journal_poisoned.set(1);
+        }
+        CoalitionError::JournalPoisoned(detail)
+    }
+
+    /// The poisoned-state refusal, `Err` while poisoned.
+    fn ensure_unpoisoned(&self) -> Result<(), CoalitionError> {
+        match &self.poisoned {
+            Some(detail) => Err(CoalitionError::JournalPoisoned(detail.clone())),
+            None => Ok(()),
         }
     }
 
@@ -506,6 +600,7 @@ impl CoalitionServer {
     ///
     /// [`CoalitionError::Store`] if the backfill write fails.
     pub fn attach_cert_store(&mut self, store: CertStore) -> Result<(), CoalitionError> {
+        self.ensure_unpoisoned()?;
         for obj in &self.objects {
             store.put_acl(&obj.name, &obj.acl)?;
         }
@@ -538,18 +633,24 @@ impl CoalitionServer {
     }
 
     /// Registers a jointly owned object with its ACL.
-    pub fn add_object(&mut self, name: impl Into<String>, acl: Acl) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append or the
+    /// cert-store ACL row fails (the server fail-stops: the record may be
+    /// partially durable, so proceeding in memory would diverge from the
+    /// log) — or when the server was already poisoned.
+    pub fn add_object(&mut self, name: impl Into<String>, acl: Acl) -> Result<(), CoalitionError> {
         let name = name.into();
         self.touch();
-        // Builder-style signature can't propagate a journal error; a failed
-        // append only loses durability for this record, never correctness
-        // of the in-memory server.
-        let _ = self.journal_append(&JournalRecord::ObjectAdded {
+        self.journal_append(&JournalRecord::ObjectAdded {
             name: name.clone(),
             acl: acl.clone(),
-        });
-        if let Some(cs) = &self.cert_store {
-            let _ = cs.put_acl(&name, &acl);
+        })?;
+        if let Some(cs) = self.cert_store.clone() {
+            if let Err(e) = cs.put_acl(&name, &acl) {
+                return Err(self.poison(format!("cert store ACL row failed: {e}")));
+            }
         }
         self.objects.push(CoalitionObject {
             name,
@@ -557,7 +658,7 @@ impl CoalitionServer {
             version: 0,
             content: Vec::new(),
         });
-        self
+        Ok(())
     }
 
     /// Looks up an object.
@@ -581,8 +682,12 @@ impl CoalitionServer {
             name: name.into(),
             acl: acl.clone(),
         })?;
-        if let Some(cs) = &self.cert_store {
-            cs.put_acl(name, &acl)?;
+        // The journal already has this record; a failed store row would
+        // leave recovery and the live server disagreeing — fail-stop.
+        if let Some(cs) = self.cert_store.clone() {
+            if let Err(e) = cs.put_acl(name, &acl) {
+                return Err(self.poison(format!("cert store ACL row failed: {e}")));
+            }
         }
         let obj = self
             .objects
@@ -646,23 +751,34 @@ impl CoalitionServer {
     }
 
     /// Enables/disables the logic layer (D3 ablation).
-    pub fn set_logic_checking(&mut self, on: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_logic_checking(&mut self, on: bool) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::LogicChecking,
             i64::from(on),
-        ));
+        ))?;
         self.logic_checking = on;
+        Ok(())
     }
 
     /// Enables/disables the certificate-verification cache. Turning it off
     /// drops all memoized entries.
-    pub fn set_verification_cache(&mut self, on: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_verification_cache(&mut self, on: bool) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::VerifyCache,
             i64::from(on),
-        ));
+        ))?;
         if on {
             if self.verify_cache.is_none() {
                 let cache = match self.verify_cache_capacity {
@@ -677,6 +793,7 @@ impl CoalitionServer {
         } else {
             self.verify_cache = None;
         }
+        Ok(())
     }
 
     /// Sizes the certificate-verification cache (`None` restores the
@@ -684,17 +801,26 @@ impl CoalitionServer {
     /// live cache immediately, evicting oldest entries if the new bound
     /// is already exceeded, and to any cache created later by
     /// [`CoalitionServer::set_verification_cache`].
-    pub fn set_verify_cache_capacity(&mut self, capacity: Option<usize>) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_verify_cache_capacity(
+        &mut self,
+        capacity: Option<usize>,
+    ) -> Result<(), CoalitionError> {
         self.touch();
         let encoded = capacity.and_then(|c| i64::try_from(c).ok()).unwrap_or(-1);
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::VerifyCacheCapacity,
             encoded,
-        ));
+        ))?;
         self.verify_cache_capacity = capacity;
         if let Some(cache) = &self.verify_cache {
             cache.set_capacity(Some(capacity.unwrap_or(cache::DEFAULT_CACHE_CAPACITY)));
         }
+        Ok(())
     }
 
     /// The configured verification-cache bound (`None` = crate default).
@@ -707,13 +833,19 @@ impl CoalitionServer {
     /// phase. Tables are built lazily per (base, modulus) inside the trust
     /// store's shared verifier-precomp cache and reused across requests;
     /// accept/reject behavior is unchanged.
-    pub fn set_crypto_precomp(&mut self, on: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_crypto_precomp(&mut self, on: bool) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::CryptoPrecomp,
             i64::from(on),
-        ));
+        ))?;
         self.crypto_precomp = on;
+        Ok(())
     }
 
     /// Whether fixed-base precomputation is on (decision snapshots capture
@@ -730,13 +862,19 @@ impl CoalitionServer {
     /// settled with exact per-item checks on a pass, bisected on a
     /// failure — so verdicts, and therefore decisions and audit lines,
     /// stay identical to serial verification for every weight draw.
-    pub fn set_batch_verify(&mut self, on: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_batch_verify(&mut self, on: bool) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::BatchVerify,
             i64::from(on),
-        ));
+        ))?;
         self.batch_verify = on;
+        Ok(())
     }
 
     /// Whether batch signature verification is on.
@@ -772,26 +910,41 @@ impl CoalitionServer {
     /// Turns the engine's derivation memo on or off (off by default, which
     /// preserves the fully re-derived logic path). See
     /// [`Engine::set_derivation_memo`].
-    pub fn set_derivation_memo(&mut self, on: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_derivation_memo(&mut self, on: bool) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::DerivationMemo,
             i64::from(on),
-        ));
+        ))?;
         self.engine.set_derivation_memo(on);
         self.memo_mirrored = MemoStats::default();
+        Ok(())
     }
 
     /// Bounds the derivation memo (`None` = unbounded); no-op when off.
-    pub fn set_derivation_memo_capacity(&mut self, capacity: Option<usize>) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_derivation_memo_capacity(
+        &mut self,
+        capacity: Option<usize>,
+    ) -> Result<(), CoalitionError> {
         self.touch();
         let encoded = capacity.and_then(|c| i64::try_from(c).ok()).unwrap_or(-1);
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::DerivationMemoCapacity,
             encoded,
-        ));
+        ))?;
         self.memo_capacity = capacity;
         self.engine.set_derivation_memo_capacity(capacity);
+        Ok(())
     }
 
     /// Derivation-memo statistics, `None` when the memo is off.
@@ -809,14 +962,23 @@ impl CoalitionServer {
     /// Re-bounds the replay-protection `seen` map (default
     /// [`DEFAULT_REPLAY_CAPACITY`]), evicting oldest decisions immediately
     /// if the new bound is already exceeded.
-    pub fn set_replay_protection_capacity(&mut self, capacity: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_replay_protection_capacity(
+        &mut self,
+        capacity: usize,
+    ) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::ReplayCapacity,
             i64::try_from(capacity).unwrap_or(i64::MAX),
-        ));
+        ))?;
         self.seen_capacity = capacity.max(1);
         self.trim_seen();
+        Ok(())
     }
 
     /// Applies one [`CapacityConfig`] across every bounded structure: the
@@ -824,29 +986,41 @@ impl CoalitionServer {
     /// (when a [`CertStore`] is attached) the cold-tier page budget. Each
     /// bound goes through its journaled setter, so recovery rebuilds the
     /// same sizing.
-    pub fn apply_capacity_config(&mut self, config: &CapacityConfig) {
-        self.set_replay_protection_capacity(config.replay);
-        self.set_audit_capacity(config.audit);
-        self.set_verify_cache_capacity(config.verify_cache);
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when a journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn apply_capacity_config(&mut self, config: &CapacityConfig) -> Result<(), CoalitionError> {
+        self.set_replay_protection_capacity(config.replay)?;
+        self.set_audit_capacity(config.audit)?;
+        self.set_verify_cache_capacity(config.verify_cache)?;
         if config.derivation_memo.is_some() {
-            self.set_derivation_memo_capacity(config.derivation_memo);
+            self.set_derivation_memo_capacity(config.derivation_memo)?;
         }
         if let (Some(pages), Some(cs)) = (config.store_cache_pages, &self.cert_store) {
             cs.set_cache_pages(pages);
         }
+        Ok(())
     }
 
     /// Re-bounds the audit log (default [`DEFAULT_AUDIT_CAPACITY`]),
     /// rotating out oldest lines immediately if the new bound is already
     /// exceeded.
-    pub fn set_audit_capacity(&mut self, capacity: usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_audit_capacity(&mut self, capacity: usize) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::AuditCapacity,
             i64::try_from(capacity).unwrap_or(i64::MAX),
-        ));
+        ))?;
         self.audit_capacity = capacity.max(1);
         self.trim_audit();
+        Ok(())
     }
 
     /// Audit lines rotated out so far (the log is bounded; see
@@ -873,23 +1047,35 @@ impl CoalitionServer {
     /// [`JointAccessRequest::digest`]) returns the original decision without
     /// a second audit entry or version increment. Off by default so
     /// benchmarks measure real verification work.
-    pub fn set_replay_protection(&mut self, on: bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_replay_protection(&mut self, on: bool) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(
+        self.journal_append(&JournalRecord::Config(
             ConfigKind::ReplayProtection,
             i64::from(on),
-        ));
+        ))?;
         self.replay_protection = on;
+        Ok(())
     }
 
     /// Requires revocation information (a CRL) no older than `window`
     /// ticks before any request is granted — §4.3: "It is essential to
     /// verify the most recent available revocation information before
     /// granting access."
-    pub fn set_revocation_recency(&mut self, window: i64) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoalitionError::JournalPoisoned`] when the journal append fails
+    /// (the server fail-stops) or the server was already poisoned.
+    pub fn set_revocation_recency(&mut self, window: i64) -> Result<(), CoalitionError> {
         self.touch();
-        let _ = self.journal_append(&JournalRecord::Config(ConfigKind::RecencyWindow, window));
+        self.journal_append(&JournalRecord::Config(ConfigKind::RecencyWindow, window))?;
         self.revocation_recency = Some(window);
+        Ok(())
     }
 
     /// Admits a CRL: verifies it, rejects sequence rollback, feeds every
@@ -916,8 +1102,10 @@ impl CoalitionServer {
         // partial admission when an entry fails mid-list. The persistent
         // store's anchor row lands under the same discipline.
         self.journal_append(&JournalRecord::Crl(crl.clone()))?;
-        if let Some(cs) = &self.cert_store {
-            cs.put_crl(crl)?;
+        if let Some(cs) = self.cert_store.clone() {
+            if let Err(e) = cs.put_crl(crl) {
+                return Err(self.poison(format!("cert store CRL row failed: {e}")));
+            }
         }
         for msg in &messages {
             self.engine
@@ -959,8 +1147,10 @@ impl CoalitionServer {
         let msg = self.store.idealize_attribute_revocation(rev)?;
         self.touch();
         self.journal_append(&JournalRecord::AttributeRevocation(rev.clone()))?;
-        if let Some(cs) = &self.cert_store {
-            cs.put_attribute_revocation(rev)?;
+        if let Some(cs) = self.cert_store.clone() {
+            if let Err(e) = cs.put_attribute_revocation(rev) {
+                return Err(self.poison(format!("cert store revocation row failed: {e}")));
+            }
         }
         self.engine
             .admit_certificate(&msg)
@@ -984,8 +1174,10 @@ impl CoalitionServer {
         let msg = self.store.idealize_identity_revocation(rev)?;
         self.touch();
         self.journal_append(&JournalRecord::IdentityRevocation(rev.clone()))?;
-        if let Some(cs) = &self.cert_store {
-            cs.put_identity_revocation(rev)?;
+        if let Some(cs) = self.cert_store.clone() {
+            if let Err(e) = cs.put_identity_revocation(rev) {
+                return Err(self.poison(format!("cert store revocation row failed: {e}")));
+            }
         }
         self.engine
             .admit_certificate(&msg)
@@ -1008,7 +1200,7 @@ impl CoalitionServer {
         retry_trace: Option<String>,
     ) -> ServerDecision {
         let detail = detail.into();
-        let _ = self.journal_append(&JournalRecord::Decision(DecisionRecord {
+        if let Err(e) = self.journal_append(&JournalRecord::Decision(DecisionRecord {
             at: self.engine.now(),
             principals: principals.clone(),
             operation: operation.clone(),
@@ -1021,7 +1213,11 @@ impl CoalitionServer {
             unavailable: true,
             version_bump: false,
             replay_digest: None,
-        }));
+        })) {
+            // The append may be partially durable (or the server was
+            // already poisoned): fail-stop and shed instead of recording.
+            return self.shed_decision(principals, operation, ShedReason::JournalPoisoned, e);
+        }
         self.push_audit(AuditEntry {
             at: self.engine.now(),
             principals,
@@ -1030,6 +1226,7 @@ impl CoalitionServer {
             detail: detail.clone(),
             cached_checks: 0,
             retry_trace,
+            shed: None,
         });
         ServerDecision {
             granted: false,
@@ -1040,11 +1237,76 @@ impl CoalitionServer {
             cached_signature_checks: 0,
             response: None,
             unavailable: true,
+            shed: None,
         }
+    }
+
+    /// Sheds a request without evaluating it: one (volatile) audit line,
+    /// shed instruments, and a typed [`ServerDecision::shed`] — no journal
+    /// record, no replay-window entry, no cache population.
+    fn shed_decision(
+        &mut self,
+        principals: Vec<String>,
+        operation: Operation,
+        reason: ShedReason,
+        detail: impl core::fmt::Display,
+    ) -> ServerDecision {
+        let detail = detail.to_string();
+        self.push_audit(AuditEntry {
+            at: self.engine.now(),
+            principals,
+            operation,
+            granted: false,
+            detail: detail.clone(),
+            cached_checks: 0,
+            retry_trace: None,
+            shed: Some(reason),
+        });
+        if let Some(m) = &self.metrics {
+            m.decisions.inc();
+            match reason {
+                ShedReason::Overloaded => m.shed_overloaded.inc(),
+                ShedReason::DeadlineExceeded => m.shed_deadline.inc(),
+                ShedReason::JournalPoisoned => m.shed_poisoned.inc(),
+            }
+        }
+        ServerDecision::shed(reason, detail)
+    }
+
+    /// [`CoalitionServer::shed_decision`] with the principals/operation
+    /// taken from the request.
+    fn shed_request(
+        &mut self,
+        req: &JointAccessRequest,
+        reason: ShedReason,
+        detail: impl core::fmt::Display,
+    ) -> ServerDecision {
+        let principals = req.statements.iter().map(|s| s.principal.clone()).collect();
+        self.shed_decision(principals, req.operation.clone(), reason, detail)
     }
 
     /// Handles a joint access request end to end.
     pub fn handle_request(&mut self, req: &JointAccessRequest) -> ServerDecision {
+        // Fail-stop: a poisoned server refuses every decision until
+        // recovery (the in-memory state may diverge from the durable log).
+        if let Some(detail) = self.poisoned.clone() {
+            return self.shed_request(req, ShedReason::JournalPoisoned, detail);
+        }
+        // Pre-crypto deadline gate: an exhausted budget sheds before any
+        // signature work — and before the verify cache is even consulted.
+        if let Some(deadline) = req.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return self.shed_request(
+                    req,
+                    ShedReason::DeadlineExceeded,
+                    "deadline budget exhausted before the crypto phase",
+                );
+            }
+            if let Some(m) = &self.metrics {
+                m.deadline_slack_ns.record_duration(deadline - now);
+            }
+        }
         let started = self.metrics.as_ref().map(|_| Instant::now());
         if self.replay_protection {
             if let Some(cached) = self.seen.get(&req.digest()) {
@@ -1103,6 +1365,13 @@ impl CoalitionServer {
         requests: &[JointAccessRequest],
         workers: usize,
     ) -> Vec<ServerDecision> {
+        // Fail-stop: don't fan out crypto work the commit tail will refuse.
+        if let Some(detail) = self.poisoned.clone() {
+            return requests
+                .iter()
+                .map(|req| self.shed_request(req, ShedReason::JournalPoisoned, &detail))
+                .collect();
+        }
         let workers = workers.max(1).min(requests.len().max(1));
         let recency_started = self.metrics.as_ref().map(|_| Instant::now());
         let recency_err = self.recency_error();
@@ -1383,6 +1652,22 @@ impl CoalitionServer {
         req: &JointAccessRequest,
         outcome: CryptoOutcome,
     ) -> ServerDecision {
+        // Fail-stop: the concurrent front-end computes `outcome` off-lock,
+        // so the server may have been poisoned in between.
+        if let Some(detail) = self.poisoned.clone() {
+            return self.shed_request(req, ShedReason::JournalPoisoned, detail);
+        }
+        // Pre-logic deadline gate: runs before `authorize_verified` touches
+        // the belief engine, so a shed decision structurally cannot
+        // populate the derivation memo, admit certificates, or bump the
+        // epoch — and below, before `insert_seen`, so it is never replayed.
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            return self.shed_request(
+                req,
+                ShedReason::DeadlineExceeded,
+                "deadline budget exhausted before the logic phase",
+            );
+        }
         let digest = if self.replay_protection {
             let digest = req.digest();
             if let Some(cached) = self.seen.get(&digest) {
@@ -1412,29 +1697,44 @@ impl CoalitionServer {
         // and re-admits them in this exact order (re-admissions of known
         // bodies are deduplicated by the engine, so repeats are free).
         if self.engine.epoch() != epoch_before {
-            let _ = self.journal_append(&JournalRecord::RequestCerts {
+            if let Err(e) = self.journal_append(&JournalRecord::RequestCerts {
                 identity: req.identity_certs.clone(),
                 threshold: req.threshold_certs.clone(),
                 attribute: req.attribute_certs.clone(),
-            });
+            }) {
+                // The engine already admitted beliefs this append failed to
+                // make durable: fail-stop so the divergence cannot serve
+                // another decision, and shed this one — it rests on state
+                // that is not on disk.
+                return self.shed_request(req, ShedReason::JournalPoisoned, e);
+            }
             // First sight of these certificate bodies: persist them so the
             // indexed store accumulates the certified population.
-            if let Some(cs) = &self.cert_store {
-                for cert in &req.identity_certs {
-                    let _ = cs.put_identity_cert(cert);
-                }
-                for cert in &req.threshold_certs {
-                    let _ = cs.put_threshold_cert(cert);
-                }
-                for cert in &req.attribute_certs {
-                    let _ = cs.put_attribute_cert(cert);
+            if let Some(cs) = self.cert_store.clone() {
+                let put = req
+                    .identity_certs
+                    .iter()
+                    .try_for_each(|c| cs.put_identity_cert(c))
+                    .and_then(|()| {
+                        req.threshold_certs
+                            .iter()
+                            .try_for_each(|c| cs.put_threshold_cert(c))
+                    })
+                    .and_then(|()| {
+                        req.attribute_certs
+                            .iter()
+                            .try_for_each(|c| cs.put_attribute_cert(c))
+                    });
+                if let Err(e) = put {
+                    let e = self.poison(format!("cert store certificate row failed: {e}"));
+                    return self.shed_request(req, ShedReason::JournalPoisoned, e);
                 }
             }
         }
         let version_bump = granted
             && req.operation.action == "write"
             && self.objects.iter().any(|o| o.name == req.operation.object);
-        let _ = self.journal_append(&JournalRecord::Decision(DecisionRecord {
+        if let Err(e) = self.journal_append(&JournalRecord::Decision(DecisionRecord {
             at: self.engine.now(),
             principals: req.statements.iter().map(|s| s.principal.clone()).collect(),
             operation: req.operation.clone(),
@@ -1447,7 +1747,13 @@ impl CoalitionServer {
             unavailable: false,
             version_bump,
             replay_digest: digest.clone(),
-        }));
+        })) {
+            // WAL-before-effect: the version bump and audit line have not
+            // happened yet, and after the fail-stop they never will — a
+            // recovered server and this one agree the decision never
+            // committed.
+            return self.shed_request(req, ShedReason::JournalPoisoned, e);
+        }
         if version_bump {
             if let Some(obj) = self
                 .objects
@@ -1482,6 +1788,7 @@ impl CoalitionServer {
             detail: detail.clone().unwrap_or_default(),
             cached_checks: cached_signature_checks,
             retry_trace: None,
+            shed: None,
         });
         let decision = ServerDecision {
             granted,
@@ -1492,6 +1799,7 @@ impl CoalitionServer {
             cached_signature_checks,
             response,
             unavailable: false,
+            shed: None,
         };
         if let Some(m) = &self.metrics {
             m.decisions.inc();
@@ -1592,7 +1900,15 @@ impl CoalitionServer {
     /// appends `record` before the mutation takes effect in memory. No-op
     /// without an attached journal. Triggers an auto-snapshot when the log
     /// grows past the configured threshold.
+    ///
+    /// A failed append **poisons** the server: the bytes may be partially
+    /// on the medium, so neither "the record is durable" nor "it is not"
+    /// can be assumed, and the append is never retried (fsyncgate). Every
+    /// caller propagates the error before applying the record's in-memory
+    /// effect, so a poisoned server's state is exactly the durable prefix
+    /// plus nothing.
     fn journal_append(&mut self, record: &JournalRecord) -> Result<(), CoalitionError> {
+        self.ensure_unpoisoned()?;
         if self.journal.is_none() {
             return Ok(());
         }
@@ -1605,11 +1921,15 @@ impl CoalitionServer {
         }
         let started = self.metrics.as_ref().map(|_| Instant::now());
         let at = self.engine.now();
-        let len = self
+        let len = match self
             .journal
             .as_mut()
             .expect("journal presence checked above")
-            .append(at, record)?;
+            .append(at, record)
+        {
+            Ok(len) => len,
+            Err(e) => return Err(self.poison(format!("journal append failed: {e}"))),
+        };
         if let Some(m) = &self.metrics {
             m.journal_appends.inc();
             m.journal_bytes.add(len as u64);
@@ -1714,6 +2034,7 @@ impl CoalitionServer {
     /// [`CoalitionError::Config`] without a journal;
     /// [`CoalitionError::Journal`] if the store fails.
     pub fn snapshot_journal(&mut self) -> Result<(), CoalitionError> {
+        self.ensure_unpoisoned()?;
         let Some(journal) = &self.journal else {
             return Err(CoalitionError::Config("no journal attached".into()));
         };
@@ -1778,7 +2099,9 @@ impl CoalitionServer {
         }
         // Audit lines survive as effect-free decision rows (the version
         // bumps they caused are already folded into the object states).
-        for entry in &self.audit {
+        // Shed lines are volatile Indeterminate outcomes — journal-cheap by
+        // contract — and do not survive compaction.
+        for entry in self.audit.iter().filter(|e| e.shed.is_none()) {
             records.push(JournalRecord::Decision(DecisionRecord {
                 at: entry.at,
                 principals: entry.principals.clone(),
@@ -1807,10 +2130,16 @@ impl CoalitionServer {
                 }));
             }
         }
-        self.journal
+        if let Err(e) = self
+            .journal
             .as_mut()
             .expect("journal presence checked above")
-            .rewrite(&records)?;
+            .rewrite(&records)
+        {
+            // A failed rewrite leaves the log in an indeterminate state
+            // between two generations: fail-stop, recovery decides.
+            return Err(self.poison(format!("journal snapshot rewrite failed: {e}")));
+        }
         if let Some(m) = &self.metrics {
             m.journal_snapshots.inc();
         }
@@ -1886,10 +2215,8 @@ impl CoalitionServer {
     fn apply_record(&mut self, record: JournalRecord) -> Result<(), CoalitionError> {
         match record {
             JournalRecord::ClockAdvance(to) => self.advance_clock(to)?,
-            JournalRecord::Config(kind, value) => self.apply_config(kind, value),
-            JournalRecord::ObjectAdded { name, acl } => {
-                self.add_object(name, acl);
-            }
+            JournalRecord::Config(kind, value) => self.apply_config(kind, value)?,
+            JournalRecord::ObjectAdded { name, acl } => self.add_object(name, acl)?,
             JournalRecord::AclSet { name, acl } => self.set_acl(&name, acl)?,
             JournalRecord::ContentSet { name, content } => self.set_content(&name, content)?,
             // Admission errors are ignored on replay: the record was
@@ -1940,6 +2267,7 @@ impl CoalitionServer {
                     cached_signature_checks: r.cached_signature_checks,
                     response: None,
                     unavailable: r.unavailable,
+                    shed: None,
                 };
                 self.insert_seen(r.digest, decision);
             }
@@ -1949,7 +2277,7 @@ impl CoalitionServer {
 
     /// Applies a replayed configuration record via the public setters
     /// (which do not re-journal: no journal is attached during replay).
-    fn apply_config(&mut self, kind: ConfigKind, value: i64) {
+    fn apply_config(&mut self, kind: ConfigKind, value: i64) -> Result<(), CoalitionError> {
         let as_capacity = || usize::try_from(value).unwrap_or(usize::MAX);
         match kind {
             ConfigKind::LogicChecking => self.set_logic_checking(value != 0),
@@ -1961,11 +2289,11 @@ impl CoalitionServer {
             ConfigKind::RecencyWindow => self.set_revocation_recency(value),
             ConfigKind::DerivationMemoCapacity => {
                 let capacity = (value >= 0).then(|| usize::try_from(value).unwrap_or(usize::MAX));
-                self.set_derivation_memo_capacity(capacity);
+                self.set_derivation_memo_capacity(capacity)
             }
             ConfigKind::VerifyCacheCapacity => {
                 let capacity = (value >= 0).then(|| usize::try_from(value).unwrap_or(usize::MAX));
-                self.set_verify_cache_capacity(capacity);
+                self.set_verify_cache_capacity(capacity)
             }
             ConfigKind::CryptoPrecomp => self.set_crypto_precomp(value != 0),
             ConfigKind::BatchVerify => self.set_batch_verify(value != 0),
@@ -2038,6 +2366,7 @@ impl CoalitionServer {
                 cached_signature_checks: d.cached_checks,
                 response: None,
                 unavailable: d.unavailable,
+                shed: None,
             };
             self.insert_seen(digest, decision);
         }
@@ -2049,6 +2378,7 @@ impl CoalitionServer {
             detail: d.detail,
             cached_checks: d.cached_checks,
             retry_trace: d.retry_trace,
+            shed: None,
         });
     }
 
@@ -2369,7 +2699,7 @@ mod tests {
             .seed(3)
             .build()
             .expect("build");
-        c.server_mut().set_logic_checking(false);
+        c.server_mut().set_logic_checking(false).expect("config");
         let d = c.request_write(&["User_D1", "User_D3"]).expect("request");
         assert!(d.granted);
         assert!(d.derivation.is_none());
@@ -2401,7 +2731,7 @@ mod tests {
             .seed(11)
             .build()
             .expect("build");
-        c.server_mut().set_verification_cache(true);
+        c.server_mut().set_verification_cache(true).expect("config");
         let first = c.request_write(&["User_D1", "User_D2"]).expect("first");
         assert!(first.granted);
         assert_eq!(first.cached_signature_checks, 0);

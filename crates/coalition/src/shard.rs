@@ -135,9 +135,7 @@ impl ShardedCoalition {
                 )));
             }
         }
-        self.shards[shard].with_writer(|s| {
-            s.add_object(name.clone(), acl);
-        });
+        self.shards[shard].with_writer(|s| s.add_object(name.clone(), acl))?;
         self.routes.insert(name, shard);
         Ok(())
     }
@@ -180,6 +178,18 @@ impl ShardedCoalition {
         for (i, shard) in self.shards.iter().enumerate() {
             let scoped = registry.scoped(&format!("shard.{i}."));
             shard.with_writer(|s| s.set_metrics(Some(&scoped)));
+            // Same scoped registry for the lock-free gate path, so the
+            // shard's `server.shed.*` counters aggregate both paths.
+            shard.set_gate_metrics(&scoped);
+        }
+    }
+
+    /// Caps concurrent in-flight decisions **per shard**; excess requests
+    /// are rejected with typed [`crate::server::ShedReason::Overloaded`]
+    /// decisions, never queued. `0` disables the gate.
+    pub fn set_inflight_limit(&self, per_shard: usize) {
+        for shard in &self.shards {
+            shard.set_inflight_limit(per_shard);
         }
     }
 
@@ -300,7 +310,7 @@ mod tests {
         for obj in objects {
             let mut acl = Acl::new();
             acl.permit(GroupId::new("G"), "write");
-            s.add_object(*obj, acl);
+            s.add_object(*obj, acl).expect("fresh server, no journal");
         }
         s
     }

@@ -25,6 +25,7 @@ fn store_config() -> StoreConfig {
         page_size: 1024,
         cache_pages: 8,
         flush_threshold: 512,
+        ..StoreConfig::default()
     }
 }
 
@@ -99,9 +100,9 @@ fn capacity_config_round_trips_through_the_journal() {
     server
         .attach_journal(Box::new(medium.clone()))
         .expect("attach journal");
-    server.set_verification_cache(true);
+    server.set_verification_cache(true).expect("config");
     let cfg = CapacityConfig::million_principals();
-    server.apply_capacity_config(&cfg);
+    server.apply_capacity_config(&cfg).expect("config");
     assert_eq!(server.verify_cache_capacity(), Some(65_536));
 
     let (recovered, report) =
@@ -118,6 +119,6 @@ fn capacity_config_round_trips_through_the_journal() {
 fn default_capacity_config_reproduces_historical_defaults() {
     let cfg = CapacityConfig::default();
     let mut server = CoalitionServer::new("P", TrustStore::new(Time(0)));
-    server.apply_capacity_config(&cfg);
+    server.apply_capacity_config(&cfg).expect("config");
     assert_eq!(server.verify_cache_capacity(), None);
 }

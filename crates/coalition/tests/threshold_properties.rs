@@ -67,7 +67,7 @@ proptest! {
         let seed = u64::from(mask) + 9300;
         let mut logic = CoalitionBuilder::new().key_bits(192).seed(seed).build().expect("c");
         let mut crypto = CoalitionBuilder::new().key_bits(192).seed(seed).build().expect("c");
-        crypto.server_mut().set_logic_checking(false);
+        crypto.server_mut().set_logic_checking(false).expect("config");
         let names = signer_names(mask, 3);
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let d1 = logic.request_write(&refs).expect("request");

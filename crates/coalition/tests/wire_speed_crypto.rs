@@ -66,8 +66,8 @@ fn assert_decisions_eq(slow: &[ServerDecision], fast: &[ServerDecision]) {
 fn precomp_and_batching_are_invisible_in_decisions_and_audit() {
     let mut slow = coalition(71);
     let mut fast = coalition(71);
-    fast.set_crypto_precomp(true);
-    fast.set_batch_verify(true);
+    fast.set_crypto_precomp(true).expect("config");
+    fast.set_batch_verify(true).expect("config");
 
     let reqs = batch(&slow);
     let d_slow = slow.server_mut().verify_batch(&reqs, 3);
@@ -92,8 +92,8 @@ fn precomp_and_batching_are_invisible_in_decisions_and_audit() {
     fast.reset_server();
     assert!(!fast.server().crypto_precomp());
     assert!(!fast.server().batch_verify_enabled());
-    fast.set_crypto_precomp(true);
-    fast.set_batch_verify(true);
+    fast.set_crypto_precomp(true).expect("config");
+    fast.set_batch_verify(true).expect("config");
     let d_slow = slow.server_mut().verify_batch(&reqs, 2);
     let d_fast = fast.server_mut().verify_batch(&reqs, 2);
     assert_decisions_eq(&d_slow, &d_fast);
@@ -106,7 +106,7 @@ fn precomp_and_batching_are_invisible_in_decisions_and_audit() {
 fn concurrent_snapshot_precomp_matches_serial() {
     let serial_c = coalition(72);
     let mut conc_c = coalition(72);
-    conc_c.set_crypto_precomp(true);
+    conc_c.set_crypto_precomp(true).expect("config");
     let reqs = batch(&serial_c);
     let mut serial = serial_c.into_server();
     let conc = ConcurrentServer::new(conc_c.into_server());
@@ -129,8 +129,8 @@ fn forged_signatures_in_a_batch_are_pinned_to_their_requests() {
     let mut slow = coalition(73);
     let mut fast = coalition(73);
     let registry = fast.enable_metrics();
-    fast.set_crypto_precomp(true);
-    fast.set_batch_verify(true);
+    fast.set_crypto_precomp(true).expect("config");
+    fast.set_batch_verify(true).expect("config");
 
     let mut reqs = batch(&slow);
     // A read rides in the same batch, so the AA's group holds both the
@@ -190,8 +190,8 @@ fn even_count_minus_s_mauls_are_denied_exactly() {
     let mut slow = coalition(76);
     let mut fast = coalition(76);
     let registry = fast.enable_metrics();
-    fast.set_crypto_precomp(true);
-    fast.set_batch_verify(true);
+    fast.set_crypto_precomp(true).expect("config");
+    fast.set_batch_verify(true).expect("config");
 
     let store = slow.trust_store();
     let n = store.aa_key().expect("aa key").rsa().modulus().clone();
@@ -229,8 +229,8 @@ fn even_count_minus_s_mauls_are_denied_exactly() {
 #[test]
 fn batch_vouched_certs_never_populate_the_verify_cache() {
     let mut c = coalition(74);
-    c.set_verification_cache(true);
-    c.set_batch_verify(true);
+    c.set_verification_cache(true).expect("config");
+    c.set_batch_verify(true).expect("config");
     let reqs = batch(&c);
     let d = c.server_mut().verify_batch(&reqs, 2);
     assert!(d[0].granted);
@@ -241,7 +241,7 @@ fn batch_vouched_certs_never_populate_the_verify_cache() {
     );
     // With batching off the same requests verify individually and do
     // populate the cache.
-    c.set_batch_verify(false);
+    c.set_batch_verify(false).expect("config");
     let _ = c.server_mut().verify_batch(&reqs, 2);
     let stats = c.server().verification_cache().expect("cache on").stats();
     assert!(
@@ -256,7 +256,7 @@ fn batch_vouched_certs_never_populate_the_verify_cache() {
 fn precomp_hits_export_and_flags_survive_recovery() {
     let mut c = coalition(75);
     let registry = c.enable_metrics();
-    c.set_crypto_precomp(true);
+    c.set_crypto_precomp(true).expect("config");
     let reqs = batch(&c);
     let _ = c.server_mut().verify_batch(&reqs, 1);
     let _ = c.server_mut().verify_batch(&reqs, 1);
@@ -277,7 +277,7 @@ fn precomp_hits_export_and_flags_survive_recovery() {
     server
         .attach_journal(Box::new(mem))
         .expect("attach journal");
-    server.set_batch_verify(true);
+    server.set_batch_verify(true).expect("config");
     drop(server); // crash
     let (recovered, report) =
         jaap_coalition::server::CoalitionServer::recover("P", store, Box::new(disk))

@@ -56,6 +56,11 @@ pub enum StoreError {
     Io(String),
     /// Bytes or indexes do not decode / reconcile.
     Corrupt(String),
+    /// The cold-tier circuit breaker is open: the medium kept missing its
+    /// latency budget, so reads fail fast instead of queueing behind a
+    /// degraded disk. Typed distinctly from [`StoreError::Io`] — the data
+    /// is (as far as we know) intact; only its *timeliness* is gone.
+    Unavailable(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -63,6 +68,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(msg) => write!(f, "store io error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+            StoreError::Unavailable(msg) => write!(f, "store unavailable: {msg}"),
         }
     }
 }
@@ -137,6 +143,16 @@ pub struct StoreConfig {
     pub cache_pages: usize,
     /// Tail-buffer size that triggers an automatic flush to the medium.
     pub flush_threshold: usize,
+    /// Cold-read circuit breaker: trip after this many **consecutive**
+    /// page reads slower than [`StoreConfig::breaker_slow_us`]. `0`
+    /// disables the breaker. Once open, cold reads fail fast with
+    /// [`StoreError::Unavailable`] until [`CertStore::reset_breaker`];
+    /// tail-buffer and page-cache hits are unaffected.
+    pub breaker_threshold: usize,
+    /// Latency budget (microseconds) a cold page read must beat to count
+    /// as healthy. `0` counts *every* cold read as slow (deterministic
+    /// trip for tests and drills).
+    pub breaker_slow_us: u64,
 }
 
 impl Default for StoreConfig {
@@ -145,6 +161,8 @@ impl Default for StoreConfig {
             page_size: 64 * 1024,
             cache_pages: 64,
             flush_threshold: 256 * 1024,
+            breaker_threshold: 0,
+            breaker_slow_us: 1000,
         }
     }
 }
@@ -198,6 +216,9 @@ struct Instruments {
     writes: Arc<jaap_obs::Counter>,
     page_evictions: Arc<jaap_obs::Counter>,
     resident_bytes: Arc<jaap_obs::Gauge>,
+    breaker_slow_reads: Arc<jaap_obs::Counter>,
+    breaker_trips: Arc<jaap_obs::Counter>,
+    breaker_open: Arc<jaap_obs::Gauge>,
 }
 
 #[derive(Debug)]
@@ -221,6 +242,10 @@ struct Inner {
     tail_buf: Vec<u8>,
     pager: Pager,
     metrics: Option<Instruments>,
+    /// Consecutive cold page reads over the latency budget.
+    slow_streak: usize,
+    /// Cold-read circuit breaker state; `true` = open (failing fast).
+    breaker_open: bool,
 }
 
 impl Inner {
@@ -289,13 +314,44 @@ impl Inner {
             }
             self.tail_buf[start..end].to_vec()
         } else {
+            // Cold tier: fail fast while the breaker is open — queueing
+            // reads behind a degraded medium turns one slow disk into a
+            // server-wide convoy.
+            if self.breaker_open {
+                return Err(StoreError::Unavailable(format!(
+                    "cold-read circuit breaker open after {} consecutive slow page reads \
+                     (reset_breaker() to probe the medium again)",
+                    self.slow_streak
+                )));
+            }
             let Inner { store, pager, .. } = self;
             let misses_before = pager.misses;
             let evictions_before = pager.evictions;
+            let started = std::time::Instant::now();
             let bytes = pager.read_span(store.as_ref(), loc.offset, u64::from(loc.len))?;
+            let missed = pager.misses > misses_before;
             if let Some(m) = &self.metrics {
                 m.misses.add(pager.misses - misses_before);
                 m.page_evictions.add(pager.evictions - evictions_before);
+            }
+            // Only reads that actually touched the medium (cache misses)
+            // vote on its health; cached-page hits say nothing about it.
+            if self.config.breaker_threshold != 0 && missed {
+                if started.elapsed().as_micros() as u64 >= self.config.breaker_slow_us {
+                    self.slow_streak += 1;
+                    if let Some(m) = &self.metrics {
+                        m.breaker_slow_reads.inc();
+                    }
+                    if self.slow_streak >= self.config.breaker_threshold {
+                        self.breaker_open = true;
+                        if let Some(m) = &self.metrics {
+                            m.breaker_trips.inc();
+                            m.breaker_open.set(1);
+                        }
+                    }
+                } else {
+                    self.slow_streak = 0;
+                }
             }
             bytes
         };
@@ -396,6 +452,8 @@ impl CertStore {
             tail_buf: Vec::new(),
             pager: Pager::new(config.page_size, config.cache_pages),
             metrics: None,
+            slow_streak: 0,
+            breaker_open: false,
         };
         for (record, loc) in &rows {
             inner.index_record(record, *loc);
@@ -453,8 +511,10 @@ impl CertStore {
         }
     }
 
-    /// Resolves `store.{reads,misses,writes,page_evictions}` counters and
-    /// the `store.resident_bytes` gauge from `registry`.
+    /// Resolves `store.{reads,misses,writes,page_evictions}` counters, the
+    /// `store.resident_bytes` gauge, and the breaker instruments
+    /// (`store.breaker.{slow_reads,trips}` counters, `store.breaker.open`
+    /// gauge) from `registry`.
     pub fn set_metrics(&self, registry: &MetricsRegistry) {
         let mut inner = self.inner.lock();
         let instruments = Instruments {
@@ -463,11 +523,35 @@ impl CertStore {
             writes: registry.counter("store.writes"),
             page_evictions: registry.counter("store.page_evictions"),
             resident_bytes: registry.gauge("store.resident_bytes"),
+            breaker_slow_reads: registry.counter("store.breaker.slow_reads"),
+            breaker_trips: registry.counter("store.breaker.trips"),
+            breaker_open: registry.gauge("store.breaker.open"),
         };
         instruments
             .resident_bytes
             .set(inner.resident_bytes() as i64);
+        instruments.breaker_open.set(i64::from(inner.breaker_open));
         inner.metrics = Some(instruments);
+    }
+
+    /// `true` while the cold-read circuit breaker is open (cold-tier reads
+    /// failing fast with [`StoreError::Unavailable`]).
+    #[must_use]
+    pub fn breaker_tripped(&self) -> bool {
+        self.inner.lock().breaker_open
+    }
+
+    /// Closes the cold-read circuit breaker and clears the slow streak —
+    /// the operator's (or a recovery policy's) explicit decision to probe
+    /// the medium again. Deliberately manual: a self-resetting breaker
+    /// under a still-degraded disk just oscillates.
+    pub fn reset_breaker(&self) {
+        let mut inner = self.inner.lock();
+        inner.breaker_open = false;
+        inner.slow_streak = 0;
+        if let Some(m) = &inner.metrics {
+            m.breaker_open.set(0);
+        }
     }
 
     /// Appends one row (store-before-effect write path): encodes, frames,
@@ -845,6 +929,8 @@ impl CertStore {
             tail_buf: Vec::new(),
             pager: Pager::new(inner.config.page_size, inner.config.cache_pages),
             metrics: None,
+            slow_streak: 0,
+            breaker_open: false,
         };
         for (record, loc) in &rows {
             twin.index_record(record, *loc);
@@ -985,6 +1071,7 @@ mod tests {
             page_size: 512,
             cache_pages: 2,
             flush_threshold: 1024,
+            ..StoreConfig::default()
         }
     }
 
@@ -1113,6 +1200,7 @@ mod tests {
             page_size: 512,
             cache_pages: 2,
             flush_threshold: 256,
+            ..StoreConfig::default()
         });
         let registry = MetricsRegistry::new();
         store.set_metrics(&registry);
@@ -1136,6 +1224,56 @@ mod tests {
         let resident = registry.gauge_value("store.resident_bytes").unwrap_or(-1);
         assert!((0..=1024).contains(&resident));
         assert_eq!(registry.counter_value("store.writes"), Some(64));
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_slow_cold_reads_and_resets() {
+        // breaker_slow_us = 0: every cold (medium-touching) read counts as
+        // slow, so the trip is deterministic without real sleeps.
+        let store = CertStore::in_memory(StoreConfig {
+            page_size: 512,
+            cache_pages: 1,
+            flush_threshold: 64 * 1024,
+            breaker_threshold: 2,
+            breaker_slow_us: 0,
+        });
+        let registry = MetricsRegistry::new();
+        store.set_metrics(&registry);
+        for i in 0..16u8 {
+            store
+                .put_identity_cert(&identity(&format!("U{i}"), "CA_D1", i))
+                .expect("put");
+        }
+        store.flush().expect("flush");
+        assert_eq!(registry.gauge_value("store.breaker.open"), Some(0));
+        // Two distant keys force two cache-missing cold reads: trip.
+        assert!(store.identity_by_subject("U0").expect("get").is_some());
+        let second = store.identity_by_subject("U15");
+        assert!(second.is_ok() || matches!(second, Err(StoreError::Unavailable(_))));
+        assert!(store.breaker_tripped());
+        assert_eq!(registry.gauge_value("store.breaker.open"), Some(1));
+        assert_eq!(registry.counter_value("store.breaker.trips"), Some(1));
+        assert!(
+            registry
+                .counter_value("store.breaker.slow_reads")
+                .unwrap_or(0)
+                >= 2
+        );
+        // Open breaker: cold reads fail fast, typed Unavailable.
+        let err = store.identity_by_subject("U7").expect_err("breaker open");
+        assert!(matches!(err, StoreError::Unavailable(_)));
+        // Writes (tail-buffer path) still work while the breaker is open.
+        store
+            .put_identity_cert(&identity("fresh", "CA_D1", 99))
+            .expect("put");
+        assert!(store.identity_by_subject("fresh").expect("tail").is_some());
+        // Explicit reset closes the breaker and reads resume.
+        store.reset_breaker();
+        assert!(!store.breaker_tripped());
+        assert_eq!(registry.gauge_value("store.breaker.open"), Some(0));
+        // The very next cold reads re-trip (medium still "slow"), which is
+        // exactly the fail-fast behaviour a degraded disk should get.
+        assert!(store.identity_by_subject("U7").expect("probe").is_some());
     }
 
     #[test]

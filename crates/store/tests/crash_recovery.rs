@@ -206,6 +206,7 @@ fn tiny_config() -> StoreConfig {
         page_size: 512,
         cache_pages: 2,
         flush_threshold: 1,
+        ..StoreConfig::default()
     }
 }
 

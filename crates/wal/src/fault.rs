@@ -8,6 +8,24 @@ use rand::{RngCore, SeedableRng};
 use crate::store::JournalStore;
 use crate::WalError;
 
+/// The kinds of storage fault [`FaultyStore`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An append loses a random suffix (crash-mid-write).
+    TornWrite,
+    /// An append lands with one random bit flipped.
+    BitFlip,
+    /// A read loses a random suffix.
+    ShortRead,
+    /// A reset's rename never becomes durable (old log resurrected).
+    LostReset,
+    /// The append's fsync fails *after* a short write reached the medium:
+    /// durability is indeterminate, so the store wedges itself and refuses
+    /// every later append — the fsyncgate-correct response (retrying the
+    /// fsync could report success over silently-dropped dirty pages).
+    SyncFail,
+}
+
 /// What can go wrong between the journal and its medium.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreFaultPlan {
@@ -24,6 +42,13 @@ pub struct StoreFaultPlan {
     /// crash lands after the rename but before the parent directory entry
     /// reaches the medium, so recovery sees the *old* log resurrected.
     pub reset_lost_prob: f64,
+    /// Probability an append's fsync fails ([`FaultKind::SyncFail`]),
+    /// rolled on the seeded PRNG like every other fault.
+    pub sync_fail_prob: f64,
+    /// Deterministic schedule: fail the fsync of the append with this
+    /// 0-based index (counted across the store's lifetime), regardless of
+    /// probability. Composes with `sync_fail_prob`.
+    pub sync_fail_after: Option<u64>,
 }
 
 impl StoreFaultPlan {
@@ -36,6 +61,8 @@ impl StoreFaultPlan {
             bit_flip_prob: 0.0,
             short_read_prob: 0.0,
             reset_lost_prob: 0.0,
+            sync_fail_prob: 0.0,
+            sync_fail_after: None,
         }
     }
 
@@ -67,6 +94,21 @@ impl StoreFaultPlan {
         self
     }
 
+    /// Sets the fsync-failure probability ([`FaultKind::SyncFail`]).
+    #[must_use]
+    pub fn with_sync_fail(mut self, p: f64) -> Self {
+        self.sync_fail_prob = p;
+        self
+    }
+
+    /// Schedules a deterministic [`FaultKind::SyncFail`] on the append
+    /// with 0-based index `n`.
+    #[must_use]
+    pub fn with_sync_fail_after(mut self, n: u64) -> Self {
+        self.sync_fail_after = Some(n);
+        self
+    }
+
     /// Checks all probabilities are in `[0, 1]`.
     ///
     /// # Errors
@@ -78,6 +120,7 @@ impl StoreFaultPlan {
             ("bit_flip_prob", self.bit_flip_prob),
             ("short_read_prob", self.short_read_prob),
             ("reset_lost_prob", self.reset_lost_prob),
+            ("sync_fail_prob", self.sync_fail_prob),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(WalError::InvalidPlan(format!("{name} = {p} not in [0, 1]")));
@@ -98,6 +141,8 @@ pub struct FaultStats {
     pub short_reads: u64,
     /// Resets whose rename never became durable (old log resurrected).
     pub lost_resets: u64,
+    /// Appends whose fsync failed after a short write (store wedged).
+    pub sync_fails: u64,
 }
 
 /// A store wrapper that injects the planned faults.
@@ -107,6 +152,8 @@ pub struct FaultyStore<S: JournalStore> {
     plan: StoreFaultPlan,
     rng: StdRng,
     stats: FaultStats,
+    appends: u64,
+    wedged_by: Option<FaultKind>,
 }
 
 impl<S: JournalStore> FaultyStore<S> {
@@ -122,6 +169,8 @@ impl<S: JournalStore> FaultyStore<S> {
             plan,
             rng: StdRng::seed_from_u64(plan.seed),
             stats: FaultStats::default(),
+            appends: 0,
+            wedged_by: None,
         })
     }
 
@@ -129,6 +178,14 @@ impl<S: JournalStore> FaultyStore<S> {
     #[must_use]
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// The fault that wedged this store, if any. A wedged store refuses
+    /// every further append; only recovery over the inner medium's
+    /// durable prefix yields a usable store again.
+    #[must_use]
+    pub fn wedged(&self) -> Option<FaultKind> {
+        self.wedged_by
     }
 
     /// Unwraps the inner store.
@@ -152,6 +209,29 @@ impl<S: JournalStore> JournalStore for FaultyStore<S> {
     }
 
     fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        if let Some(kind) = self.wedged_by {
+            return Err(WalError::Io(format!(
+                "store wedged after {kind:?}: durability indeterminate, reopen to recover"
+            )));
+        }
+        let index = self.appends;
+        self.appends += 1;
+        let scheduled_sync_fail = self.plan.sync_fail_after == Some(index);
+        let rolled_sync_fail =
+            self.plan.sync_fail_prob > 0.0 && self.roll() < self.plan.sync_fail_prob;
+        if scheduled_sync_fail || rolled_sync_fail {
+            // Short-write-then-error: a strict prefix reaches the medium,
+            // then the fsync reports failure. The durable state is now
+            // indeterminate, so the store wedges itself (no fsync retry).
+            let keep = (self.rng.next_u64() as usize) % bytes.len().max(1);
+            self.inner.append(&bytes[..keep])?;
+            self.stats.sync_fails += 1;
+            self.wedged_by = Some(FaultKind::SyncFail);
+            return Err(WalError::Io(format!(
+                "simulated fsync failure on append {index}: {keep}/{} bytes reached the medium",
+                bytes.len()
+            )));
+        }
         let mut bytes = bytes.to_vec();
         if self.plan.bit_flip_prob > 0.0 && self.roll() < self.plan.bit_flip_prob {
             let bit = (self.rng.next_u64() as usize) % (bytes.len().max(1) * 8);
@@ -167,6 +247,11 @@ impl<S: JournalStore> JournalStore for FaultyStore<S> {
     }
 
     fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        if let Some(kind) = self.wedged_by {
+            return Err(WalError::Io(format!(
+                "store wedged after {kind:?}: durability indeterminate, reopen to recover"
+            )));
+        }
         if self.plan.reset_lost_prob > 0.0 && self.roll() < self.plan.reset_lost_prob {
             // Crash window after rename, before the directory fsync: the
             // caller believes the rewrite landed, but the medium still
@@ -287,6 +372,59 @@ mod tests {
         let parsed = parse_log(&resurrected);
         assert_eq!(parsed.records.len(), 4);
         assert_eq!(parsed.tail, Tail::Clean);
+    }
+
+    #[test]
+    fn scheduled_sync_fail_wedges_the_store_on_a_durable_prefix() {
+        let mut store = FaultyStore::new(
+            MemStore::new(),
+            StoreFaultPlan::seeded(5).with_sync_fail_after(3),
+        )
+        .expect("plan");
+        for i in 0..3u8 {
+            store.append(&frame_record(&[i; 16])).expect("append");
+        }
+        let durable = store.read().expect("read");
+        // The scheduled append fails after a short write...
+        let err = store.append(&frame_record(&[9; 16]));
+        assert!(matches!(err, Err(WalError::Io(_))));
+        assert_eq!(store.stats().sync_fails, 1);
+        assert_eq!(store.wedged(), Some(FaultKind::SyncFail));
+        // ...and the store refuses everything after it: no fsync retry.
+        assert!(store.append(&frame_record(&[10; 16])).is_err());
+        assert!(store.reset(&frame_record(b"snapshot")).is_err());
+        // Recovery over the inner medium lands on the durable prefix: the
+        // short-written frame is a torn tail the parser truncates.
+        let parsed = parse_log(&store.into_inner().snapshot());
+        assert_eq!(parsed.records.len(), 3);
+        let clean: usize = match parsed.tail {
+            Tail::Clean => durable.len(),
+            Tail::Truncated { offset, .. } => offset,
+        };
+        assert_eq!(clean, durable.len());
+    }
+
+    #[test]
+    fn sync_fail_probability_is_seed_deterministic() {
+        let run = |seed| {
+            let mut store = FaultyStore::new(
+                MemStore::new(),
+                StoreFaultPlan::seeded(seed).with_sync_fail(0.2),
+            )
+            .expect("plan");
+            let mut failed_at = None;
+            for i in 0..50u8 {
+                if store.append(&frame_record(&[i; 8])).is_err() {
+                    failed_at = Some(i);
+                    break;
+                }
+            }
+            (failed_at, store.stats().sync_fails)
+        };
+        assert_eq!(run(21), run(21), "same seed, same schedule");
+        let (failed_at, fails) = run(21);
+        assert!(failed_at.is_some(), "p=0.2 over 50 appends must fail");
+        assert_eq!(fails, 1, "the store wedges at the first failure");
     }
 
     #[test]

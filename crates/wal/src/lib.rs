@@ -24,7 +24,7 @@ pub mod frame;
 pub mod journal;
 pub mod store;
 
-pub use fault::{FaultStats, FaultyStore, StoreFaultPlan};
+pub use fault::{FaultKind, FaultStats, FaultyStore, StoreFaultPlan};
 pub use frame::{
     checksum64, decode_frames, frame_record, frame_record_with_term, parse_log, Frame, ParsedLog,
     Tail, FORMAT_VERSION,

@@ -159,12 +159,26 @@ pub enum SyncPolicy {
 /// fsyncs the parent directory after the rename, and the constructor does
 /// the same after creating a fresh log file, whenever the sync policy
 /// asks for durability at all.
+///
+/// # Fail-stop appends
+///
+/// A failed append — and in particular a failed `sync_all` — leaves the
+/// durable state *indeterminate*: on Linux a failed fsync may have already
+/// dropped the dirty pages and marked them clean, so retrying the fsync
+/// can report success over data that never reached the medium (the
+/// "fsyncgate" failure mode). The store therefore **wedges** itself after
+/// any append error and refuses every later append instead of retrying.
+/// The only ways forward are a successful [`FileStore::reset`] (which
+/// rewrites the whole log through a fresh temp file, re-establishing a
+/// known byte image) or reopening the path and recovering from the
+/// durable prefix.
 #[derive(Debug)]
 pub struct FileStore {
     path: PathBuf,
     sync: SyncPolicy,
     appends_since_sync: u32,
     dir_syncs: u64,
+    wedged: bool,
 }
 
 impl FileStore {
@@ -191,6 +205,7 @@ impl FileStore {
             sync,
             appends_since_sync: 0,
             dir_syncs: 0,
+            wedged: false,
         };
         if !store.path.exists() {
             std::fs::File::create(&store.path).map_err(|e| WalError::Io(e.to_string()))?;
@@ -219,6 +234,16 @@ impl FileStore {
     #[must_use]
     pub fn dir_syncs(&self) -> u64 {
         self.dir_syncs
+    }
+
+    /// `true` once an append (write or fsync) has failed. A wedged store
+    /// refuses every further append — never retry an fsync whose failure
+    /// left durability indeterminate. A successful [`FileStore::reset`]
+    /// clears the wedge because it rewrites the whole log through a fresh
+    /// temp file.
+    #[must_use]
+    pub fn wedged(&self) -> bool {
+        self.wedged
     }
 
     fn sync_parent_dir(&mut self) -> Result<(), WalError> {
@@ -258,17 +283,32 @@ impl JournalStore for FileStore {
     }
 
     fn append(&mut self, bytes: &[u8]) -> Result<(), WalError> {
-        let mut file = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| WalError::Io(e.to_string()))?;
-        file.write_all(bytes)
-            .and_then(|()| file.flush())
-            .map_err(|e| WalError::Io(e.to_string()))?;
-        if self.should_sync() {
-            file.sync_all().map_err(|e| WalError::Io(e.to_string()))?;
+        if self.wedged {
+            return Err(WalError::Io(format!(
+                "file store {} wedged after a failed append: durability indeterminate",
+                self.path.display()
+            )));
         }
-        Ok(())
+        let result = (|| {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| WalError::Io(e.to_string()))?;
+            file.write_all(bytes)
+                .and_then(|()| file.flush())
+                .map_err(|e| WalError::Io(e.to_string()))?;
+            if self.should_sync() {
+                file.sync_all().map_err(|e| WalError::Io(e.to_string()))?;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            // An error anywhere in the write/flush/fsync chain may have
+            // left a partial suffix on the medium; wedge rather than risk
+            // an fsync retry papering over dropped dirty pages.
+            self.wedged = true;
+        }
+        result
     }
 
     fn reset(&mut self, bytes: &[u8]) -> Result<(), WalError> {
@@ -283,6 +323,9 @@ impl JournalStore for FileStore {
         // fsync a crash can resurrect the pre-rename log image.
         self.sync_parent_dir()?;
         self.appends_since_sync = 0;
+        // The whole log now matches a fully-written, freshly-synced file:
+        // the indeterminate bytes a failed append left behind are gone.
+        self.wedged = false;
         Ok(())
     }
 
@@ -327,16 +370,56 @@ pub enum TeeEvent {
 
 /// Shared queue of [`TeeEvent`]s drained by a replication layer. Cloning
 /// yields another handle on the same queue.
+///
+/// The queue can be bounded ([`LogOutbox::with_capacity`]): when the
+/// shipper stops draining (a partitioned pump, a wedged primary) a capped
+/// outbox drops the newest event instead of growing without limit, and
+/// counts the drop in [`LogOutbox::dropped`]. Droppage is safe for the
+/// replication protocol — a replica that misses tail frames falls behind
+/// and is healed by the snapshot catch-up path at the next generation —
+/// but it is *lag*, so the replication layer surfaces it as a typed
+/// saturation metric rather than hiding it.
 #[derive(Debug, Clone, Default)]
 pub struct LogOutbox {
     events: Arc<Mutex<Vec<TeeEvent>>>,
+    capacity: Arc<std::sync::atomic::AtomicUsize>,
+    dropped: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl LogOutbox {
-    /// An empty outbox.
+    /// An empty, unbounded outbox.
     #[must_use]
     pub fn new() -> Self {
         LogOutbox::default()
+    }
+
+    /// An empty outbox holding at most `capacity` pending events
+    /// (`0` means unbounded).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let outbox = LogOutbox::default();
+        outbox.set_capacity(capacity);
+        outbox
+    }
+
+    /// Re-bounds the pending queue (`0` means unbounded). Events already
+    /// queued are kept even if they exceed the new bound; only future
+    /// pushes are refused.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity
+            .store(capacity, std::sync::atomic::Ordering::Release);
+    }
+
+    /// The configured bound (`0` means unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Events refused because the queue was at capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Takes all pending events, oldest first.
@@ -358,7 +441,15 @@ impl LogOutbox {
     }
 
     fn push(&self, event: TeeEvent) {
-        self.events.lock().expect("outbox lock").push(event);
+        let cap = self.capacity();
+        let mut events = self.events.lock().expect("outbox lock");
+        if cap != 0 && events.len() >= cap {
+            drop(events);
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+            return;
+        }
+        events.push(event);
     }
 }
 
@@ -513,6 +604,56 @@ mod tests {
         assert_eq!(lazy.dir_syncs(), 0);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&lazy_path);
+    }
+
+    #[test]
+    fn file_store_wedges_after_a_failed_append_and_reset_recovers() {
+        let dir = std::env::temp_dir().join(format!("jaap-wal-wedge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::new(&path).expect("open");
+        s.append(b"abc").expect("append");
+        assert!(!s.wedged());
+        // Yank the file out from under the store: the next append fails.
+        std::fs::remove_file(&path).expect("remove");
+        assert!(s.append(b"def").is_err());
+        assert!(s.wedged());
+        // Restore the medium; the store still refuses — no fsync retry.
+        std::fs::File::create(&path).expect("recreate");
+        assert!(s.append(b"def").is_err(), "wedged store must not retry");
+        assert!(s.wedged());
+        // A successful reset rewrites the whole log and clears the wedge.
+        s.reset(b"snapshot").expect("reset");
+        assert!(!s.wedged());
+        s.append(b"tail").expect("append after reset");
+        assert_eq!(s.read().expect("read"), b"snapshottail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capped_outbox_drops_newest_and_counts() {
+        let outbox = LogOutbox::with_capacity(2);
+        assert_eq!(outbox.capacity(), 2);
+        let mut tee = TeeStore::new(MemStore::new(), outbox.clone());
+        tee.append(b"one").expect("append");
+        tee.append(b"two").expect("append");
+        tee.append(b"three").expect("append");
+        // The inner log has everything; the outbox refused the overflow.
+        assert_eq!(tee.read().expect("read"), b"onetwothree");
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox.dropped(), 1);
+        assert_eq!(
+            outbox.drain(),
+            vec![
+                TeeEvent::Append(b"one".to_vec()),
+                TeeEvent::Append(b"two".to_vec())
+            ]
+        );
+        // Draining frees capacity again.
+        tee.append(b"four").expect("append");
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox.dropped(), 1);
     }
 
     #[test]

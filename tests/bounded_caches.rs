@@ -31,7 +31,7 @@ fn coalition(seed: u64) -> Coalition {
 #[test]
 fn revoked_request_is_replayed_until_evicted_then_reevaluated() {
     let mut c = coalition(0xB0);
-    c.server_mut().set_replay_protection(true);
+    c.server_mut().set_replay_protection(true).expect("config");
     let registry = c.enable_metrics();
 
     let req = c
@@ -54,7 +54,9 @@ fn revoked_request_is_replayed_until_evicted_then_reevaluated() {
     assert_eq!(registry.counter_value("server.replay.hits"), Some(1));
 
     // Push the digest out of the (now tiny) window...
-    c.server_mut().set_replay_protection_capacity(1);
+    c.server_mut()
+        .set_replay_protection_capacity(1)
+        .expect("config");
     for t in 30..32 {
         c.advance_time(Time(t)).expect("clock");
         let filler = c
@@ -89,7 +91,7 @@ fn revoked_request_is_replayed_until_evicted_then_reevaluated() {
 #[test]
 fn audit_log_rotates_oldest_first_past_capacity() {
     let mut c = coalition(0xB4);
-    c.server_mut().set_audit_capacity(3);
+    c.server_mut().set_audit_capacity(3).expect("config");
     let registry = c.enable_metrics();
     for t in 0..7 {
         c.advance_time(Time(20 + t)).expect("clock");
@@ -105,7 +107,7 @@ fn audit_log_rotates_oldest_first_past_capacity() {
     assert_eq!(c.server().audit_evictions(), 4);
     assert_eq!(registry.counter_value("server.audit.evictions"), Some(4));
     // Shrinking the bound trims immediately.
-    c.server_mut().set_audit_capacity(1);
+    c.server_mut().set_audit_capacity(1).expect("config");
     assert_eq!(c.server().audit_log().len(), 1);
     assert_eq!(c.server().audit_log()[0].at.0, 26);
     assert_eq!(c.server().audit_evictions(), 6);
@@ -114,8 +116,10 @@ fn audit_log_rotates_oldest_first_past_capacity() {
 #[test]
 fn seen_map_respects_capacity_under_pressure() {
     let mut c = coalition(0xB1);
-    c.server_mut().set_replay_protection(true);
-    c.server_mut().set_replay_protection_capacity(3);
+    c.server_mut().set_replay_protection(true).expect("config");
+    c.server_mut()
+        .set_replay_protection_capacity(3)
+        .expect("config");
     let registry = c.enable_metrics();
     for t in 0..8 {
         c.advance_time(Time(20 + t)).expect("clock");
@@ -132,7 +136,7 @@ fn seen_map_respects_capacity_under_pressure() {
 #[test]
 fn verify_cache_eviction_under_pressure_still_grants() {
     let mut c = coalition(0xB2);
-    c.server_mut().set_verification_cache(true);
+    c.server_mut().set_verification_cache(true).expect("config");
     // Each write request presents 3 cacheable certificates (2 identity +
     // 1 threshold AC); capacity 2 forces evictions on every pass.
     c.server()
@@ -187,10 +191,10 @@ proptest! {
         let mut bounded = coalition(0xB3);
         let mut unbounded = coalition(0xB3);
         for c in [&mut bounded, &mut unbounded] {
-            c.server_mut().set_replay_protection(true);
-            c.server_mut().set_verification_cache(true);
+            c.server_mut().set_replay_protection(true).expect("config");
+            c.server_mut().set_verification_cache(true).expect("config");
         }
-        bounded.server_mut().set_replay_protection_capacity(1);
+        bounded.server_mut().set_replay_protection_capacity(1).expect("config");
         bounded
             .server()
             .verification_cache()

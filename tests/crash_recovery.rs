@@ -97,9 +97,9 @@ fn fresh_twin(c: &Coalition) -> CoalitionServer {
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
     acl.permit(GroupId::new("G_read"), "read");
-    server.add_object(OBJECT_O, acl);
+    server.add_object(OBJECT_O, acl).expect("add object");
     server.advance_clock(Time(10)).expect("clock");
-    server.set_replay_protection(true);
+    server.set_replay_protection(true).expect("config");
     server
 }
 
@@ -131,7 +131,9 @@ fn run_workload(seed: u64, plan: &[Plan]) -> Harness {
         watermarks: Vec::new(),
         base_len: 0,
     };
-    h.c.server_mut().set_replay_protection(true);
+    h.c.server_mut()
+        .set_replay_protection(true)
+        .expect("config");
     h.c.server_mut()
         .attach_journal(Box::new(store))
         .expect("attach");
@@ -391,7 +393,9 @@ fn injected_torn_writes_recover_to_clean_prefix() {
         watermarks: Vec::new(),
         base_len: 0,
     };
-    h.c.server_mut().set_replay_protection(true);
+    h.c.server_mut()
+        .set_replay_protection(true)
+        .expect("config");
     h.c.server_mut()
         .attach_journal(Box::new(faulty))
         .expect("attach");
@@ -466,7 +470,9 @@ fn auto_snapshot_keeps_log_recoverable() {
         watermarks: Vec::new(),
         base_len: 0,
     };
-    h.c.server_mut().set_replay_protection(true);
+    h.c.server_mut()
+        .set_replay_protection(true)
+        .expect("config");
     h.c.server_mut().set_snapshot_threshold(Some(1024));
     h.c.server_mut()
         .attach_journal(Box::new(store))
@@ -551,8 +557,8 @@ fn recovered_server_redenies_previously_cached_grant() {
         .key_bits(192)
         .build()
         .expect("build");
-    c.server_mut().set_verification_cache(true);
-    c.server_mut().set_derivation_memo(true);
+    c.server_mut().set_verification_cache(true).expect("config");
+    c.server_mut().set_derivation_memo(true).expect("config");
     let store = MemStore::new();
     let handle = store.clone();
     c.server_mut()

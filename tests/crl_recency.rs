@@ -17,7 +17,7 @@ fn coalition(seed: u64) -> jaap_coalition::scenario::Coalition {
 #[test]
 fn empty_crl_heartbeat_satisfies_recency() {
     let mut c = coalition(9001);
-    c.server_mut().set_revocation_recency(10);
+    c.server_mut().set_revocation_recency(10).expect("config");
 
     // No CRL yet: everything is refused.
     let d = c.request_write(&["User_D1", "User_D2"]).expect("w");
@@ -36,7 +36,7 @@ fn empty_crl_heartbeat_satisfies_recency() {
 #[test]
 fn recency_window_expires() {
     let mut c = coalition(9002);
-    c.server_mut().set_revocation_recency(5);
+    c.server_mut().set_revocation_recency(5).expect("config");
     let crl = c.ra().issue_crl(1, Time(10), vec![]).expect("crl");
     c.server_mut().admit_crl(&crl).expect("admit");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
@@ -55,7 +55,7 @@ fn recency_window_expires() {
 #[test]
 fn crl_carries_revocations() {
     let mut c = coalition(9003);
-    c.server_mut().set_revocation_recency(100);
+    c.server_mut().set_revocation_recency(100).expect("config");
     let entry = CrlEntry {
         subject: c.write_ac().subject.clone(),
         group: c.write_ac().group.clone(),

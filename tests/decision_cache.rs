@@ -19,7 +19,7 @@ fn coalition(seed: u64) -> Coalition {
 #[test]
 fn repeat_presentations_are_served_from_cache() {
     let mut c = coalition(7001);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
 
     let first = c.request_write(&["User_D1", "User_D2"]).expect("w1");
     assert!(first.granted);
@@ -45,7 +45,7 @@ fn repeat_presentations_are_served_from_cache() {
 fn decisions_identical_with_and_without_cache() {
     let mut plain = coalition(7002);
     let mut cached = coalition(7002);
-    cached.set_verification_cache(true);
+    cached.set_verification_cache(true).expect("config");
 
     let schedule: &[(i64, &[&str], &str)] = &[
         (20, &["User_D1", "User_D2"], "write"),
@@ -80,7 +80,7 @@ fn decisions_identical_with_and_without_cache() {
 #[test]
 fn audit_log_records_cache_served_checks() {
     let mut c = coalition(7003);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     c.request_write(&["User_D1", "User_D2"]).expect("w1");
     c.advance_time(Time(15)).expect("clock");
     c.request_write(&["User_D1", "User_D2"]).expect("w2");
@@ -94,7 +94,7 @@ fn audit_log_records_cache_served_checks() {
 #[test]
 fn attribute_revocation_invalidates_cached_ac() {
     let mut c = coalition(7004);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
     assert_eq!(
         c.server()
@@ -118,7 +118,7 @@ fn attribute_revocation_invalidates_cached_ac() {
 #[test]
 fn identity_revocation_invalidates_cached_identity() {
     let mut c = coalition(7005);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 
     c.advance_time(Time(20)).expect("clock");
@@ -145,7 +145,7 @@ fn identity_revocation_invalidates_cached_identity() {
 #[test]
 fn crl_entries_invalidate_cached_groups() {
     let mut c = coalition(7006);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("w").granted);
 
     c.advance_time(Time(20)).expect("clock");
@@ -167,13 +167,13 @@ fn crl_entries_invalidate_cached_groups() {
 #[test]
 fn disabling_the_cache_drops_it() {
     let mut c = coalition(7007);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     c.request_write(&["User_D1", "User_D2"]).expect("w");
     assert!(c.server().verification_cache().is_some());
-    c.set_verification_cache(false);
+    c.set_verification_cache(false).expect("config");
     assert!(c.server().verification_cache().is_none());
     // And re-enabling starts cold.
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     assert_eq!(
         c.server()
             .verification_cache()
@@ -233,7 +233,7 @@ fn verify_batch_reproduces_serial_decisions_across_worker_counts() {
 #[test]
 fn verify_batch_with_cache_still_grants_correctly() {
     let mut c = coalition(7009);
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     let mut requests = Vec::new();
     for t in 20..28 {
         c.advance_time(Time(t)).expect("clock");

@@ -205,7 +205,7 @@ fn duplicate_request_delivery_is_idempotent() {
         .seed(7500)
         .build()
         .expect("coalition");
-    c.server_mut().set_replay_protection(true);
+    c.server_mut().set_replay_protection(true).expect("config");
     let req = c
         .build_request(&["User_D1", "User_D2"], Operation::new("write", OBJECT_O))
         .expect("request");

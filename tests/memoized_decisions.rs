@@ -33,7 +33,7 @@ fn coalition(seed: u64) -> Coalition {
 #[test]
 fn repeated_request_replays_identical_decision() {
     let mut c = coalition(0xE0);
-    c.set_derivation_memo(true);
+    c.set_derivation_memo(true).expect("config");
 
     let req = c
         .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
@@ -69,7 +69,7 @@ fn repeated_request_replays_identical_decision() {
 #[test]
 fn memoized_grant_never_outlives_revocation() {
     let mut c = coalition(0xE1);
-    c.set_derivation_memo(true);
+    c.set_derivation_memo(true).expect("config");
 
     let req = c
         .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
@@ -100,8 +100,10 @@ fn memoized_grant_never_outlives_revocation() {
 #[test]
 fn memo_respects_capacity_and_eviction_only_costs_rederivation() {
     let mut c = coalition(0xE2);
-    c.set_derivation_memo(true);
-    c.server_mut().set_derivation_memo_capacity(Some(1));
+    c.set_derivation_memo(true).expect("config");
+    c.server_mut()
+        .set_derivation_memo_capacity(Some(1))
+        .expect("config");
 
     let write = c
         .build_request(&["User_D1", "User_D2"], Operation::new("write", "Object O"))
@@ -121,7 +123,9 @@ fn memo_respects_capacity_and_eviction_only_costs_rederivation() {
     assert!(stats.evictions >= 2, "pressure must evict: {stats:?}");
 
     // Zero capacity memoizes nothing and still decides correctly.
-    c.server_mut().set_derivation_memo_capacity(Some(0));
+    c.server_mut()
+        .set_derivation_memo_capacity(Some(0))
+        .expect("config");
     assert!(c.server_mut().handle_request(&write).granted);
     assert_eq!(
         c.server().derivation_memo_stats().expect("memo on").entries,
@@ -133,7 +137,7 @@ fn memo_respects_capacity_and_eviction_only_costs_rederivation() {
 #[test]
 fn memo_and_interner_metrics_are_mirrored() {
     let mut c = coalition(0xE3);
-    c.set_derivation_memo(true);
+    c.set_derivation_memo(true).expect("config");
     let registry = c.enable_metrics();
 
     let req = c
@@ -171,7 +175,7 @@ proptest! {
         let users = ["User_D1", "User_D2", "User_D3"];
         let mut memoized = coalition(0xE4);
         let mut reference = coalition(0xE4);
-        memoized.set_derivation_memo(true);
+        memoized.set_derivation_memo(true).expect("config");
 
         let mut revoked = false;
         for (i, &(a, b, read, revoke)) in schedule.iter().enumerate() {

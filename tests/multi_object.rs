@@ -32,7 +32,10 @@ fn rig(seed: u64) -> Rig {
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_audit_append"), "append")
         .permit(GroupId::new("G_audit_read"), "read");
-    coalition.server_mut().add_object(AUDIT_LOG, acl);
+    coalition
+        .server_mut()
+        .add_object(AUDIT_LOG, acl)
+        .expect("add object");
 
     // The AA (all domains jointly) distributes the audit privileges:
     // append is 3-of-3 — consensus hard requirement; read is 1-of-3.

@@ -111,7 +111,7 @@ fn verify_batch_times_crypto_phase_across_workers() {
 fn cache_counters_are_mirrored_into_the_registry() {
     let mut c = coalition(0xC2);
     let registry = c.enable_metrics();
-    c.set_verification_cache(true);
+    c.set_verification_cache(true).expect("config");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("a").granted);
     c.advance_time(Time(12)).expect("clock");
     assert!(c.request_write(&["User_D1", "User_D2"]).expect("b").granted);

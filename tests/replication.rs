@@ -165,9 +165,9 @@ fn fresh_twin(c: &Coalition) -> CoalitionServer {
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
     acl.permit(GroupId::new("G_read"), "read");
-    server.add_object(OBJECT_O, acl);
+    server.add_object(OBJECT_O, acl).expect("add object");
     server.advance_clock(Time(10)).expect("clock");
-    server.set_replay_protection(true);
+    server.set_replay_protection(true).expect("config");
     server
 }
 
@@ -191,7 +191,7 @@ impl ReplHarness {
             .expect("build");
         let disk = MemStore::new();
         let outbox = LogOutbox::new();
-        c.server_mut().set_replay_protection(true);
+        c.server_mut().set_replay_protection(true).expect("config");
         c.server_mut()
             .attach_journal(Box::new(TeeStore::new(disk.clone(), outbox.clone())))
             .expect("attach");

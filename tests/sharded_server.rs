@@ -69,9 +69,9 @@ fn single_server(c: &Coalition) -> CoalitionServer {
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
     acl.permit(GroupId::new("G_read"), "read");
-    server.add_object(OBJECT_O, acl);
+    server.add_object(OBJECT_O, acl).expect("add object");
     server.advance_clock(Time(10)).expect("clock");
-    server.set_replay_protection(true);
+    server.set_replay_protection(true).expect("config");
     server
 }
 
@@ -108,9 +108,9 @@ fn shard_server(c: &Coalition, i: usize) -> CoalitionServer {
     let mut acl = Acl::new();
     acl.permit(GroupId::new("G_write"), "write");
     acl.permit(GroupId::new("G_read"), "read");
-    server.add_object(shard_object(i), acl);
+    server.add_object(shard_object(i), acl).expect("add object");
     server.advance_clock(Time(10)).expect("clock");
-    server.set_replay_protection(true);
+    server.set_replay_protection(true).expect("config");
     server
 }
 
